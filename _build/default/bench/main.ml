@@ -1,0 +1,184 @@
+(* Benchmark entry point.
+
+   Two parts:
+
+   1. The experiment harness (E1..E10): regenerates every table recorded in
+      EXPERIMENTS.md — the reproduction's evaluation suite. Run with no
+      arguments, or with experiment ids to select.
+
+   2. A bechamel micro-benchmark pass over the core LFRC operations and
+      the deque/stack/queue operations, giving allocation-aware per-op
+      timings that complement E1's coarse loop timing. Enabled with
+      the single argument "micro".
+
+   The paper itself publishes no measured tables (see EXPERIMENTS.md);
+   each E-table is this repository's quantitative evaluation of the
+   paper's qualitative claims. *)
+
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+module Env = Lfrc_core.Env
+module Lfrc = Lfrc_core.Lfrc
+
+let node = Layout.make ~name:"bench-node" ~n_ptrs:2 ~n_vals:1
+
+(* --- bechamel micro-suite --- *)
+
+let make_lfrc_op_tests () =
+  let heap = Heap.create ~name:"bench-lfrc" () in
+  let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+  let cell_a = Heap.root heap ~name:"A" () in
+  let cell_b = Heap.root heap ~name:"B" () in
+  let a = Lfrc.alloc env node and b = Lfrc.alloc env node in
+  Lfrc.store_alloc env ~dst:cell_a a;
+  Lfrc.store_alloc env ~dst:cell_b b;
+  let dest = ref Heap.null in
+  [
+    Bechamel.Test.make ~name:"lfrc-load"
+      (Bechamel.Staged.stage (fun () -> Lfrc.load env ~src:cell_a ~dest));
+    Bechamel.Test.make ~name:"lfrc-store"
+      (Bechamel.Staged.stage (fun () -> Lfrc.store env ~dst:cell_a a));
+    Bechamel.Test.make ~name:"lfrc-cas"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Lfrc.cas env cell_a ~old_ptr:a ~new_ptr:a)));
+    Bechamel.Test.make ~name:"lfrc-dcas"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Lfrc.dcas env cell_a cell_b ~old0:a ~old1:b ~new0:a ~new1:b)));
+    Bechamel.Test.make ~name:"lfrc-alloc-destroy"
+      (Bechamel.Staged.stage (fun () ->
+           let p = Lfrc.alloc env node in
+           Lfrc.destroy env p));
+  ]
+
+let make_structure_tests () =
+  let mk_deque (module D : Lfrc_structures.Deque_intf.DEQUE) name =
+    let heap = Heap.create ~name () in
+    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+    let d = D.create env in
+    let h = D.register d in
+    (* steady state: keep a few elements so pops always succeed *)
+    for i = 1 to 8 do
+      D.push_right h i
+    done;
+    Bechamel.Test.make ~name:(name ^ "-push-pop")
+      (Bechamel.Staged.stage (fun () ->
+           D.push_right h 1;
+           ignore (D.pop_left h)))
+  in
+  let module Fixed = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops) in
+  let module Gc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Gc_ops) in
+  let mk_stack () =
+    let heap = Heap.create ~name:"bench-stack" () in
+    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+    let module S = Lfrc_structures.Treiber.Make (Lfrc_core.Lfrc_ops) in
+    let s = S.create env in
+    let h = S.register s in
+    for i = 1 to 8 do
+      S.push h i
+    done;
+    Bechamel.Test.make ~name:"treiber-lfrc-push-pop"
+      (Bechamel.Staged.stage (fun () ->
+           S.push h 1;
+           ignore (S.pop h)))
+  in
+  let mk_queue () =
+    let heap = Heap.create ~name:"bench-queue" () in
+    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+    let module Q = Lfrc_structures.Msqueue.Make (Lfrc_core.Lfrc_ops) in
+    let q = Q.create env in
+    let h = Q.register q in
+    for i = 1 to 8 do
+      Q.enqueue h i
+    done;
+    Bechamel.Test.make ~name:"msqueue-lfrc-enq-deq"
+      (Bechamel.Staged.stage (fun () ->
+           Q.enqueue h 1;
+           ignore (Q.dequeue h)))
+  in
+  let mk_set () =
+    let heap = Heap.create ~name:"bench-set" () in
+    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+    let module S = Lfrc_structures.Dlist_set.Make (Lfrc_core.Lfrc_ops) in
+    let s = S.create env in
+    let h = S.register s in
+    for i = 1 to 64 do
+      ignore (S.insert h (i * 2))
+    done;
+    let k = ref 1 in
+    Bechamel.Test.make ~name:"dlist-set-ins-rem"
+      (Bechamel.Staged.stage (fun () ->
+           k := (!k mod 63) + 1;
+           ignore (S.insert h ((!k * 2) + 1));
+           ignore (S.remove h ((!k * 2) + 1))))
+  in
+  let mk_skiplist () =
+    let heap = Heap.create ~name:"bench-skip" () in
+    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+    let module S = Lfrc_structures.Skiplist.Make (Lfrc_core.Lfrc_ops) in
+    let s = S.create env in
+    let h = S.register s in
+    for i = 1 to 1024 do
+      ignore (S.insert h (i * 2))
+    done;
+    let k = ref 1 in
+    Bechamel.Test.make ~name:"skiplist-1k-contains"
+      (Bechamel.Staged.stage (fun () ->
+           k := (!k * 31 mod 2047) + 1;
+           ignore (S.contains h !k)))
+  in
+  [
+    mk_deque (module Fixed) "snark-lfrc";
+    mk_deque (module Gc) "snark-gc";
+    mk_deque (module Lfrc_structures.Locked_deque) "locked";
+    mk_stack ();
+    mk_queue ();
+    mk_set ();
+    mk_skiplist ();
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let tests =
+    Test.make_grouped ~name:"lfrc" ~fmt:"%s/%s"
+      (make_lfrc_op_tests () @ make_structure_tests ())
+  in
+  let results = benchmark tests in
+  let results = analyze results in
+  print_endline "bechamel micro-benchmarks (ns/op, OLS on monotonic clock):";
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-28s %10.1f ns/op\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results
+
+(* --- entry point --- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "micro" ] -> run_micro ()
+  | [] ->
+      Lfrc_harness.Experiments.run_all ();
+      run_micro ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match Lfrc_harness.Experiments.find id with
+          | Some e -> Lfrc_harness.Experiments.run_and_print e
+          | None -> Printf.eprintf "unknown experiment: %s\n" id)
+        ids

@@ -1,0 +1,1 @@
+bin/hunt_snark.ml: Array Buffer Format Lfrc_core Lfrc_harness Lfrc_linearize Lfrc_sched Lfrc_structures List Printexc Printf Sys Unix

@@ -1,0 +1,1 @@
+bin/hunt_snark.mli:

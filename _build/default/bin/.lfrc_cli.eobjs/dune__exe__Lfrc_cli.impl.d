@@ -1,0 +1,1 @@
+bin/lfrc_cli.ml: Arg Cmd Cmdliner Lfrc_core Lfrc_harness Lfrc_sched Lfrc_structures Lfrc_util List Printf Term

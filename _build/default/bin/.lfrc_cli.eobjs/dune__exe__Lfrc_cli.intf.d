@@ -1,0 +1,1 @@
+bin/lfrc_cli.mli:

@@ -1,0 +1,99 @@
+(* Command-line front end: run experiments (EXPERIMENTS.md tables), quick
+   model checks, and linearizability scenario runs. *)
+
+open Cmdliner
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E10); all when omitted.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of aligned tables.")
+  in
+  let run csv ids =
+    let selected =
+      match ids with
+      | [] -> Lfrc_harness.Experiments.all
+      | ids ->
+          List.filter_map
+            (fun id ->
+              match Lfrc_harness.Experiments.find id with
+              | Some e -> Some e
+              | None ->
+                  Printf.eprintf "unknown experiment %s\n" id;
+                  None)
+            ids
+    in
+    List.iter
+      (fun e ->
+        if csv then begin
+          Printf.printf "# %s: %s\n" e.Lfrc_harness.Experiments.id
+            e.Lfrc_harness.Experiments.title;
+          print_string (Lfrc_util.Table.csv (e.Lfrc_harness.Experiments.run ()))
+        end
+        else Lfrc_harness.Experiments.run_and_print e)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables")
+    Term.(const run $ csv $ ids)
+
+let check_cmd =
+  let variant =
+    Arg.(
+      value
+      & opt (enum [ ("published", `Published); ("fixed", `Fixed) ]) `Fixed
+      & info [ "variant" ] ~doc:"Snark variant to check.")
+  in
+  let schedules =
+    Arg.(value & opt int 20_000 & info [ "schedules" ] ~doc:"Randomized schedules per scenario.")
+  in
+  let run variant schedules =
+    let dq : (module Lfrc_structures.Deque_intf.DEQUE) =
+      match variant with
+      | `Published ->
+          (module Lfrc_structures.Snark.Make (Lfrc_core.Lfrc_ops))
+      | `Fixed ->
+          (module Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops))
+    in
+    let scenarios =
+      Lfrc_harness.Scenario.
+        [
+          ("popR+popL+pushR on [1;2]", [ 1; 2 ],
+           [ [ Pop_right ]; [ Pop_left ]; [ Push_right 3 ] ]);
+          ("popR+popL+pushL on [1]", [ 1 ],
+           [ [ Pop_right ]; [ Pop_left ]; [ Push_left 3 ] ]);
+          ("2popR+popL+2pushR on [1]", [ 1 ],
+           [ [ Pop_right; Pop_right ]; [ Pop_left ];
+             [ Push_right 3; Push_right 4 ] ]);
+        ]
+    in
+    let failed = ref false in
+    List.iter
+      (fun (name, preload, threads) ->
+        let bad = ref 0 in
+        for seed = 0 to schedules - 1 do
+          let o =
+            Lfrc_harness.Scenario.run dq ~preload ~threads
+              (Lfrc_sched.Strategy.Random seed)
+          in
+          if not o.Lfrc_harness.Scenario.ok then incr bad
+        done;
+        Printf.printf "%-28s %d/%d schedules linearizable%s\n%!" name
+          (schedules - !bad) schedules
+          (if !bad > 0 then "  <-- VIOLATIONS" else "");
+        if !bad > 0 then failed := true)
+      scenarios;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Randomized linearizability check of a Snark variant")
+    Term.(const run $ variant $ schedules)
+
+let main =
+  Cmd.group
+    (Cmd.info "lfrc_cli" ~version:"1.0.0"
+       ~doc:"Lock-free reference counting (PODC 2001) reproduction toolkit")
+    [ experiments_cmd; check_cmd ]
+
+let () = exit (Cmd.eval main)

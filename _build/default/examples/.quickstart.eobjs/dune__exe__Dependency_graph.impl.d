@@ -1,0 +1,1 @@
+examples/dependency_graph.ml: Float Lfrc_atomics Lfrc_core Lfrc_cycle Lfrc_simmem Printf

@@ -1,0 +1,1 @@
+examples/find_snark_bug.ml: Format Lfrc_core Lfrc_harness Lfrc_linearize Lfrc_sched Lfrc_structures List

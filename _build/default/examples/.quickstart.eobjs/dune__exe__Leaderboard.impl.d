@@ -1,0 +1,1 @@
+examples/leaderboard.ml: Atomic Lfrc_atomics Lfrc_core Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util List Printf String

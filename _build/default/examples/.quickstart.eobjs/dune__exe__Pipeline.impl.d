@@ -1,0 +1,1 @@
+examples/pipeline.ml: Lfrc_atomics Lfrc_core Lfrc_sched Lfrc_simmem Lfrc_structures Printf

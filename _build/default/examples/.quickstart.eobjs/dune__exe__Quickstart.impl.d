@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomic Domain Lfrc_atomics Lfrc_core Lfrc_simmem Lfrc_structures List Printf

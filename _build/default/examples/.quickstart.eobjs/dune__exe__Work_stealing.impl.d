@@ -1,0 +1,1 @@
+examples/work_stealing.ml: Array Atomic Hashtbl Lfrc_atomics Lfrc_core Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util List Printf

@@ -1,0 +1,86 @@
+(* A concurrent leaderboard on the lock-free skip list.
+
+   Players (simulated threads) submit scores; a pruner keeps only the
+   best hundred. Scores live in the skip list — ordered, so the pruner
+   pops from the low end and the report reads the top from a snapshot.
+   Every node the board ever held is reclaimed by reference counting the
+   moment it stops being referenced; no collector, no free-list.
+
+   Run with: dune exec examples/leaderboard.exe *)
+
+module Heap = Lfrc_simmem.Heap
+module Env = Lfrc_core.Env
+module Sched = Lfrc_sched.Sched
+module Board = Lfrc_structures.Skiplist.Make (Lfrc_core.Lfrc_ops)
+
+let n_players = 5
+let submissions = 400
+let keep_best = 100
+
+let () =
+  let heap = Heap.create ~name:"leaderboard" () in
+  let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+  let board = Board.create env in
+  let submitted = Atomic.make 0 in
+  let pruned = Atomic.make 0 in
+
+  let body () =
+    let players =
+      List.init n_players (fun p ->
+          Sched.spawn
+            ~name:(Printf.sprintf "player%d" p)
+            (fun () ->
+              let h = Board.register ~seed:p board in
+              let rng = Lfrc_util.Rng.create (p + 100) in
+              for _ = 1 to submissions do
+                (* scores are unique: high bits score, low bits player *)
+                let score =
+                  (Lfrc_util.Rng.int rng 1_000_000 * n_players) + p
+                in
+                if Board.insert h score then Atomic.incr submitted
+              done;
+              Board.unregister h))
+    in
+    let pruner =
+      Sched.spawn ~name:"pruner" (fun () ->
+          let h = Board.register ~seed:99 board in
+          let rec prune () =
+            let standing = Board.to_list h in
+            let excess = List.length standing - keep_best in
+            if excess > 0 then begin
+              List.iteri
+                (fun i s ->
+                  if i < excess && Board.remove h s then Atomic.incr pruned)
+                standing;
+              prune ()
+            end
+            else if Atomic.get submitted < n_players * submissions then begin
+              Sched.point ();
+              prune ()
+            end
+          in
+          prune ();
+          Board.unregister h)
+    in
+    Sched.join (pruner :: players)
+  in
+  ignore (Sched.run ~max_steps:400_000_000 (Lfrc_sched.Strategy.Random 3) body);
+
+  let h = Board.register board in
+  let final = Board.to_list h in
+  let top = List.rev final in
+  Printf.printf "submissions: %d, pruned: %d, remaining: %d\n"
+    (Atomic.get submitted) (Atomic.get pruned) (List.length final);
+  Printf.printf "top 5 scores: %s\n"
+    (String.concat ", "
+       (List.filteri (fun i _ -> i < 5) top
+       |> List.map (fun s -> string_of_int (s / n_players))));
+  assert (List.length final <= keep_best + n_players);
+  assert (final = List.sort_uniq compare final);
+  assert (Atomic.get submitted - Atomic.get pruned = List.length final);
+  Board.unregister h;
+  Board.destroy board;
+  Printf.printf "after destroy: %d live objects (expected 0)\n"
+    (Heap.live_count heap);
+  assert (Heap.live_count heap = 0);
+  print_endline "leaderboard OK"

@@ -1,0 +1,109 @@
+(* Work-stealing with LFRC deques — the workload double-ended queues were
+   invented for (the paper's citation [9] context; Arora/Blumofe/Plaxton
+   style schedulers are the classic Snark consumer).
+
+   Each worker owns a deque: it pushes and pops subtasks at the right end
+   (LIFO, cache-friendly), while idle workers steal from the left end of
+   a victim's deque. The task graph is a recursive tree summation; every
+   node's contribution must arrive exactly once, whoever executes it.
+
+   Tasks live in an OCaml side table; the deques carry integer task ids —
+   the pattern for storing rich values alongside LFRC structures.
+
+   Run with: dune exec examples/work_stealing.exe *)
+
+module Heap = Lfrc_simmem.Heap
+module Env = Lfrc_core.Env
+module Sched = Lfrc_sched.Sched
+module Deque = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+
+let n_workers = 4
+
+(* A task: sum the integer range [lo, hi). Splitting under [grain]
+   computes directly. *)
+type task = { lo : int; hi : int }
+
+let grain = 32
+
+let () =
+  let heap = Heap.create ~name:"work-stealing" () in
+  let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+  let deques = Array.init n_workers (fun _ -> Deque.create env) in
+
+  (* Side table: task id -> task. Ids are dense and never reused. *)
+  let tasks : (int, task) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let task_count = Atomic.make 0 in
+  let register_task t =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace tasks id t;
+    Atomic.incr task_count;
+    id
+  in
+
+  let total = Atomic.make 0 in
+  let n = 100_000 in
+
+  let body () =
+    let handles = Array.map Deque.register deques in
+    (* seed the root task into worker 0's deque *)
+    Deque.push_right handles.(0) (register_task { lo = 0; hi = n });
+    let tids =
+      List.init n_workers (fun w ->
+          Sched.spawn
+            ~name:(Printf.sprintf "worker%d" w)
+            (fun () ->
+              let h = handles.(w) in
+              let rng = Lfrc_util.Rng.create (w + 1) in
+              (* Terminate when no task is pending anywhere: the counter
+                 is decremented only after a task has executed or
+                 registered its children, so it cannot reach zero while
+                 work can still appear. *)
+              while Atomic.get task_count > 0 do
+                let work =
+                  match Deque.pop_right h with
+                  | Some id -> Some id
+                  | None ->
+                      (* steal from a random victim's opposite end *)
+                      let victim = Lfrc_util.Rng.int rng n_workers in
+                      if victim <> w then Deque.pop_left handles.(victim)
+                      else None
+                in
+                match work with
+                | None -> Sched.point ()
+                | Some id ->
+                    let t = Hashtbl.find tasks id in
+                    if t.hi - t.lo <= grain then begin
+                      let s = ref 0 in
+                      for i = t.lo to t.hi - 1 do
+                        s := !s + i
+                      done;
+                      ignore (Atomic.fetch_and_add total !s)
+                    end
+                    else begin
+                      let mid = (t.lo + t.hi) / 2 in
+                      Deque.push_right h (register_task { lo = t.lo; hi = mid });
+                      Deque.push_right h (register_task { lo = mid; hi = t.hi })
+                    end;
+                    Atomic.decr task_count
+              done))
+    in
+    Sched.join tids;
+    Array.iter Deque.unregister handles
+  in
+  let outcome = Sched.run (Lfrc_sched.Strategy.Random 2024) body in
+
+  let expected = n * (n - 1) / 2 in
+  Printf.printf "tree sum over [0,%d): got %d, expected %d\n" n
+    (Atomic.get total) expected;
+  assert (Atomic.get total = expected);
+  assert (Atomic.get task_count = 0);
+  Printf.printf "scheduler steps: %d across %d workers\n" outcome.Sched.steps
+    n_workers;
+
+  Array.iter Deque.destroy deques;
+  Printf.printf "heap after teardown: %d live (expected 0)\n"
+    (Heap.live_count heap);
+  assert (Heap.live_count heap = 0);
+  print_endline "work_stealing OK"

@@ -1,0 +1,1 @@
+lib/atomics/dcas.ml: Array Atomic Fun Lfrc_sched Lfrc_simmem Mcas Mutex

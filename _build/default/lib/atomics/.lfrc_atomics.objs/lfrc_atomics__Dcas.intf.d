@@ -1,0 +1,1 @@
+lib/atomics/dcas.mli: Lfrc_simmem

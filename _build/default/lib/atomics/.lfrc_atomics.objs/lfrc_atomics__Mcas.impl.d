@@ -1,0 +1,1 @@
+lib/atomics/mcas.ml: Array Atomic Domain Lfrc_sched Lfrc_simmem

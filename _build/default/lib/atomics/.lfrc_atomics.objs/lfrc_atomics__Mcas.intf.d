@@ -1,0 +1,1 @@
+lib/atomics/mcas.mli: Lfrc_simmem

@@ -1,0 +1,152 @@
+module Cell = Lfrc_simmem.Cell
+module Sched = Lfrc_sched.Sched
+
+type impl = Atomic_step | Striped_lock | Software_mcas
+
+type counters = {
+  reads : int;
+  writes : int;
+  cas_attempts : int;
+  cas_failures : int;
+  dcas_attempts : int;
+  dcas_failures : int;
+}
+
+type t = {
+  kind : impl;
+  stripes : Mutex.t array; (* used by Striped_lock only *)
+  c_reads : int Atomic.t;
+  c_writes : int Atomic.t;
+  c_cas : int Atomic.t;
+  c_cas_fail : int Atomic.t;
+  c_dcas : int Atomic.t;
+  c_dcas_fail : int Atomic.t;
+}
+
+let n_stripes = 64
+
+let create kind =
+  {
+    kind;
+    stripes = Array.init n_stripes (fun _ -> Mutex.create ());
+    c_reads = Atomic.make 0;
+    c_writes = Atomic.make 0;
+    c_cas = Atomic.make 0;
+    c_cas_fail = Atomic.make 0;
+    c_dcas = Atomic.make 0;
+    c_dcas_fail = Atomic.make 0;
+  }
+
+let impl t = t.kind
+
+let impl_name t =
+  match t.kind with
+  | Atomic_step -> "atomic-step"
+  | Striped_lock -> "striped-lock"
+  | Software_mcas -> "software-mcas"
+
+let stripe t c = t.stripes.(Cell.id c land (n_stripes - 1))
+
+let with_stripe t c f =
+  let m = stripe t c in
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let with_two_stripes t c0 c1 f =
+  let i0 = Cell.id c0 land (n_stripes - 1)
+  and i1 = Cell.id c1 land (n_stripes - 1) in
+  let lo = min i0 i1 and hi = max i0 i1 in
+  Mutex.lock t.stripes.(lo);
+  if hi <> lo then Mutex.lock t.stripes.(hi);
+  Fun.protect
+    ~finally:(fun () ->
+      if hi <> lo then Mutex.unlock t.stripes.(hi);
+      Mutex.unlock t.stripes.(lo))
+    f
+
+let read t c =
+  Sched.point ();
+  Atomic.incr t.c_reads;
+  match t.kind with
+  | Atomic_step | Striped_lock -> Cell.get c
+  | Software_mcas -> Mcas.read c
+
+let write t c v =
+  Sched.point ();
+  Atomic.incr t.c_writes;
+  match t.kind with
+  | Atomic_step -> Cell.set c v
+  | Striped_lock -> with_stripe t c (fun () -> Cell.set c v)
+  | Software_mcas ->
+      (* A blind write must still cooperate with in-flight descriptors. *)
+      let rec go () = if not (Mcas.cas c (Mcas.read c) v) then go () in
+      go ()
+
+let count_cas t ok =
+  Atomic.incr t.c_cas;
+  if not ok then Atomic.incr t.c_cas_fail;
+  ok
+
+let cas t c old_v new_v =
+  Sched.point ();
+  match t.kind with
+  | Atomic_step -> count_cas t (Cell.cas c old_v new_v)
+  | Striped_lock -> count_cas t (with_stripe t c (fun () -> Cell.cas c old_v new_v))
+  | Software_mcas -> count_cas t (Mcas.cas c old_v new_v)
+
+let fetch_add t c d =
+  Sched.point ();
+  match t.kind with
+  | Atomic_step -> Cell.fetch_and_add c d
+  | Striped_lock -> with_stripe t c (fun () -> Cell.fetch_and_add c d)
+  | Software_mcas ->
+      let rec go () =
+        let v = Mcas.read c in
+        if Mcas.cas c v (v + d) then v else go ()
+      in
+      go ()
+
+let count_dcas t ok =
+  Atomic.incr t.c_dcas;
+  if not ok then Atomic.incr t.c_dcas_fail;
+  ok
+
+let dcas t c0 c1 ~old0 ~old1 ~new0 ~new1 =
+  Sched.point ();
+  match t.kind with
+  | Atomic_step ->
+      (* Indivisible between yield points: simulated hardware DCAS. *)
+      let ok = Cell.get c0 = old0 && Cell.get c1 = old1 in
+      if ok then begin
+        Cell.set c0 new0;
+        Cell.set c1 new1
+      end;
+      count_dcas t ok
+  | Striped_lock ->
+      count_dcas t
+        (with_two_stripes t c0 c1 (fun () ->
+             let ok = Cell.get c0 = old0 && Cell.get c1 = old1 in
+             if ok then begin
+               Cell.set c0 new0;
+               Cell.set c1 new1
+             end;
+             ok))
+  | Software_mcas -> count_dcas t (Mcas.dcas c0 c1 old0 old1 new0 new1)
+
+let counters t =
+  {
+    reads = Atomic.get t.c_reads;
+    writes = Atomic.get t.c_writes;
+    cas_attempts = Atomic.get t.c_cas;
+    cas_failures = Atomic.get t.c_cas_fail;
+    dcas_attempts = Atomic.get t.c_dcas;
+    dcas_failures = Atomic.get t.c_dcas_fail;
+  }
+
+let reset_counters t =
+  Atomic.set t.c_reads 0;
+  Atomic.set t.c_writes 0;
+  Atomic.set t.c_cas 0;
+  Atomic.set t.c_cas_fail 0;
+  Atomic.set t.c_dcas 0;
+  Atomic.set t.c_dcas_fail 0

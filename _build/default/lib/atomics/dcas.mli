@@ -1,0 +1,63 @@
+(** The DCAS substrate: the paper's assumed hardware double
+    compare-and-swap (as on the Motorola 68020/68040 [CAS2]), with
+    single-word companions. Every operation is a scheduler yield point, so
+    algorithms built on this layer can be model-checked and simulated
+    without change.
+
+    Three interchangeable implementations:
+
+    - [Atomic_step]: relies on the deterministic scheduler — between two
+      yield points a simulated thread runs alone, so the two-word update is
+      indivisible by construction. Only valid inside [Sched.run].
+    - [Striped_lock]: hashes the two cells onto a fixed array of mutexes
+      acquired in cell-id order. Models an atomic hardware unit for real
+      multi-domain runs; not lock-free, exactly as real [malloc] is not
+      (the paper's footnote 1 draws the same boundary).
+    - [Software_mcas]: the lock-free {!Mcas} substrate. Lock-free, but
+      writes descriptors into target cells and therefore must not be used
+      under LFRC itself (see {!Mcas}); provided for the E5 ablation.
+
+    DCAS semantics follow the paper's Section 2.2: compare both locations,
+    swap both or neither, return whether it succeeded. *)
+
+type impl = Atomic_step | Striped_lock | Software_mcas
+
+type t
+
+val create : impl -> t
+val impl : t -> impl
+val impl_name : t -> string
+
+val read : t -> Lfrc_simmem.Cell.t -> int
+val write : t -> Lfrc_simmem.Cell.t -> int -> unit
+val cas : t -> Lfrc_simmem.Cell.t -> int -> int -> bool
+
+val fetch_add : t -> Lfrc_simmem.Cell.t -> int -> int
+(** Atomic add returning the previous value; the paper's [add_to_rc] is a
+    CAS loop, which we also provide in {!Lfrc}, but the substrate-level
+    primitive is used by baselines. *)
+
+val dcas :
+  t ->
+  Lfrc_simmem.Cell.t ->
+  Lfrc_simmem.Cell.t ->
+  old0:int ->
+  old1:int ->
+  new0:int ->
+  new1:int ->
+  bool
+
+type counters = {
+  reads : int;
+  writes : int;
+  cas_attempts : int;
+  cas_failures : int;
+  dcas_attempts : int;
+  dcas_failures : int;
+}
+
+val counters : t -> counters
+(** Operation counters, exact under the simulator (single domain); used as
+    the "simulated work" metric by the experiment harness. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+lib/cycle/cycle_collector.ml: Lfrc_simmem Lfrc_util List

@@ -1,0 +1,1 @@
+lib/cycle/cycle_collector.mli: Lfrc_simmem

@@ -1,0 +1,27 @@
+(** Backup collector for cyclic garbage — the paper's Section 7 extension.
+
+    Reference counting cannot reclaim cycles: "the reference counts of
+    nodes in a garbage cycle will remain non-zero forever" (paper, step
+    3). The paper's proposed remedy is "to integrate a tracing collector
+    that can be invoked occasionally in order to identify and collect
+    cyclic garbage"; this module is that collector.
+
+    [collect] marks every object reachable from the heap's registered
+    roots and frames, then frees live-but-unreachable objects — exactly
+    the objects whose counts are kept non-zero only by other garbage (the
+    cycle members and everything hanging off them). It must run at a
+    quiescent point: no LFRC operation in flight, no counted local
+    pointer outside a registered frame (such a pointer's referent would
+    look unreachable). Experiment E7 exercises it. *)
+
+type collection = {
+  cyclic_freed : int;  (** unreachable objects reclaimed *)
+  live_after : int;
+  pause_ns : int;
+}
+
+val collect : Lfrc_simmem.Heap.t -> collection
+
+val cyclic_garbage : Lfrc_simmem.Heap.t -> Lfrc_simmem.Heap.ptr list
+(** The objects [collect] would free, without freeing them — for tests
+    and reporting. *)

@@ -1,0 +1,1 @@
+lib/harness/common.ml: Float Lfrc_core Lfrc_simmem Lfrc_structures Lfrc_util

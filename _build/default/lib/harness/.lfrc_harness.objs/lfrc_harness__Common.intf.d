@@ -1,0 +1,1 @@
+lib/harness/common.mli: Lfrc_atomics Lfrc_core Lfrc_structures

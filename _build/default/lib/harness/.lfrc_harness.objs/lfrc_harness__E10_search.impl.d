@@ -1,0 +1,1 @@
+lib/harness/e10_search.ml: Common Float Lfrc_atomics Lfrc_core Lfrc_structures Lfrc_util List

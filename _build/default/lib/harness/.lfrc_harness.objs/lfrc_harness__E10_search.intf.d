@@ -1,0 +1,1 @@
+lib/harness/e10_search.mli: Lfrc_util

@@ -1,0 +1,1 @@
+lib/harness/e1_overhead.ml: Common Lfrc_atomics Lfrc_core Lfrc_simmem Lfrc_util

@@ -1,0 +1,1 @@
+lib/harness/e2_throughput.ml: Array Common Float Lfrc_atomics Lfrc_core Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util Lfrc_workload List

@@ -1,0 +1,1 @@
+lib/harness/e2_throughput.mli: Lfrc_util

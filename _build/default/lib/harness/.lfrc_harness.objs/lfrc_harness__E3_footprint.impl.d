@@ -1,0 +1,1 @@
+lib/harness/e3_footprint.ml: Array Common Lfrc_core Lfrc_reclaim Lfrc_simmem Lfrc_structures Lfrc_util List Printf

@@ -1,0 +1,1 @@
+lib/harness/e3_footprint.mli: Lfrc_util

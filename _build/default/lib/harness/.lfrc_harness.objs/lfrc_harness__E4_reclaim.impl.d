@@ -1,0 +1,1 @@
+lib/harness/e4_reclaim.ml: Array Common Float Lfrc_atomics Lfrc_core Lfrc_reclaim Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util Lfrc_workload List Option Printf

@@ -1,0 +1,1 @@
+lib/harness/e4_reclaim.mli: Lfrc_util

@@ -1,0 +1,1 @@
+lib/harness/e5_dcas.ml: Common Float Lfrc_atomics Lfrc_sched Lfrc_simmem Lfrc_util List

@@ -1,0 +1,1 @@
+lib/harness/e6_destroy.ml: Common Float Lfrc_core Lfrc_simmem Lfrc_util List Printf

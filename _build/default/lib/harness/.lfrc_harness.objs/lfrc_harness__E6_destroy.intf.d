@@ -1,0 +1,1 @@
+lib/harness/e6_destroy.mli: Lfrc_util

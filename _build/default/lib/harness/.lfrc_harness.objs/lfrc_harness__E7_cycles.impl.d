@@ -1,0 +1,1 @@
+lib/harness/e7_cycles.ml: Common Float Lfrc_core Lfrc_cycle Lfrc_simmem Lfrc_util

@@ -1,0 +1,1 @@
+lib/harness/e7_cycles.mli: Lfrc_util

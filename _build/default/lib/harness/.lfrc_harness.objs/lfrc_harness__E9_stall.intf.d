@@ -1,0 +1,1 @@
+lib/harness/e9_stall.mli: Lfrc_util

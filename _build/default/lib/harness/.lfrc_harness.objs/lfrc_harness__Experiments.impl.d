@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: E10_search E1_overhead E2_throughput E3_footprint E4_reclaim E5_dcas E6_destroy E7_cycles E8_pauses E9_stall Lfrc_util List Printf String

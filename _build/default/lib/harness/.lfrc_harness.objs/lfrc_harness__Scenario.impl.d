@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Buffer Format Lfrc_atomics Lfrc_core Lfrc_linearize Lfrc_sched Lfrc_simmem Lfrc_structures List Printf

@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Format Lfrc_linearize Lfrc_sched Lfrc_structures

@@ -1,0 +1,26 @@
+module Snark_gc = Lfrc_structures.Snark.Make (Lfrc_core.Gc_ops)
+module Snark_fixed_lfrc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+
+let fresh_env ?dcas_impl ?policy ?gc_threshold ~name () =
+  let heap = Lfrc_simmem.Heap.create ~name () in
+  Lfrc_core.Env.create ?dcas_impl ?policy ?gc_threshold heap
+
+let time_per_op_ns ~iters f =
+  for _ = 1 to min 1000 (iters / 10) do
+    f ()
+  done;
+  let t0 = Lfrc_util.Clock.now_ns () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = Lfrc_util.Clock.now_ns () in
+  Float.of_int (t1 - t0) /. Float.of_int iters
+
+let deque_impls () =
+  [
+    ("locked", (module Lfrc_structures.Locked_deque : Lfrc_structures.Deque_intf.DEQUE), false);
+    ("snark-gc", (module Snark_gc : Lfrc_structures.Deque_intf.DEQUE), true);
+    ("snark-lfrc", (module Snark_fixed_lfrc : Lfrc_structures.Deque_intf.DEQUE), false);
+  ]
+
+let value_stream ~seed ~thread i = (((seed * 67) + thread) * 1_000_000) + i

@@ -1,0 +1,21 @@
+(** Shared plumbing for the experiment modules. *)
+
+val fresh_env :
+  ?dcas_impl:Lfrc_atomics.Dcas.impl ->
+  ?policy:Lfrc_core.Env.policy ->
+  ?gc_threshold:int ->
+  name:string ->
+  unit ->
+  Lfrc_core.Env.t
+(** A new heap wrapped in a new environment. *)
+
+val time_per_op_ns : iters:int -> (unit -> unit) -> float
+(** Wall-clock nanoseconds per call, after a small warmup. *)
+
+val deque_impls :
+  unit -> (string * (module Lfrc_structures.Deque_intf.DEQUE) * bool) list
+(** (label, implementation, is-GC-dependent) triples used by E2:
+    lock-based baseline, GC-dependent Snark, LFRC Snark (corrected). *)
+
+val value_stream : seed:int -> thread:int -> int -> int
+(** Deterministic distinct-ish value for the [int]h op of a thread. *)

@@ -1,0 +1,72 @@
+(** E10 — what the skip-list index buys: search cost vs. set size.
+
+    The paper cites Pugh's concurrent skip lists [16] as a beneficiary of
+    GC-simplified design; this repository carries both an O(n) DCAS
+    ordered list and an O(log n) skip list through the LFRC methodology.
+    The table shows contains() cost against set size for both, in
+    simulated steps (every cell access counts one) — the flat-list cost
+    grows linearly, the skip list logarithmically, with the crossover
+    around a few dozen elements. *)
+
+module Table = Lfrc_util.Table
+module Dcas = Lfrc_atomics.Dcas
+
+module List_set = Lfrc_structures.Dlist_set.Make (Lfrc_core.Lfrc_ops)
+module Skip_set = Lfrc_structures.Skiplist.Make (Lfrc_core.Lfrc_ops)
+
+let probes = 200
+
+(* Steps are counted via the environment's operation counters: reads +
+   writes + cas + dcas attempts, all of which the simulator charges one
+   step each. Measured single-threaded outside the scheduler, so counter
+   deltas are exact. *)
+let ops_count env =
+  let c = Dcas.counters (Lfrc_core.Env.dcas env) in
+  c.Dcas.reads + c.Dcas.writes + c.Dcas.cas_attempts + c.Dcas.dcas_attempts
+
+let run_list n =
+  let env = Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~name:"e10-list" () in
+  let s = List_set.create env in
+  let h = List_set.register s in
+  for k = 1 to n do
+    ignore (List_set.insert h (k * 2))
+  done;
+  let rng = Lfrc_util.Rng.create 7 in
+  let before = ops_count env in
+  for _ = 1 to probes do
+    ignore (List_set.contains h (Lfrc_util.Rng.int rng (2 * n)))
+  done;
+  let cost = Float.of_int (ops_count env - before) /. Float.of_int probes in
+  List_set.unregister h;
+  List_set.destroy s;
+  cost
+
+let run_skip n =
+  let env = Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~name:"e10-skip" () in
+  let s = Skip_set.create env in
+  let h = Skip_set.register s in
+  for k = 1 to n do
+    ignore (Skip_set.insert h (k * 2))
+  done;
+  let rng = Lfrc_util.Rng.create 7 in
+  let before = ops_count env in
+  for _ = 1 to probes do
+    ignore (Skip_set.contains h (Lfrc_util.Rng.int rng (2 * n)))
+  done;
+  let cost = Float.of_int (ops_count env - before) /. Float.of_int probes in
+  Skip_set.unregister h;
+  Skip_set.destroy s;
+  cost
+
+let run () =
+  let table =
+    Table.create
+      ~title:"E10: contains() cost vs set size (memory accesses per search)"
+      ~columns:[ "size"; "dlist-set"; "skiplist"; "list/skip x" ]
+  in
+  List.iter
+    (fun n ->
+      let l = run_list n and s = run_skip n in
+      Table.add_rowf table "%d|%.0f|%.0f|%.1f" n l s (l /. s))
+    [ 16; 64; 256; 1024; 4096 ];
+  table

@@ -1,0 +1,71 @@
+(** E1 — LFRC operation overhead vs. raw pointer operations.
+
+    The paper's pitch is simplicity with acceptable cost: every LFRC
+    operation adds one or two count updates (and LFRCLoad turns a plain
+    read into a DCAS loop). This experiment measures the per-operation
+    factor on a single thread, with the [Atomic_step] substrate standing
+    in for hardware DCAS. *)
+
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+module Dcas = Lfrc_atomics.Dcas
+module Lfrc = Lfrc_core.Lfrc
+module Env = Lfrc_core.Env
+module Table = Lfrc_util.Table
+
+let layout = Layout.make ~name:"e1-node" ~n_ptrs:2 ~n_vals:1
+
+let iters = 200_000
+
+let run () =
+  let env =
+    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~name:"e1" ()
+  in
+  let heap = Env.heap env in
+  let d = Env.dcas env in
+  let cell_a = Heap.root heap ~name:"A" () in
+  let cell_b = Heap.root heap ~name:"B" () in
+  let a = Lfrc.alloc env layout and b = Lfrc.alloc env layout in
+  Lfrc.store_alloc env ~dst:cell_a a;
+  Lfrc.store_alloc env ~dst:cell_b b;
+  let table =
+    Table.create ~title:"E1: LFRC op overhead (single thread, ns/op)"
+      ~columns:[ "operation"; "raw"; "lfrc"; "overhead x" ]
+  in
+  let row name raw_f lfrc_f =
+    let raw = Common.time_per_op_ns ~iters raw_f in
+    let lfrc = Common.time_per_op_ns ~iters lfrc_f in
+    Table.add_rowf table "%s|%.1f|%.1f|%.2f" name raw lfrc
+      (if raw > 0.0 then lfrc /. raw else 0.0)
+  in
+  let dest = ref Heap.null in
+  row "load"
+    (fun () -> ignore (Dcas.read d cell_a))
+    (fun () -> Lfrc.load env ~src:cell_a ~dest);
+  Lfrc.destroy env !dest;
+  dest := Heap.null;
+  row "store"
+    (fun () -> Dcas.write d cell_a a)
+    (fun () -> Lfrc.store env ~dst:cell_a a);
+  let raw_local = ref Heap.null in
+  let local = ref Heap.null in
+  row "copy"
+    (fun () -> raw_local := a)
+    (fun () -> Lfrc.copy env ~dest:local a);
+  Lfrc.destroy env !local;
+  local := Heap.null;
+  row "cas"
+    (fun () -> ignore (Dcas.cas d cell_a a a))
+    (fun () -> ignore (Lfrc.cas env cell_a ~old_ptr:a ~new_ptr:a));
+  row "dcas"
+    (fun () -> ignore (Dcas.dcas d cell_a cell_b ~old0:a ~old1:b ~new0:a ~new1:b))
+    (fun () ->
+      ignore (Lfrc.dcas env cell_a cell_b ~old0:a ~old1:b ~new0:a ~new1:b));
+  row "alloc+free"
+    (fun () ->
+      let p = Heap.alloc heap layout in
+      Heap.free heap p)
+    (fun () ->
+      let p = Lfrc.alloc env layout in
+      Lfrc.destroy env p);
+  table

@@ -1,0 +1,5 @@
+(** E1 — LFRC operation overhead vs. raw pointer operations. See the implementation header for the experiment's design and the expected shape. *)
+
+val run : unit -> Lfrc_util.Table.t
+(** Execute the experiment and return its table (regenerates the
+    corresponding EXPERIMENTS.md section). *)

@@ -1,0 +1,75 @@
+(** E2 — deque cost under contention, by thread count.
+
+    Simulated-time comparison (the machine has one core; see DESIGN.md §7)
+    of the lock-based deque, the GC-dependent Snark, and the LFRC Snark.
+    The metric is scheduler steps per completed operation: every shared
+    memory access, spin and retry is one step, so contention shows up as
+    extra steps — lock-holders make everyone spin, lock-free retries cost
+    only their own re-execution. DCAS failure rates come from the
+    substrate counters. *)
+
+module Sched = Lfrc_sched.Sched
+module Table = Lfrc_util.Table
+module Opmix = Lfrc_workload.Opmix
+
+let ops_per_thread = 1_500
+
+let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed =
+  let steps = ref 0 and dcas_fail = ref 0.0 and gc_pauses = ref 0 in
+  let body () =
+    let heap = Lfrc_simmem.Heap.create ~name:"e2" () in
+    let env =
+      Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+        ~gc_threshold:(if gc then 2048 else 0)
+        heap
+    in
+    if gc then Lfrc_simmem.Gc_trace.reset_history heap;
+    let d = D.create env in
+    let tids =
+      List.init threads (fun thr ->
+          Sched.spawn (fun () ->
+              let h = D.register d in
+              let stream =
+                Opmix.stream Opmix.balanced_deque ~seed ~thread:thr
+                  ops_per_thread
+              in
+              Array.iteri
+                (fun i op ->
+                  let v = Common.value_stream ~seed ~thread:thr i in
+                  match op with
+                  | Opmix.Push_left -> D.push_left h v
+                  | Opmix.Push_right -> D.push_right h v
+                  | Opmix.Pop_left -> ignore (D.pop_left h)
+                  | Opmix.Pop_right -> ignore (D.pop_right h))
+                stream;
+              D.unregister h))
+    in
+    Sched.join tids;
+    let c = Lfrc_atomics.Dcas.counters (Lfrc_core.Env.dcas env) in
+    dcas_fail :=
+      (if c.dcas_attempts = 0 then 0.0
+       else 100.0 *. Float.of_int c.dcas_failures /. Float.of_int c.dcas_attempts);
+    if gc then gc_pauses := List.length (Lfrc_simmem.Gc_trace.collections heap);
+    D.destroy d
+  in
+  let outcome = Sched.run ~max_steps:200_000_000 (Lfrc_sched.Strategy.Random seed) body in
+  steps := outcome.Sched.steps;
+  (!steps, !dcas_fail, !gc_pauses)
+
+let run () =
+  let table =
+    Table.create ~title:"E2: deque contention (simulated steps per op)"
+      ~columns:[ "impl"; "threads"; "steps/op"; "dcas fail %"; "gc runs" ]
+  in
+  List.iter
+    (fun (label, impl, gc) ->
+      List.iter
+        (fun threads ->
+          let steps, fail, gcs = run_one impl ~gc ~threads ~seed:11 in
+          let total_ops = threads * ops_per_thread in
+          Table.add_rowf table "%s|%d|%.1f|%.2f|%d" label threads
+            (Float.of_int steps /. Float.of_int total_ops)
+            fail gcs)
+        [ 1; 2; 4; 8 ])
+    (Common.deque_impls ());
+  table

@@ -1,0 +1,84 @@
+(** E5 — DCAS substrate ablation.
+
+    The paper assumes a hardware DCAS (its Section 1 argues stronger
+    primitives deserve hardware support). This experiment measures what
+    the assumption is worth: the atomic reference, a striped-lock
+    emulation, and the from-scratch lock-free software MCAS are compared
+    (a) uncontended on one thread in wall-clock time, and (b) contended
+    in the simulator, where the MCAS's helping protocol shows up as extra
+    steps and failed installs.
+
+    A separate unit test (test_mcas) demonstrates the deeper finding
+    recorded in DESIGN.md: software MCAS *writes* descriptors into target
+    cells, so it cannot replace hardware DCAS inside LFRC itself, whose
+    load applies DCAS to potentially-freed memory. *)
+
+module Sched = Lfrc_sched.Sched
+module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
+module Dcas = Lfrc_atomics.Dcas
+module Table = Lfrc_util.Table
+
+let wall_iters = 200_000
+
+let wall_row table impl =
+  let d = Dcas.create impl in
+  let c0 = Cell.make 1 and c1 = Cell.make 2 in
+  let ns =
+    Common.time_per_op_ns ~iters:wall_iters (fun () ->
+        ignore (Dcas.dcas d c0 c1 ~old0:1 ~old1:2 ~new0:1 ~new1:2))
+  in
+  Table.add_rowf table "%s|1|%.1f|-|-" (Dcas.impl_name d) ns
+
+let contended_row table impl ~threads ~seed =
+  let per_thread = 2_000 in
+  let d = Dcas.create impl in
+  let steps = ref 0 in
+  let body () =
+    let c0 = Cell.make 0 and c1 = Cell.make 0 in
+    let tids =
+      List.init threads (fun _ ->
+          Sched.spawn (fun () ->
+              for _ = 1 to per_thread do
+                (* DCAS-increment both counters, retrying on interference. *)
+                let rec attempt () =
+                  let v0 = Dcas.read d c0 in
+                  let v1 = Dcas.read d c1 in
+                  if
+                    not
+                      (Dcas.dcas d c0 c1 ~old0:v0 ~old1:v1 ~new0:(v0 + 1)
+                         ~new1:(v1 + 1))
+                  then attempt ()
+                in
+                attempt ()
+              done))
+    in
+    Sched.join tids;
+    assert (Dcas.read d c0 = threads * per_thread)
+  in
+  Dcas.reset_counters d;
+  let outcome =
+    Sched.run ~max_steps:200_000_000 (Lfrc_sched.Strategy.Random seed) body
+  in
+  steps := outcome.Sched.steps;
+  let c = Dcas.counters d in
+  let total_ops = threads * per_thread in
+  Table.add_rowf table "%s|%d|%.1f|%.2f|%.1f" (Dcas.impl_name d) threads
+    (Float.of_int !steps /. Float.of_int total_ops)
+    (Float.of_int c.dcas_attempts /. Float.of_int total_ops)
+    (100.0 *. Float.of_int c.dcas_failures /. Float.of_int c.dcas_attempts)
+
+let run () =
+  let table =
+    Table.create ~title:"E5: DCAS substrates (wall ns/op at 1 thread; sim steps/op contended)"
+      ~columns:[ "substrate"; "threads"; "ns or steps /op"; "attempts/op"; "fail %" ]
+  in
+  List.iter (fun impl -> wall_row table impl)
+    [ Dcas.Atomic_step; Dcas.Striped_lock; Dcas.Software_mcas ];
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun threads -> contended_row table impl ~threads ~seed:31)
+        [ 2; 4; 8 ])
+    [ Dcas.Atomic_step; Dcas.Software_mcas ];
+  table

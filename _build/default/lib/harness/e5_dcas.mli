@@ -1,0 +1,5 @@
+(** E5 — DCAS substrate ablation: atomic vs. striped-lock vs. software MCAS. See the implementation header for the experiment's design and the expected shape. *)
+
+val run : unit -> Lfrc_util.Table.t
+(** Execute the experiment and return its table (regenerates the
+    corresponding EXPERIMENTS.md section). *)

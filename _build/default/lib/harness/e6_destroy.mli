@@ -1,0 +1,5 @@
+(** E6 — long-chain destroy cost under the three destroy policies. See the implementation header for the experiment's design and the expected shape. *)
+
+val run : unit -> Lfrc_util.Table.t
+(** Execute the experiment and return its table (regenerates the
+    corresponding EXPERIMENTS.md section). *)

@@ -1,0 +1,71 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : unit -> Lfrc_util.Table.t;
+}
+
+let all =
+  [
+    {
+      id = "E1";
+      title = "LFRC operation overhead vs raw pointer operations";
+      run = E1_overhead.run;
+    };
+    {
+      id = "E2";
+      title = "Deque contention cost by thread count (simulated)";
+      run = E2_throughput.run;
+    };
+    {
+      id = "E3";
+      title = "Memory footprint across grow/drain phases";
+      run = E3_footprint.run;
+    };
+    {
+      id = "E4";
+      title = "Reclamation schemes on one Treiber stack";
+      run = E4_reclaim.run;
+    };
+    {
+      id = "E5";
+      title = "DCAS substrate ablation";
+      run = E5_dcas.run;
+    };
+    {
+      id = "E6";
+      title = "Long-chain destroy policies";
+      run = E6_destroy.run;
+    };
+    {
+      id = "E7";
+      title = "Cyclic garbage and the backup tracer";
+      run = E7_cycles.run;
+    };
+    {
+      id = "E8";
+      title = "Reclamation pause distributions";
+      run = E8_pauses.run;
+    };
+    {
+      id = "E9";
+      title = "Progress under a stalled thread (lock-freedom)";
+      run = E9_stall.run;
+    };
+    {
+      id = "E10";
+      title = "Skip-list index payoff: search cost vs set size";
+      run = E10_search.run;
+    };
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let run_and_print e =
+  Printf.printf "\n[%s] %s\n%!" e.id e.title;
+  let t = e.run () in
+  Lfrc_util.Table.print t;
+  print_newline ()
+
+let run_all () = List.iter run_and_print all

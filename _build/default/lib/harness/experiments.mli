@@ -1,0 +1,16 @@
+(** The experiment registry: every table in EXPERIMENTS.md is regenerated
+    by one entry here. Used by [bin/lfrc_cli.exe] and [bench/main.exe]. *)
+
+type experiment = {
+  id : string;  (** "E1" .. "E8" *)
+  title : string;
+  run : unit -> Lfrc_util.Table.t;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+(** Case-insensitive lookup by id. *)
+
+val run_and_print : experiment -> unit
+val run_all : unit -> unit

@@ -1,0 +1,60 @@
+(** Concurrent deque scenarios: run a fixed set of per-thread operation
+    scripts against a deque implementation under the deterministic
+    scheduler, record the history, and judge it against the sequential
+    specification with the linearizability checker.
+
+    This is the engine behind the Snark bug hunt (EXPERIMENTS.md A4) and
+    the concurrency test suites. *)
+
+type op = Push_left of int | Push_right of int | Pop_left | Pop_right
+
+type res = Done | Popped of int option
+
+val pp_op : Format.formatter -> op -> unit
+val pp_res : Format.formatter -> res -> unit
+
+module Deque_spec :
+  Lfrc_linearize.Checker.SPEC
+    with type op = op
+     and type res = res
+     and type state = Lfrc_structures.Spec.Deque.t
+
+module Deque_checker : sig
+  type verdict =
+    | Linearizable of (op * res) list
+    | Not_linearizable
+
+  val check_events :
+    (op, res) Lfrc_linearize.History.event list -> verdict
+end
+
+type outcome = {
+  ok : bool;
+  history : (op, res) Lfrc_linearize.History.event list;
+  steps : int;
+}
+
+val run :
+  (module Lfrc_structures.Deque_intf.DEQUE) ->
+  ?gc_final:bool ->
+  ?preload:int list ->
+  threads:op list list ->
+  Lfrc_sched.Strategy.t ->
+  outcome
+(** Execute the scenario once under the given strategy. [preload] values
+    are pushed on the right by the main thread before workers start; after
+    all workers finish, the main thread drains the deque from the left and
+    those pops join the checked history. [ok] is the linearizability
+    verdict. The heap is created fresh inside the simulation; leak and
+    reference-count violations surface as exceptions. *)
+
+val body_and_check :
+  (module Lfrc_structures.Deque_intf.DEQUE) ->
+  ?gc_final:bool ->
+  ?preload:int list ->
+  threads:op list list ->
+  unit ->
+  (unit -> unit) * (unit -> unit)
+(** The same scenario packaged for {!Lfrc_sched.Explore.check}: a [body]
+    to run under forced schedules and a [check] that raises [Failure] on a
+    non-linearizable history. *)

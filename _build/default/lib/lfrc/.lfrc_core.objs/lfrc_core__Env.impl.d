@@ -1,0 +1,1 @@
+lib/lfrc/env.ml: Lfrc_atomics Lfrc_sched Lfrc_simmem List Mutex Queue

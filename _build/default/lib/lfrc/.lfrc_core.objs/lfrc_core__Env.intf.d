@@ -1,0 +1,1 @@
+lib/lfrc/env.mli: Lfrc_atomics Lfrc_simmem

@@ -1,0 +1,1 @@
+lib/lfrc/gc_ops.ml: Env Lfrc_atomics Lfrc_sched Lfrc_simmem List

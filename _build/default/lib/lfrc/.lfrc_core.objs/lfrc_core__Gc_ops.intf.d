@@ -1,0 +1,1 @@
+lib/lfrc/gc_ops.mli: Ops_intf

@@ -1,0 +1,1 @@
+lib/lfrc/lfrc.ml: Array Env Fun Lfrc_atomics Lfrc_simmem List

@@ -1,0 +1,1 @@
+lib/lfrc/lfrc.mli: Env Lfrc_simmem

@@ -1,0 +1,1 @@
+lib/lfrc/lfrc_ops.ml: Env Lfrc Lfrc_atomics Lfrc_simmem

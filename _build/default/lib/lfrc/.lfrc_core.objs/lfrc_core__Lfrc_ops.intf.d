@@ -1,0 +1,1 @@
+lib/lfrc/lfrc_ops.mli: Ops_intf

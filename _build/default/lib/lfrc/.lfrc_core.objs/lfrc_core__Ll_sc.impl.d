@@ -1,0 +1,1 @@
+lib/lfrc/ll_sc.ml: Lfrc Lfrc_simmem

@@ -1,0 +1,1 @@
+lib/lfrc/ll_sc.mli: Env Lfrc_simmem

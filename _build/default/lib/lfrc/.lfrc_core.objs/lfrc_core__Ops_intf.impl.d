@@ -1,0 +1,1 @@
+lib/lfrc/ops_intf.ml: Env Lfrc_simmem

@@ -1,0 +1,63 @@
+type policy =
+  | Recursive
+  | Iterative
+  | Deferred of { budget_per_op : int }
+
+type t = {
+  env_heap : Lfrc_simmem.Heap.t;
+  env_dcas : Lfrc_atomics.Dcas.t;
+  env_policy : policy;
+  pending : int Queue.t;
+  pending_lock : Mutex.t;
+  env_gc_threshold : int;
+  mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
+}
+
+let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0) heap =
+  let impl =
+    match dcas_impl with
+    | Some i -> i
+    | None ->
+        if Lfrc_sched.Sched.active () then Lfrc_atomics.Dcas.Atomic_step
+        else Lfrc_atomics.Dcas.Striped_lock
+  in
+  {
+    env_heap = heap;
+    env_dcas = Lfrc_atomics.Dcas.create impl;
+    env_policy = policy;
+    pending = Queue.create ();
+    pending_lock = Mutex.create ();
+    env_gc_threshold = gc_threshold;
+    env_incremental = None;
+  }
+
+let heap t = t.env_heap
+let dcas t = t.env_dcas
+let policy t = t.env_policy
+let gc_threshold t = t.env_gc_threshold
+
+let set_incremental t ~collector ~budget =
+  t.env_incremental <- Some (collector, budget)
+
+let incremental t = t.env_incremental
+
+let defer t p =
+  Mutex.lock t.pending_lock;
+  Queue.add p t.pending;
+  Mutex.unlock t.pending_lock
+
+let drain_deferred t ~max =
+  Mutex.lock t.pending_lock;
+  let rec go n acc =
+    if (max >= 0 && n >= max) || Queue.is_empty t.pending then List.rev acc
+    else go (n + 1) (Queue.pop t.pending :: acc)
+  in
+  let out = go 0 [] in
+  Mutex.unlock t.pending_lock;
+  out
+
+let deferred_pending t =
+  Mutex.lock t.pending_lock;
+  let n = Queue.length t.pending in
+  Mutex.unlock t.pending_lock;
+  n

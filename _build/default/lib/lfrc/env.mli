@@ -1,0 +1,56 @@
+(** Execution environment threaded through every LFRC operation: the heap,
+    the DCAS substrate, and the destroy policy.
+
+    The destroy policy governs what happens when a reference count falls to
+    zero:
+
+    - [Recursive]: free the object and recursively destroy its pointers —
+      the paper's Figure 2 verbatim. A long chain destroys with deep
+      recursion and an unbounded pause.
+    - [Iterative]: semantically identical, but with an explicit work list,
+      so arbitrarily long chains cannot overflow the stack. The default.
+    - [Deferred]: enqueue the dead object and free at most
+      [budget_per_op] objects per subsequent LFRC operation — the paper's
+      Section 7 "incremental collection" future-work extension, bounding
+      pause times (experiment E6). [flush] drains the queue. *)
+
+type policy =
+  | Recursive
+  | Iterative
+  | Deferred of { budget_per_op : int }
+
+type t
+
+val create :
+  ?dcas_impl:Lfrc_atomics.Dcas.impl ->
+  ?policy:policy ->
+  ?gc_threshold:int ->
+  Lfrc_simmem.Heap.t ->
+  t
+(** Defaults: [dcas_impl] is [Atomic_step] when called under the simulator
+    and [Striped_lock] otherwise; [policy] is [Iterative]; [gc_threshold]
+    (live-object count that triggers a tracing collection in GC-dependent
+    mode; 0 disables) is 0. *)
+
+val heap : t -> Lfrc_simmem.Heap.t
+val dcas : t -> Lfrc_atomics.Dcas.t
+val policy : t -> policy
+val gc_threshold : t -> int
+
+val set_incremental : t -> collector:Lfrc_simmem.Gc_incr.t -> budget:int -> unit
+(** Attach an incremental collector for GC-dependent mode: {!Gc_ops} will
+    discharge its write-barrier and allocation-color obligations and
+    advance the cycle by [budget] units per operation. Mutually exclusive
+    in spirit with [gc_threshold]-driven stop-the-world collection (the
+    incremental collector takes precedence when attached). *)
+
+val incremental : t -> (Lfrc_simmem.Gc_incr.t * int) option
+
+val defer : t -> int -> unit
+(** Enqueue a dead object for deferred freeing. Only valid under the
+    [Deferred] policy. *)
+
+val drain_deferred : t -> max:int -> int list
+(** Dequeue up to [max] pending dead objects (all of them if [max < 0]). *)
+
+val deferred_pending : t -> int

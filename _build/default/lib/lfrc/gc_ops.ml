@@ -1,0 +1,129 @@
+module Heap = Lfrc_simmem.Heap
+module Gc_trace = Lfrc_simmem.Gc_trace
+module Gc_incr = Lfrc_simmem.Gc_incr
+module Dcas = Lfrc_atomics.Dcas
+
+let name = "gc"
+
+type local = Heap.ptr ref
+
+type ctx = {
+  ctx_env : Env.t;
+  locals : local list ref; (* the shadow stack *)
+  frame : Heap.frame;
+}
+
+let make_ctx env =
+  let locals = ref [] in
+  let frame =
+    Heap.register_frame (Env.heap env) (fun () -> List.map ( ! ) !locals)
+  in
+  { ctx_env = env; locals; frame }
+
+let dispose_ctx ctx = Heap.unregister_frame (Env.heap ctx.ctx_env) ctx.frame
+
+let env ctx = ctx.ctx_env
+
+let declare ctx =
+  let l = ref Heap.null in
+  ctx.locals := l :: !(ctx.locals);
+  l
+
+let retire ctx local =
+  local := Heap.null;
+  ctx.locals := List.filter (fun l -> l != local) !(ctx.locals)
+
+let get local = !local
+
+let d ctx = Env.dcas ctx.ctx_env
+
+(* Incremental-collector obligations: shade overwritten pointers (SATB
+   write barrier) and advance the running cycle a little on every
+   mutating operation. *)
+
+let incr_of ctx = Env.incremental ctx.ctx_env
+
+let poll ctx =
+  match incr_of ctx with
+  | Some (gc, budget) -> Gc_incr.poll gc ~budget
+  | None -> ()
+
+let barrier ctx overwritten =
+  match incr_of ctx with
+  | Some (gc, _) -> Gc_incr.barrier gc overwritten
+  | None -> ()
+
+let load ctx cell local = local := Dcas.read (d ctx) cell
+
+let store ctx cell p =
+  (match incr_of ctx with
+  | None -> Dcas.write (d ctx) cell p
+  | Some _ ->
+      (* The barrier needs the overwritten value, so the write becomes a
+         CAS loop that captures it — the same shape LFRCStore uses. *)
+      let rec go () =
+        let old = Dcas.read (d ctx) cell in
+        if Dcas.cas (d ctx) cell old p then barrier ctx old else go ()
+      in
+      go ());
+  poll ctx
+
+let store_alloc ctx cell local =
+  store ctx cell !local;
+  local := Heap.null
+
+let copy _ctx local p = local := p
+
+let set_null _ctx local = local := Heap.null
+
+let cas ctx cell ~old_ptr ~new_ptr =
+  let ok = Dcas.cas (d ctx) cell old_ptr new_ptr in
+  if ok then barrier ctx old_ptr;
+  poll ctx;
+  ok
+
+let dcas ctx c0 c1 ~old0 ~old1 ~new0 ~new1 =
+  let ok = Dcas.dcas (d ctx) c0 c1 ~old0 ~old1 ~new0 ~new1 in
+  if ok then begin
+    barrier ctx old0;
+    barrier ctx old1
+  end;
+  poll ctx;
+  ok
+
+let dcas_ptr_val ctx ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
+  let ok =
+    Dcas.dcas (d ctx) ptr_cell val_cell ~old0:old_ptr ~old1:old_val
+      ~new0:new_ptr ~new1:new_val
+  in
+  if ok then barrier ctx old_ptr;
+  poll ctx;
+  ok
+
+let alloc ctx layout local =
+  (* Stop-the-world collection happens before allocating, never after:
+     the fresh object would be unreachable until the local is assigned.
+     Collection is only taken when it is safe — under the simulator every
+     other thread is parked at a yield point with its shadow stack
+     registered. The incremental collector needs no such care: the new
+     object is born black. *)
+  (match incr_of ctx with
+  | Some _ -> ()
+  | None ->
+      let threshold = Env.gc_threshold ctx.ctx_env in
+      if threshold > 0 && Lfrc_sched.Sched.active () then
+        ignore (Gc_trace.maybe_collect (Env.heap ctx.ctx_env) ~threshold));
+  let p = Heap.alloc (Env.heap ctx.ctx_env) layout in
+  (* The local (a registered frame root) must hold the object before the
+     collector is polled: a cycle that starts and finishes its marking
+     inside the poll would otherwise never see the fresh object. *)
+  local := p;
+  match incr_of ctx with
+  | Some (gc, budget) ->
+      Gc_incr.on_alloc gc p;
+      Gc_incr.poll gc ~budget
+  | None -> ()
+
+let read_val ctx cell = Dcas.read (d ctx) cell
+let write_val ctx cell v = Dcas.write (d ctx) cell v
+let cas_val ctx cell old_v new_v = Dcas.cas (d ctx) cell old_v new_v

@@ -1,0 +1,192 @@
+module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
+module Layout = Lfrc_simmem.Layout
+module Dcas = Lfrc_atomics.Dcas
+
+type ptr = Heap.ptr
+
+let null = Heap.null
+
+(* add_to_rc (Figure 2, lines 16..20). The caller holds a counted
+   reference, so the object cannot be freed while the loop runs. *)
+let add_to_rc env p v =
+  let rc = Heap.rc_cell (Env.heap env) p in
+  let d = Env.dcas env in
+  let rec go () =
+    let oldrc = Dcas.read d rc in
+    if Dcas.cas d rc oldrc (oldrc + v) then oldrc else go ()
+  in
+  go ()
+
+let alloc env layout = Heap.alloc (Env.heap env) layout
+
+(* Destroying the last pointer to an object frees it and destroys the
+   pointers it contains. Three policies; all call [release_one] to drop a
+   single count and report whether the object died. *)
+
+let release_one env p = add_to_rc env p (-1) = 1
+
+let free_obj env p = Heap.free (Env.heap env) p
+
+let ptr_slot_contents env p =
+  let heap = Env.heap env in
+  let n = Heap.n_ptr_slots heap p in
+  List.init n (fun i -> Dcas.read (Env.dcas env) (Heap.ptr_cell heap p i))
+
+(* Figure 2, lines 13..15: recursive destroy, faithful to the paper. *)
+let rec destroy_recursive env p =
+  if p <> null && release_one env p then begin
+    List.iter (destroy_recursive env) (ptr_slot_contents env p);
+    free_obj env p
+  end
+
+(* Same semantics with an explicit work list: survives arbitrarily long
+   chains of dead objects. *)
+let destroy_iterative env p =
+  if p <> null && release_one env p then begin
+    let work = ref [ p ] in
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | q :: rest ->
+          work := rest;
+          List.iter
+            (fun child ->
+              if child <> null && release_one env child then
+                work := child :: !work)
+            (ptr_slot_contents env q);
+          free_obj env q
+    done
+  end
+
+(* Deferred policy: dead objects go to the environment's queue; each later
+   LFRC operation frees a bounded number ([pump]), so no single operation
+   pays for a long chain (paper §7, incremental collection). *)
+let defer_dead env p = Env.defer env p
+
+let pump_deferred env ~budget =
+  (* Keep draining until the budget is spent: processing a dead object can
+     enqueue its children, and those count against the same slice. *)
+  let freed = ref 0 in
+  let exhausted = ref false in
+  while (not !exhausted) && (budget < 0 || !freed < budget) do
+    match Env.drain_deferred env ~max:1 with
+    | [] -> exhausted := true
+    | q :: _ ->
+        incr freed;
+        List.iter
+          (fun child ->
+            if child <> null && release_one env child then
+              defer_dead env child)
+          (ptr_slot_contents env q);
+        free_obj env q
+  done;
+  !freed
+
+let destroy env p =
+  match Env.policy env with
+  | Env.Recursive -> destroy_recursive env p
+  | Env.Iterative -> destroy_iterative env p
+  | Env.Deferred { budget_per_op } ->
+      if p <> null && release_one env p then defer_dead env p;
+      ignore (pump_deferred env ~budget:budget_per_op)
+
+(* LFRCLoad (Figure 2, lines 1..12). *)
+let load env ~src ~dest =
+  let heap = Env.heap env in
+  let d = Env.dcas env in
+  let olddest = !dest in
+  let rec go () =
+    let a = Dcas.read d src in
+    if a = null then dest := null
+    else begin
+      let rc = Heap.rc_cell heap a in
+      let r = Dcas.read d rc in
+      (* Increment the count while atomically checking that [src] still
+         points at [a]: the object cannot have been freed and recycled
+         under us if the pointer still exists. *)
+      if Dcas.dcas d src rc ~old0:a ~old1:r ~new0:a ~new1:(r + 1) then
+        dest := a
+      else go ()
+    end
+  in
+  go ();
+  destroy env olddest
+
+(* LFRCStore (Figure 2, lines 21..28). *)
+let store env ~dst v =
+  if v <> null then ignore (add_to_rc env v 1);
+  let d = Env.dcas env in
+  let rec go () =
+    let oldval = Dcas.read d dst in
+    if Dcas.cas d dst oldval v then destroy env oldval else go ()
+  in
+  go ()
+
+(* LFRCStoreAlloc (paper Figure 1, line 35): consume the allocation's
+   count instead of raising it. *)
+let store_alloc env ~dst v =
+  let d = Env.dcas env in
+  let rec go () =
+    let oldval = Dcas.read d dst in
+    if Dcas.cas d dst oldval v then destroy env oldval else go ()
+  in
+  go ()
+
+(* LFRCCopy (Figure 2, lines 29..32). *)
+let copy env ~dest w =
+  if w <> null then ignore (add_to_rc env w 1);
+  let old = !dest in
+  dest := w;
+  destroy env old
+
+(* LFRCDCAS (Figure 2, lines 33..39). *)
+let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
+  if new0 <> null then ignore (add_to_rc env new0 1);
+  if new1 <> null then ignore (add_to_rc env new1 1);
+  if Dcas.dcas (Env.dcas env) c0 c1 ~old0 ~old1 ~new0 ~new1 then begin
+    destroy env old0;
+    destroy env old1;
+    true
+  end
+  else begin
+    destroy env new0;
+    destroy env new1;
+    false
+  end
+
+(* LFRCCAS: the paper's "obvious simplification" of LFRCDCAS. *)
+let cas env c ~old_ptr ~new_ptr =
+  if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
+  if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
+    destroy env old_ptr;
+    true
+  end
+  else begin
+    destroy env new_ptr;
+    false
+  end
+
+(* Extension: DCAS over one pointer cell and one plain-value cell.
+   Reference counting applies to the pointer side only. *)
+let dcas_ptr_val env ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
+  if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
+  if
+    Dcas.dcas (Env.dcas env) ptr_cell val_cell ~old0:old_ptr ~old1:old_val
+      ~new0:new_ptr ~new1:new_val
+  then begin
+    destroy env old_ptr;
+    true
+  end
+  else begin
+    destroy env new_ptr;
+    false
+  end
+
+let with_locals env n f =
+  let locals = Array.init n (fun _ -> ref null) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun r -> destroy env !r) locals)
+    (fun () -> f locals)
+
+let read_ptr env c = Dcas.read (Env.dcas env) c

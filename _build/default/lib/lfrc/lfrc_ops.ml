@@ -1,0 +1,56 @@
+module Heap = Lfrc_simmem.Heap
+
+let name = "lfrc"
+
+type ctx = Env.t
+
+let make_ctx env = env
+let dispose_ctx _ = ()
+let env ctx = ctx
+
+type local = Heap.ptr ref
+
+let declare _ctx = ref Heap.null
+
+let retire ctx local =
+  Lfrc.destroy ctx !local;
+  local := Heap.null
+
+let get local = !local
+
+let load ctx cell local = Lfrc.load ctx ~src:cell ~dest:local
+
+let store ctx cell p = Lfrc.store ctx ~dst:cell p
+
+let store_alloc ctx cell local =
+  Lfrc.store_alloc ctx ~dst:cell !local;
+  (* The allocation reference now lives in the cell, not the local. *)
+  local := Heap.null
+
+let copy ctx local p = Lfrc.copy ctx ~dest:local p
+
+let set_null ctx local =
+  Lfrc.destroy ctx !local;
+  local := Heap.null
+
+let cas ctx cell ~old_ptr ~new_ptr = Lfrc.cas ctx cell ~old_ptr ~new_ptr
+
+let dcas ctx c0 c1 ~old0 ~old1 ~new0 ~new1 =
+  Lfrc.dcas ctx c0 c1 ~old0 ~old1 ~new0 ~new1
+
+let dcas_ptr_val ctx ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
+  Lfrc.dcas_ptr_val ctx ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val
+    ~new_val
+
+let alloc ctx layout local =
+  let p = Lfrc.alloc ctx layout in
+  (* The previous content dies; the new object's count of 1 is carried by
+     the local. Plain assignment plus destroy keeps the counts exact. *)
+  let old = !local in
+  local := p;
+  Lfrc.destroy ctx old
+
+let read_val ctx cell = Lfrc_atomics.Dcas.read (Env.dcas ctx) cell
+let write_val ctx cell v = Lfrc_atomics.Dcas.write (Env.dcas ctx) cell v
+let cas_val ctx cell old_v new_v =
+  Lfrc_atomics.Dcas.cas (Env.dcas ctx) cell old_v new_v

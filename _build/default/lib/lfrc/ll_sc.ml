@@ -1,0 +1,34 @@
+module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
+
+type reservation = {
+  cell : Cell.t;
+  linked : Heap.ptr; (* counted: load_linked took a reference *)
+  mutable consumed : bool;
+}
+
+let load_linked env cell =
+  let dest = ref Heap.null in
+  Lfrc.load env ~src:cell ~dest;
+  { cell; linked = !dest; consumed = false }
+
+let value r = r.linked
+
+let consume r op =
+  if r.consumed then invalid_arg ("Ll_sc." ^ op ^ ": reservation reused");
+  r.consumed <- true
+
+let store_conditional env r v =
+  consume r "store_conditional";
+  let ok = Lfrc.cas env r.cell ~old_ptr:r.linked ~new_ptr:v in
+  (* The reservation's counted reference dies with it. *)
+  Lfrc.destroy env r.linked;
+  ok
+
+let abandon env r =
+  consume r "abandon";
+  Lfrc.destroy env r.linked
+
+let validate env r =
+  if r.consumed then false
+  else Lfrc.read_ptr env r.cell = r.linked

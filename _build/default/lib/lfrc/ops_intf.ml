@@ -1,0 +1,96 @@
+(** The pointer-operation interface — the paper's "LFRC Compliance"
+    criterion (Section 2.1) made into a module type.
+
+    A data-structure implementation that manipulates pointers *only*
+    through these operations can be written once, as a functor over [OPS],
+    and instantiated both in a garbage-collected environment ({!Gc_ops})
+    and in a manual-memory environment ({!Lfrc_ops}). Applying the paper's
+    transformation methodology (Section 3, Table 1) is then literally the
+    act of changing the functor argument — the type checker enforces that
+    no pointer is touched outside the sanctioned operation set (no pointer
+    arithmetic, no raw loads).
+
+    Thread-local pointer variables are abstract ([local]) so that the
+    GC-dependent implementation can register them as roots with the
+    tracing collector (playing the role of stack scanning) and the LFRC
+    implementation can count them. *)
+
+module type OPS = sig
+  val name : string
+
+  type ctx
+  (** Per-thread context. Create one per (simulated or real) thread. *)
+
+  val make_ctx : Env.t -> ctx
+  val dispose_ctx : ctx -> unit
+  val env : ctx -> Env.t
+
+  type local
+  (** A thread-local pointer variable, initialized to null. *)
+
+  val declare : ctx -> local
+  val retire : ctx -> local -> unit
+  (** The variable is dead (paper step 6: call LFRCDestroy on locals going
+      out of scope). *)
+
+  val get : local -> Lfrc_simmem.Heap.ptr
+  (** Read the local variable for comparisons and as an operand. The
+      returned id must not outlive the variable. *)
+
+  (* Pointer operations: Table 1's left column. *)
+
+  val load : ctx -> Lfrc_simmem.Cell.t -> local -> unit
+  (** [x0 = *A0] *)
+
+  val store : ctx -> Lfrc_simmem.Cell.t -> Lfrc_simmem.Heap.ptr -> unit
+  (** [*A0 = x0] *)
+
+  val store_alloc : ctx -> Lfrc_simmem.Cell.t -> local -> unit
+  (** Store a just-allocated object, transferring the allocation
+      reference; clears the local. *)
+
+  val copy : ctx -> local -> Lfrc_simmem.Heap.ptr -> unit
+  (** [x0 = x1] *)
+
+  val set_null : ctx -> local -> unit
+
+  val cas :
+    ctx ->
+    Lfrc_simmem.Cell.t ->
+    old_ptr:Lfrc_simmem.Heap.ptr ->
+    new_ptr:Lfrc_simmem.Heap.ptr ->
+    bool
+
+  val dcas :
+    ctx ->
+    Lfrc_simmem.Cell.t ->
+    Lfrc_simmem.Cell.t ->
+    old0:Lfrc_simmem.Heap.ptr ->
+    old1:Lfrc_simmem.Heap.ptr ->
+    new0:Lfrc_simmem.Heap.ptr ->
+    new1:Lfrc_simmem.Heap.ptr ->
+    bool
+
+  val dcas_ptr_val :
+    ctx ->
+    ptr_cell:Lfrc_simmem.Cell.t ->
+    val_cell:Lfrc_simmem.Cell.t ->
+    old_ptr:Lfrc_simmem.Heap.ptr ->
+    new_ptr:Lfrc_simmem.Heap.ptr ->
+    old_val:int ->
+    new_val:int ->
+    bool
+  (** Mixed pointer/value DCAS (our documented extension of the paper's
+      operation set; see {!Lfrc.dcas_ptr_val}). *)
+
+  val alloc : ctx -> Lfrc_simmem.Layout.t -> local -> unit
+  (** [x0 = new T]: allocate into a local (destroying its previous
+      content). In GC-dependent mode allocation may trigger a tracing
+      collection first. *)
+
+  (* Value-slot access (not pointer operations; always permitted). *)
+
+  val read_val : ctx -> Lfrc_simmem.Cell.t -> int
+  val write_val : ctx -> Lfrc_simmem.Cell.t -> int -> unit
+  val cas_val : ctx -> Lfrc_simmem.Cell.t -> int -> int -> bool
+end

@@ -1,0 +1,1 @@
+lib/linearize/checker.ml: Array Format History List

@@ -1,0 +1,1 @@
+lib/linearize/checker.mli: Format History

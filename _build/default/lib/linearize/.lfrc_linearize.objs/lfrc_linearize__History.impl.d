@@ -1,0 +1,1 @@
+lib/linearize/history.ml: Atomic Format Lfrc_sched List Mutex

@@ -1,0 +1,76 @@
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val init : state
+  val apply : state -> op -> state * res
+  val equal_res : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+module Make (S : SPEC) = struct
+  type verdict = Linearizable of (S.op * S.res) list | Not_linearizable
+
+  (* DFS over "minimal" events: an event may be linearized next iff no
+     other pending event returned before it was invoked. *)
+  let check_events evs =
+    let evs = Array.of_list evs in
+    let n = Array.length evs in
+    let taken = Array.make n false in
+    let rec go state acc k =
+      if k = n then Some (List.rev acc)
+      else begin
+        let minimal i =
+          (not taken.(i))
+          &&
+          let e = evs.(i) in
+          (* No untaken event returned strictly before e was invoked. *)
+          let blocked = ref false in
+          for j = 0 to n - 1 do
+            if (not taken.(j)) && j <> i then begin
+              let f = evs.(j) in
+              if f.History.returned_at < e.History.invoked_at then
+                blocked := true
+            end
+          done;
+          not !blocked
+        in
+        let rec try_each i =
+          if i >= n then None
+          else if minimal i then begin
+            let e = evs.(i) in
+            let state', res = S.apply state e.History.op in
+            if S.equal_res res e.History.result then begin
+              taken.(i) <- true;
+              match go state' ((e.History.op, e.History.result) :: acc) (k + 1) with
+              | Some w -> Some w
+              | None ->
+                  taken.(i) <- false;
+                  try_each (i + 1)
+            end
+            else try_each (i + 1)
+          end
+          else try_each (i + 1)
+        in
+        try_each 0
+      end
+    in
+    match go S.init [] 0 with
+    | Some w -> Linearizable w
+    | None -> Not_linearizable
+
+  let check h = check_events (History.events h)
+
+  let explain ppf h =
+    History.pp ~pp_op:S.pp_op ~pp_res:S.pp_res ppf h;
+    match check h with
+    | Linearizable w ->
+        Format.fprintf ppf "linearizable; witness:@.";
+        List.iter
+          (fun (op, res) ->
+            Format.fprintf ppf "  %a -> %a@." S.pp_op op S.pp_res res)
+          w
+    | Not_linearizable -> Format.fprintf ppf "NOT linearizable@."
+end

@@ -1,0 +1,35 @@
+(** Linearizability checking (Wing & Gong's algorithm).
+
+    Given a completed history and a sequential specification, search for a
+    permutation of the operations that (a) respects real-time order — an
+    operation that returned before another was invoked must come first —
+    and (b) replays correctly against the specification, each operation
+    producing the result it actually returned. Exponential in the worst
+    case; fine for the short histories the model checker and qcheck
+    produce (≲ 20 operations). *)
+
+module type SPEC = sig
+  type state
+  type op
+  type res
+
+  val init : state
+  val apply : state -> op -> state * res
+  val equal_res : res -> res -> bool
+  val pp_op : Format.formatter -> op -> unit
+  val pp_res : Format.formatter -> res -> unit
+end
+
+module Make (S : SPEC) : sig
+  type verdict =
+    | Linearizable of (S.op * S.res) list
+        (** A witness order that replays correctly. *)
+    | Not_linearizable
+
+  val check : (S.op, S.res) History.t -> verdict
+
+  val check_events : (S.op, S.res) History.event list -> verdict
+
+  val explain : Format.formatter -> (S.op, S.res) History.t -> unit
+  (** Print the history and the verdict — the counterexample report. *)
+end

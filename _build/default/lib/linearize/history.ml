@@ -1,0 +1,43 @@
+type ('op, 'res) event = {
+  thread : int;
+  op : 'op;
+  result : 'res;
+  invoked_at : int;
+  returned_at : int;
+}
+
+type ('op, 'res) t = {
+  mutable evs : ('op, 'res) event list;
+  clock : int Atomic.t;
+  lock : Mutex.t;
+}
+
+let create () = { evs = []; clock = Atomic.make 0; lock = Mutex.create () }
+
+(* Simulated time when under the scheduler; otherwise a private logical
+   clock (ticked at each event) gives a valid real-time order because
+   recording is serialized by the mutex. *)
+let now t =
+  if Lfrc_sched.Sched.active () then Lfrc_sched.Sched.steps_so_far ()
+  else Atomic.fetch_and_add t.clock 1
+
+let record t ~thread op f =
+  let invoked_at = now t in
+  let result = f () in
+  let returned_at = now t in
+  let ev = { thread; op; result; invoked_at; returned_at } in
+  Mutex.lock t.lock;
+  t.evs <- ev :: t.evs;
+  Mutex.unlock t.lock;
+  result
+
+let events t = List.rev t.evs
+
+let size t = List.length t.evs
+
+let pp ~pp_op ~pp_res ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "t%d: %a -> %a @@ [%d,%d]@." e.thread pp_op e.op
+        pp_res e.result e.invoked_at e.returned_at)
+    (events t)

@@ -1,0 +1,39 @@
+(** Concurrent operation histories.
+
+    Threads record an invocation event when an operation starts and a
+    response event when it returns; the recorder timestamps both with the
+    scheduler's step counter (simulated time) or a global sequence number
+    (real time). Two operations are concurrent iff their
+    invocation-response intervals overlap; the linearizability checker
+    ({!Checker}) asks whether some order of the operations consistent with
+    the non-overlapping (real-time) order is accepted by a sequential
+    specification. *)
+
+type ('op, 'res) event = {
+  thread : int;
+  op : 'op;
+  result : 'res;
+  invoked_at : int;
+  returned_at : int;
+}
+
+type ('op, 'res) t
+
+val create : unit -> ('op, 'res) t
+
+val record : ('op, 'res) t -> thread:int -> 'op -> (unit -> 'res) -> 'res
+(** [record h ~thread op f] runs [f] bracketed by invocation/response
+    timestamps and stores the completed event. Safe from multiple
+    simulated threads (single domain) and from real domains (mutex). *)
+
+val events : ('op, 'res) t -> ('op, 'res) event list
+(** All completed events. *)
+
+val size : ('op, 'res) t -> int
+
+val pp :
+  pp_op:(Format.formatter -> 'op -> unit) ->
+  pp_res:(Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('op, 'res) t ->
+  unit

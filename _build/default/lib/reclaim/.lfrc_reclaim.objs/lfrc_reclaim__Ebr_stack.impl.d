@@ -1,0 +1,1 @@
+lib/reclaim/ebr_stack.ml: Epoch Lfrc_atomics Lfrc_core Lfrc_simmem Lfrc_structures

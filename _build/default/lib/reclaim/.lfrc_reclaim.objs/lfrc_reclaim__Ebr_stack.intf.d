@@ -1,0 +1,1 @@
+lib/reclaim/ebr_stack.mli: Lfrc_structures

@@ -1,0 +1,1 @@
+lib/reclaim/epoch.ml: Array Atomic Lfrc_sched Lfrc_simmem List Mutex

@@ -1,0 +1,1 @@
+lib/reclaim/hazard.ml: Array Atomic Hashtbl Lfrc_sched Lfrc_simmem List Mutex

@@ -1,0 +1,1 @@
+lib/reclaim/hp_stack.ml: Hazard Lfrc_atomics Lfrc_core Lfrc_simmem Lfrc_structures

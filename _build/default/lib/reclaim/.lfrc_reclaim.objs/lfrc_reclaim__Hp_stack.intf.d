@@ -1,0 +1,1 @@
+lib/reclaim/hp_stack.mli: Lfrc_structures

@@ -1,0 +1,1 @@
+lib/reclaim/valois_stack.ml: Atomic Lfrc_atomics Lfrc_core Lfrc_simmem Lfrc_structures Mutex

@@ -1,0 +1,1 @@
+lib/reclaim/valois_stack.mli: Lfrc_structures

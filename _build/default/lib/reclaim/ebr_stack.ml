@@ -1,0 +1,74 @@
+module Heap = Lfrc_simmem.Heap
+module Dcas = Lfrc_atomics.Dcas
+
+let name = "treiber-epoch"
+
+let null = Heap.null
+let node_layout = Lfrc_structures.Treiber.node_layout
+
+type t = {
+  env : Lfrc_core.Env.t;
+  heap : Heap.t;
+  top : Lfrc_simmem.Cell.t;
+  ebr : Epoch.t;
+}
+
+type handle = { t : t; slot : Epoch.slot }
+
+let create env =
+  let heap = Lfrc_core.Env.heap env in
+  {
+    env;
+    heap;
+    top = Heap.root heap ~name:"ebr-stack-top" ();
+    ebr = Epoch.create heap;
+  }
+
+let register t = { t; slot = Epoch.register t.ebr }
+let unregister h = Epoch.unregister h.t.ebr h.slot
+
+let d t = Lfrc_core.Env.dcas t.env
+
+let push h v =
+  let t = h.t in
+  Epoch.pin t.ebr h.slot;
+  let nd = Heap.alloc t.heap node_layout in
+  Dcas.write (d t) (Heap.val_cell t.heap nd 0) v;
+  let rec loop () =
+    let top = Dcas.read (d t) t.top in
+    Dcas.write (d t) (Heap.ptr_cell t.heap nd 0) top;
+    if Dcas.cas (d t) t.top top nd then () else loop ()
+  in
+  loop ();
+  Epoch.unpin t.ebr h.slot
+
+let pop h =
+  let t = h.t in
+  Epoch.pin t.ebr h.slot;
+  let rec loop () =
+    let top = Dcas.read (d t) t.top in
+    if top = null then None
+    else begin
+      (* Pinned: the node cannot be freed while we look at it. *)
+      let next = Dcas.read (d t) (Heap.ptr_cell t.heap top 0) in
+      if Dcas.cas (d t) t.top top next then begin
+        let v = Dcas.read (d t) (Heap.val_cell t.heap top 0) in
+        Epoch.retire t.ebr h.slot top;
+        Some v
+      end
+      else loop ()
+    end
+  in
+  let r = loop () in
+  Epoch.unpin t.ebr h.slot;
+  r
+
+let flush t = Epoch.flush t.ebr
+
+let destroy t =
+  let h = { t; slot = Epoch.register t.ebr } in
+  let rec drain () = if pop h <> None then drain () in
+  drain ();
+  unregister h;
+  Epoch.flush t.ebr;
+  Heap.release_root t.heap t.top

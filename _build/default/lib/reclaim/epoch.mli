@@ -1,0 +1,40 @@
+(** Epoch-based reclamation, built from scratch over the simulated heap.
+
+    The second modern point of comparison for LFRC (experiment E4):
+    threads announce when they are inside an operation ("pinned") and
+    which global epoch they observed; an object retired in epoch [g] is
+    freed once the global epoch has advanced to [g + 2], which guarantees
+    every pinned thread has since passed a quiescent point. Near-zero
+    per-access cost, but a single stalled pinned thread blocks all
+    reclamation — unbounded garbage, where LFRC frees immediately and
+    hazard pointers bound garbage per thread. *)
+
+type t
+type slot
+
+val create : ?slots:int -> ?advance_every:int -> Lfrc_simmem.Heap.t -> t
+(** [advance_every] (default 16): attempt an epoch advance every that many
+    retires per slot. *)
+
+val register : t -> slot
+val unregister : t -> slot -> unit
+
+val pin : t -> slot -> unit
+(** Enter an operation: announce the current global epoch. *)
+
+val unpin : t -> slot -> unit
+
+val retire : t -> slot -> Lfrc_simmem.Heap.ptr -> unit
+(** The object was unlinked; free it two epochs from now. *)
+
+val try_advance : t -> bool
+(** Attempt to advance the global epoch; true on success. Freeing of
+    now-safe garbage happens on each slot's next retire/unpin. *)
+
+val flush : t -> unit
+(** Quiescent teardown: advance repeatedly and free all limbo objects.
+    Only call when no thread is pinned. *)
+
+type stats = { freed : int; max_limbo : int; epoch : int }
+
+val stats : t -> stats

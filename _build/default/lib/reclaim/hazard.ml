@@ -1,0 +1,142 @@
+module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
+module Sched = Lfrc_sched.Sched
+
+type slot_state = {
+  hazards : Cell.t array;
+  mutable retired : Heap.ptr list;
+  mutable retired_len : int;
+  mutable in_use : bool;
+}
+
+type t = {
+  heap : Heap.t;
+  slots : slot_state array;
+  hazards_per_slot : int;
+  scan_threshold : int;
+  lock : Mutex.t; (* slot registry and orphan list *)
+  mutable orphans : Heap.ptr list;
+  freed : int Atomic.t;
+  max_retired : int Atomic.t;
+}
+
+type slot = int
+
+let create ?(slots = 64) ?(hazards_per_slot = 2) ?(scan_threshold = 64) heap =
+  {
+    heap;
+    slots =
+      Array.init slots (fun _ ->
+          {
+            hazards = Array.init hazards_per_slot (fun _ -> Cell.make 0);
+            retired = [];
+            retired_len = 0;
+            in_use = false;
+          });
+    hazards_per_slot;
+    scan_threshold;
+    lock = Mutex.create ();
+    orphans = [];
+    freed = Atomic.make 0;
+    max_retired = Atomic.make 0;
+  }
+
+let register t =
+  Mutex.lock t.lock;
+  let rec find i =
+    if i >= Array.length t.slots then begin
+      Mutex.unlock t.lock;
+      failwith "Hazard.register: no free slot"
+    end
+    else if not t.slots.(i).in_use then begin
+      t.slots.(i).in_use <- true;
+      Mutex.unlock t.lock;
+      i
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let protect t s ~idx cell =
+  let haz = t.slots.(s).hazards.(idx) in
+  let rec go () =
+    Sched.point ();
+    let p = Cell.get cell in
+    Sched.point ();
+    Cell.set haz p;
+    Sched.point ();
+    if Cell.get cell = p then p else go ()
+  in
+  go ()
+
+let clear t s =
+  Array.iter
+    (fun haz ->
+      Sched.point ();
+      Cell.set haz 0)
+    t.slots.(s).hazards
+
+(* Scan: free every retired object no hazard protects. *)
+let scan t s =
+  let protected_set = Hashtbl.create 64 in
+  Array.iter
+    (fun sl ->
+      if sl.in_use then
+        Array.iter
+          (fun haz ->
+            Sched.point ();
+            let p = Cell.get haz in
+            if p <> Heap.null then Hashtbl.replace protected_set p ())
+          sl.hazards)
+    t.slots;
+  Mutex.lock t.lock;
+  let adopted = t.orphans in
+  t.orphans <- [];
+  Mutex.unlock t.lock;
+  let sl = t.slots.(s) in
+  let keep = ref [] and kept = ref 0 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem protected_set p then begin
+        keep := p :: !keep;
+        incr kept
+      end
+      else begin
+        Heap.free t.heap p;
+        Atomic.incr t.freed
+      end)
+    (sl.retired @ adopted);
+  sl.retired <- !keep;
+  sl.retired_len <- !kept
+
+let bump_max t n =
+  let rec go () =
+    let m = Atomic.get t.max_retired in
+    if n > m && not (Atomic.compare_and_set t.max_retired m n) then go ()
+  in
+  go ()
+
+let retire t s p =
+  let sl = t.slots.(s) in
+  sl.retired <- p :: sl.retired;
+  sl.retired_len <- sl.retired_len + 1;
+  bump_max t sl.retired_len;
+  if sl.retired_len >= t.scan_threshold then scan t s
+
+let unregister t s =
+  clear t s;
+  scan t s;
+  let sl = t.slots.(s) in
+  Mutex.lock t.lock;
+  (* Whatever is still protected by others becomes orphaned garbage,
+     adopted by the next scan. *)
+  t.orphans <- sl.retired @ t.orphans;
+  sl.retired <- [];
+  sl.retired_len <- 0;
+  sl.in_use <- false;
+  Mutex.unlock t.lock
+
+type stats = { freed : int; max_retired : int }
+
+let stats (t : t) : stats =
+  { freed = Atomic.get t.freed; max_retired = Atomic.get t.max_retired }

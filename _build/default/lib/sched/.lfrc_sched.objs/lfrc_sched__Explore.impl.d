@@ -1,0 +1,1 @@
+lib/sched/explore.ml: Array List Option Sched Stack Stdlib Strategy Trace

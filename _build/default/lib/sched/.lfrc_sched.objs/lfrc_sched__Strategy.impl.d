@@ -1,0 +1,1 @@
+lib/sched/strategy.ml: Array Lfrc_util List Option

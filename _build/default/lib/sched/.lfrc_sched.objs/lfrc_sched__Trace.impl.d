@@ -1,0 +1,1 @@
+lib/sched/trace.ml: Array Format List Printf String

@@ -1,0 +1,120 @@
+type result =
+  | Ok of { schedules : int }
+  | Violation of {
+      schedules : int;
+      schedule : int array;
+      trace : Trace.t;
+      exn : exn;
+    }
+  | Budget_exhausted of { schedules : int }
+
+(* Count preemptions in [trace] restricted to its first [len] steps. *)
+let preemptions_upto trace len =
+  let count = ref 0 in
+  for i = 1 to min len (Array.length trace) - 1 do
+    let s : Trace.step = trace.(i) in
+    let prev : Trace.step = trace.(i - 1) in
+    if s.tid <> prev.tid && s.enabled land (1 lsl prev.tid) <> 0 then
+      incr count
+  done;
+  !count
+
+let run_one ~max_steps prefix body =
+  Sched.run ~max_steps ~record:true
+    (Strategy.Scripted { prefix; tail_seed = None })
+    body
+
+let check ?(max_steps = 100_000) ?max_preemptions ?(max_schedules = 200_000)
+    ~body ~check () =
+  (* Work-list of (forced prefix, length of the prefix that is "new", i.e.
+     positions >= start may branch). Standard stateless DFS: children are
+     generated only at positions at or beyond the forced prefix length, so
+     every schedule is executed exactly once. *)
+  let stack = Stack.create () in
+  Stack.push [||] stack;
+  let executed = ref 0 in
+  let violation = ref None in
+  (try
+     while (not (Stack.is_empty stack)) && !violation = None do
+       if !executed >= max_schedules then raise Stdlib.Exit;
+       let prefix = Stack.pop stack in
+       incr executed;
+       let outcome =
+         match run_one ~max_steps prefix body with
+         | o -> (
+             match check () with
+             | () -> Stdlib.Ok o
+             | exception exn -> Stdlib.Error (exn, o.Sched.trace))
+         | exception Sched.Thread_failure { exn; trace; _ } ->
+             Stdlib.Error (exn, trace)
+         | exception (Strategy.Script_diverged _ as exn) -> raise exn
+         | exception exn -> Stdlib.Error (exn, None)
+       in
+       match outcome with
+       | Stdlib.Error (exn, trace) ->
+           let trace = Option.value trace ~default:[||] in
+           violation :=
+             Some
+               (Violation
+                  {
+                    schedules = !executed;
+                    schedule = Trace.chosen trace;
+                    trace;
+                    exn;
+                  })
+       | Stdlib.Ok o ->
+           let trace = Option.get o.Sched.trace in
+           let forced = Array.length prefix in
+           (* Push deeper branch points first-last so the DFS explores in a
+              stable order; each child forces one alternative decision. *)
+           for i = Array.length trace - 1 downto forced do
+             let step = trace.(i) in
+             let enabled = Trace.enabled_list step in
+             List.iter
+               (fun alt ->
+                 if alt <> step.Trace.tid then begin
+                   let child = Array.make (i + 1) 0 in
+                   Array.blit (Trace.chosen trace) 0 child 0 i;
+                   child.(i) <- alt;
+                   let ok_preempt =
+                     match max_preemptions with
+                     | None -> true
+                     | Some bound ->
+                         (* Preemptions in the child's forced prefix: same
+                            as the parent's up to i, plus one if forcing
+                            [alt] preempts a still-enabled previous
+                            thread. *)
+                         let base = preemptions_upto trace i in
+                         let extra =
+                           if
+                             i > 0
+                             && alt <> trace.(i - 1).Trace.tid
+                             && step.Trace.enabled
+                                land (1 lsl trace.(i - 1).Trace.tid)
+                                <> 0
+                           then 1
+                           else 0
+                         in
+                         base + extra <= bound
+                   in
+                   if ok_preempt then Stack.push child stack
+                 end)
+               enabled
+           done
+     done
+   with Stdlib.Exit -> ());
+  match !violation with
+  | Some v -> v
+  | None ->
+      if Stack.is_empty stack then Ok { schedules = !executed }
+      else Budget_exhausted { schedules = !executed }
+
+let replay ?(max_steps = 100_000) schedule body =
+  match
+    Sched.run ~max_steps ~record:true
+      (Strategy.Scripted { prefix = schedule; tail_seed = None })
+      body
+  with
+  | outcome -> Option.get outcome.Sched.trace
+  | exception Sched.Thread_failure { trace; _ } ->
+      Option.value trace ~default:[||]

@@ -1,0 +1,39 @@
+(** Systematic interleaving exploration (stateless model checking).
+
+    [Explore] re-executes a test body under every schedule (optionally up
+    to a preemption bound, as in CHESS), using the {!Strategy.Scripted}
+    strategy to force prefixes and recording traces to enumerate the
+    un-taken branches. The body must be deterministic apart from
+    scheduling.
+
+    The paper's Snark deque races are found by exactly this technique; see
+    [examples/find_snark_bug.ml]. *)
+
+type result =
+  | Ok of { schedules : int }
+      (** Every schedule within the bounds passed the check. *)
+  | Violation of {
+      schedules : int;  (** schedules executed before the violation *)
+      schedule : int array;  (** thread choices reproducing the failure *)
+      trace : Trace.t;
+      exn : exn;
+    }
+  | Budget_exhausted of { schedules : int }
+      (** [max_schedules] hit with neither a violation nor completion. *)
+
+val check :
+  ?max_steps:int ->
+  ?max_preemptions:int ->
+  ?max_schedules:int ->
+  body:(unit -> unit) ->
+  check:(unit -> unit) ->
+  unit ->
+  result
+(** [check ~body ~check ()] runs [body] (thread 0; it spawns workers) under
+    systematically varied schedules and calls [check] after each complete
+    run; exceptions from either are violations. Defaults: [max_steps]
+    100_000 per run, no preemption bound, [max_schedules] 200_000. *)
+
+val replay : ?max_steps:int -> int array -> (unit -> unit) -> Trace.t
+(** [replay schedule body] re-runs [body] under the recorded schedule with
+    tracing on, for debugging a counterexample. *)

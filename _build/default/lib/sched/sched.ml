@@ -1,0 +1,229 @@
+exception Step_limit_exceeded of int
+exception Thread_failure of { tid : int; exn : exn; trace : Trace.t option }
+exception Stuck of { unfinished : int list }
+
+type outcome = {
+  steps : int;
+  per_thread_steps : int array;
+  trace : Trace.t option;
+}
+
+type _ Effect.t += Yield : unit Effect.t
+type _ Effect.t += Spawn : (string * (unit -> unit)) -> int Effect.t
+type _ Effect.t += Join : int list -> unit Effect.t
+
+type thread_state =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Waiting of int list * (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+
+type thread = { id : int; name : string; mutable state : thread_state }
+
+type sched = {
+  mutable threads : thread array;
+  mutable n_threads : int;
+  mutable current : int;
+  mutable steps : int;
+  mutable per_thread : int array;
+  mutable failure : (int * exn) option;
+  mutable aborting : bool;
+  record : bool;
+  mutable trace_buf : Trace.step list; (* reversed *)
+  max_steps : int;
+  strategy : Strategy.state;
+}
+
+(* The scheduler is single-domain; a plain global distinguishes "inside a
+   simulation" from real-parallel execution because real domains never call
+   [run]. Spawning domains from inside a simulation is not supported. *)
+let current_sched : sched option ref = ref None
+
+let active () = !current_sched <> None
+let tid () = match !current_sched with None -> 0 | Some s -> s.current
+let steps_so_far () = match !current_sched with None -> 0 | Some s -> s.steps
+
+let point () = if !current_sched <> None then Effect.perform Yield
+
+let spawn ?name body =
+  if !current_sched = None then
+    invalid_arg "Sched.spawn: not inside a simulation run";
+  let name = match name with Some n -> n | None -> "" in
+  Effect.perform (Spawn (name, body))
+
+let join tids =
+  if !current_sched = None then
+    invalid_arg "Sched.join: not inside a simulation run";
+  Effect.perform (Join tids)
+
+let kill tid =
+  match !current_sched with
+  | None -> invalid_arg "Sched.kill: not inside a simulation run"
+  | Some s ->
+      if tid = s.current then invalid_arg "Sched.kill: cannot kill self";
+      if tid < 0 || tid >= s.n_threads then
+        invalid_arg "Sched.kill: no such thread";
+      let th = s.threads.(tid) in
+      (match th.state with
+      | Suspended _ | Waiting _ | Not_started _ ->
+          (* Drop the continuation without unwinding: a crashed thread
+             runs no cleanup, which is the point of the model. *)
+          th.state <- Finished
+      | Running | Finished -> ())
+
+let add_thread s name body =
+  let id = s.n_threads in
+  if id > 61 then invalid_arg "Sched: more than 62 threads";
+  if id >= Array.length s.threads then begin
+    let nt = Array.make (2 * Array.length s.threads) s.threads.(0) in
+    Array.blit s.threads 0 nt 0 (Array.length s.threads);
+    s.threads <- nt;
+    let np = Array.make (2 * Array.length s.per_thread) 0 in
+    Array.blit s.per_thread 0 np 0 (Array.length s.per_thread);
+    s.per_thread <- np
+  end;
+  let name = if name = "" then Printf.sprintf "t%d" id else name in
+  s.threads.(id) <- { id; name; state = Not_started body };
+  s.n_threads <- id + 1;
+  id
+
+let all_finished s tids =
+  List.for_all (fun t -> t < s.n_threads && s.threads.(t).state = Finished) tids
+
+let enabled_mask s =
+  let mask = ref 0 in
+  for i = 0 to s.n_threads - 1 do
+    match s.threads.(i).state with
+    | Not_started _ | Suspended _ -> mask := !mask lor (1 lsl i)
+    | Waiting (tids, _) -> if all_finished s tids then mask := !mask lor (1 lsl i)
+    | Running | Finished -> ()
+  done;
+  !mask
+
+(* Run one thread until it yields, finishes, or fails. *)
+let step_thread s th =
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> th.state <- Finished);
+      exnc =
+        (fun exn ->
+          th.state <- Finished;
+          if (not s.aborting) && s.failure = None then
+            s.failure <- Some (th.id, exn));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if s.aborting then Effect.Deep.continue k ()
+                  else th.state <- Suspended k)
+          | Spawn (name, body) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  let id = add_thread s name body in
+                  Effect.Deep.continue k id)
+          | Join tids ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if s.aborting || all_finished s tids then
+                    Effect.Deep.continue k ()
+                  else th.state <- Waiting (tids, k))
+          | _ -> None);
+    }
+  in
+  match th.state with
+  | Not_started body ->
+      th.state <- Running;
+      Effect.Deep.match_with body () handler
+  | Suspended k | Waiting (_, k) ->
+      th.state <- Running;
+      Effect.Deep.continue k ()
+  | Running | Finished -> assert false
+
+(* Unwind any still-suspended fibers so their resources are released; their
+   exceptions are deliberately not recorded. *)
+let cleanup s =
+  s.aborting <- true;
+  for i = 0 to s.n_threads - 1 do
+    let th = s.threads.(i) in
+    match th.state with
+    | Suspended k | Waiting (_, k) -> (
+        th.state <- Finished;
+        try Effect.Deep.discontinue k Exit with _ -> ())
+    | Not_started _ -> th.state <- Finished
+    | Running | Finished -> ()
+  done
+
+let run ?(max_steps = 10_000_000) ?(record = false) strategy main =
+  if active () then invalid_arg "Sched.run: nested simulation";
+  let s =
+    {
+      threads = Array.make 8 { id = 0; name = "main"; state = Finished };
+      n_threads = 0;
+      current = -1;
+      steps = 0;
+      per_thread = Array.make 8 0;
+      failure = None;
+      aborting = false;
+      record;
+      trace_buf = [];
+      max_steps;
+      strategy = Strategy.start strategy ~expected_steps:max_steps;
+    }
+  in
+  ignore (add_thread s "main" main);
+  current_sched := Some s;
+  let result =
+    try
+      let rec loop last =
+        if s.failure <> None then ()
+        else begin
+          let enabled = enabled_mask s in
+          if enabled = 0 then begin
+            let unfinished = ref [] in
+            for i = s.n_threads - 1 downto 0 do
+              if s.threads.(i).state <> Finished then
+                unfinished := i :: !unfinished
+            done;
+            if !unfinished <> [] then raise (Stuck { unfinished = !unfinished })
+          end
+          else begin
+            if s.steps >= s.max_steps then raise (Step_limit_exceeded s.steps);
+            let choice =
+              Strategy.choose s.strategy ~step:s.steps ~enabled ~last
+            in
+            if s.record then
+              s.trace_buf <- { Trace.tid = choice; enabled } :: s.trace_buf;
+            s.steps <- s.steps + 1;
+            s.per_thread.(choice) <- s.per_thread.(choice) + 1;
+            s.current <- choice;
+            step_thread s s.threads.(choice);
+            s.current <- -1;
+            loop choice
+          end
+        end
+      in
+      loop (-1);
+      Ok ()
+    with exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      Error (exn, bt)
+  in
+  cleanup s;
+  current_sched := None;
+  let trace =
+    if record then Some (Array.of_list (List.rev s.trace_buf)) else None
+  in
+  match result with
+  | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | Ok () -> (
+      match s.failure with
+      | Some (tid, exn) -> raise (Thread_failure { tid; exn; trace })
+      | None ->
+          {
+            steps = s.steps;
+            per_thread_steps = Array.sub s.per_thread 0 s.n_threads;
+            trace;
+          })

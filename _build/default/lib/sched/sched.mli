@@ -1,0 +1,71 @@
+(** Deterministic cooperative scheduler built on OCaml effects.
+
+    Simulated threads are ordinary closures that call {!point} at every
+    shared-memory operation (the atomics layer does this automatically).
+    Between two yield points a thread runs atomically, so each primitive
+    memory operation is indivisible with respect to other simulated
+    threads — exactly the granularity at which the paper's algorithms must
+    be correct.
+
+    The same algorithm code runs unchanged under real domains: outside a
+    simulation {!point} is a no-op.
+
+    A scheduler run is single-domain and must not be nested. *)
+
+exception Step_limit_exceeded of int
+(** Raised (inside [run]) when the run exceeds its step budget — the
+    livelock detector for randomized checking. *)
+
+exception Thread_failure of { tid : int; exn : exn; trace : Trace.t option }
+(** Raised by [run] when a simulated thread raised; carries the trace when
+    recording was on. *)
+
+type outcome = {
+  steps : int;  (** total scheduling decisions taken *)
+  per_thread_steps : int array;
+  trace : Trace.t option;  (** present iff [record] was true *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?record:bool ->
+  Strategy.t ->
+  (unit -> unit) ->
+  outcome
+(** [run strategy main] executes [main] as thread 0, scheduling it and any
+    threads it {!spawn}s until all have finished. [max_steps] defaults to
+    10 million; [record] (default [false]) keeps the full trace. *)
+
+val spawn : ?name:string -> (unit -> unit) -> int
+(** Create a new simulated thread; returns its id. Must be called from
+    inside a run. The spawner keeps running (spawn is not a yield point). *)
+
+exception Stuck of { unfinished : int list }
+(** Raised by [run] when no thread is runnable but some have not finished
+    (a join cycle — cannot happen with well-formed fork/join use). *)
+
+val join : int list -> unit
+(** Block the calling simulated thread until all the given threads have
+    finished. Must be called from inside a run. *)
+
+val kill : int -> unit
+(** Permanently fail a simulated thread: it is never scheduled again and
+    its pending work simply vanishes — the paper's footnote 3 scenario
+    ("it is possible for garbage to exist and never be freed in the case
+    where a thread fails permanently"). Joins waiting on it are released
+    (the thread is finished, albeit abnormally). Must be called from
+    inside a run; killing the current thread is not supported. *)
+
+val point : unit -> unit
+(** Yield point. Inside a simulation: hand control to the scheduler.
+    Outside: no-op. *)
+
+val active : unit -> bool
+(** Whether the calling code is executing inside a simulation run. *)
+
+val tid : unit -> int
+(** Current simulated thread id; 0 outside a simulation. *)
+
+val steps_so_far : unit -> int
+(** Scheduling decisions taken so far in the current run; usable as a
+    simulated clock by harness code. 0 outside a simulation. *)

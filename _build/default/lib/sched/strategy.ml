@@ -1,0 +1,114 @@
+type t =
+  | Round_robin
+  | Random of int
+  | Pct of { seed : int; change_points : int }
+  | Scripted of { prefix : int array; tail_seed : int option }
+  | Handicap of { seed : int; victim : int; period : int }
+
+exception Script_diverged of { step : int; wanted : int; enabled : int }
+
+type state =
+  | Rr_state
+  | Random_state of Lfrc_util.Rng.t
+  | Pct_state of {
+      rng : Lfrc_util.Rng.t;
+      priorities : float array; (* lower value = runs first *)
+      change_steps : int array; (* sorted step indices where priority drops *)
+    }
+  | Scripted_state of { prefix : int array; tail : Lfrc_util.Rng.t option }
+  | Handicap_state of { rng : Lfrc_util.Rng.t; victim : int; period : int }
+
+let max_threads = 62
+
+let bits_of enabled =
+  let rec go i acc =
+    if i > max_threads then List.rev acc
+    else go (i + 1) (if enabled land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 0 []
+
+let start t ~expected_steps =
+  match t with
+  | Round_robin -> Rr_state
+  | Random seed -> Random_state (Lfrc_util.Rng.create seed)
+  | Pct { seed; change_points } ->
+      let rng = Lfrc_util.Rng.create seed in
+      let priorities =
+        Array.init max_threads (fun _ -> Lfrc_util.Rng.float rng)
+      in
+      let change_steps =
+        Array.init change_points (fun _ ->
+            Lfrc_util.Rng.int rng (max expected_steps 1))
+      in
+      Array.sort compare change_steps;
+      Pct_state { rng; priorities; change_steps }
+  | Scripted { prefix; tail_seed } ->
+      Scripted_state
+        { prefix; tail = Option.map Lfrc_util.Rng.create tail_seed }
+  | Handicap { seed; victim; period } ->
+      Handicap_state { rng = Lfrc_util.Rng.create seed; victim; period }
+
+let first_enabled enabled =
+  let rec go i =
+    if enabled land (1 lsl i) <> 0 then i
+    else if i >= max_threads then invalid_arg "Strategy: empty enabled set"
+    else go (i + 1)
+  in
+  go 0
+
+let choose st ~step ~enabled ~last =
+  match st with
+  | Rr_state ->
+      (* Next enabled thread after [last], wrapping. *)
+      let rec go i =
+        let i = if i > max_threads then 0 else i in
+        if enabled land (1 lsl i) <> 0 then i else go (i + 1)
+      in
+      go (last + 1)
+  | Random_state rng ->
+      let ids = bits_of enabled in
+      List.nth ids (Lfrc_util.Rng.int rng (List.length ids))
+  | Pct_state { rng; priorities; change_steps } ->
+      (* At a change point, demote the currently highest-priority enabled
+         thread to the back of the priority order. *)
+      if Array.exists (fun s -> s = step) change_steps then begin
+        let ids = bits_of enabled in
+        let best =
+          List.fold_left
+            (fun acc i ->
+              if priorities.(i) < priorities.(acc) then i else acc)
+            (List.hd ids) ids
+        in
+        priorities.(best) <- 1.0 +. Lfrc_util.Rng.float rng
+      end;
+      let ids = bits_of enabled in
+      List.fold_left
+        (fun acc i -> if priorities.(i) < priorities.(acc) then i else acc)
+        (List.hd ids) ids
+  | Handicap_state { rng; victim; period } ->
+      (* Duty-cycle stall: the victim runs normally for [period] steps,
+         then freezes for [period] steps, repeatedly — so it can be
+         caught mid-operation (e.g. holding a lock) when the freeze
+         begins. If it is the only enabled thread it runs regardless. *)
+      let frozen = step mod (2 * period) >= period in
+      let eligible =
+        if frozen && enabled <> 1 lsl victim then
+          enabled land lnot (1 lsl victim)
+        else enabled
+      in
+      let ids = bits_of eligible in
+      List.nth ids (Lfrc_util.Rng.int rng (List.length ids))
+  | Scripted_state { prefix; tail } ->
+      if step < Array.length prefix then begin
+        let wanted = prefix.(step) in
+        if enabled land (1 lsl wanted) = 0 then
+          raise (Script_diverged { step; wanted; enabled });
+        wanted
+      end
+      else begin
+        match tail with
+        | None -> first_enabled enabled
+        | Some rng ->
+            let ids = bits_of enabled in
+            List.nth ids (Lfrc_util.Rng.int rng (List.length ids))
+      end

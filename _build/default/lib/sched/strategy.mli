@@ -1,0 +1,41 @@
+(** Scheduling strategies for the deterministic scheduler.
+
+    A strategy decides, at each step, which enabled thread runs next. All
+    strategies are deterministic given their parameters, so any run can be
+    reproduced exactly. *)
+
+type t =
+  | Round_robin
+      (** Cycle through threads; switches only at yield points, so this is
+          the gentlest interleaving. *)
+  | Random of int
+      (** Uniform choice among enabled threads, seeded. The workhorse for
+          stress testing. *)
+  | Pct of { seed : int; change_points : int }
+      (** Probabilistic concurrency testing (Burckhardt et al.): random
+          thread priorities, lowered at [change_points] random steps.
+          Finds bugs of small preemption depth with high probability. *)
+  | Scripted of { prefix : int array; tail_seed : int option }
+      (** Follow [prefix] exactly (each entry must be enabled at its step),
+          then fall back to first-enabled ([tail_seed = None]) or seeded
+          random. Used for replay and by the exhaustive explorer. *)
+  | Handicap of { seed : int; victim : int; period : int }
+      (** Seeded-random with a duty-cycle stall: thread [victim] runs
+          normally for [period] steps, then is frozen for [period] steps,
+          repeatedly — so the freeze can catch it mid-operation (e.g.
+          holding a lock). The experiment that separates lock-free
+          structures (others progress) from lock-based ones (a stalled
+          lock holder stalls the world). *)
+
+type state
+
+val start : t -> expected_steps:int -> state
+
+val choose : state -> step:int -> enabled:int -> last:int -> int
+(** [choose st ~step ~enabled ~last] picks a thread id from the non-empty
+    [enabled] bitmask; [last] is the previously run thread (-1 at the first
+    step). *)
+
+exception Script_diverged of { step : int; wanted : int; enabled : int }
+(** Raised by [Scripted] when the recorded decision is no longer enabled —
+    the program under test is not deterministic between runs. *)

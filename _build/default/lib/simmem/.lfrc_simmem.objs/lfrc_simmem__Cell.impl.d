@@ -1,0 +1,1 @@
+lib/simmem/cell.ml: Atomic Config Printf

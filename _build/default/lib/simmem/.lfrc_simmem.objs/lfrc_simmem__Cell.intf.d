@@ -1,0 +1,1 @@
+lib/simmem/cell.mli: Atomic

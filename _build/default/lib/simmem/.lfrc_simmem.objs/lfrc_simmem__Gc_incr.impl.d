@@ -1,0 +1,1 @@
+lib/simmem/gc_incr.ml: Cell Heap List Stack

@@ -1,0 +1,1 @@
+lib/simmem/gc_incr.mli: Heap

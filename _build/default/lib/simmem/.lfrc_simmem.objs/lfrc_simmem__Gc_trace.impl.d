@@ -1,0 +1,1 @@
+lib/simmem/gc_trace.ml: Cell Hashtbl Heap Lfrc_util List

@@ -1,0 +1,1 @@
+lib/simmem/gc_trace.mli: Heap

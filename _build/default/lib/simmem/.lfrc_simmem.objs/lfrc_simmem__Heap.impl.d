@@ -1,0 +1,1 @@
+lib/simmem/heap.ml: Array Atomic Cell Config Format Hashtbl Layout List Mutex

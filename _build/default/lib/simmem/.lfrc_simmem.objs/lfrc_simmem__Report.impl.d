@@ -1,0 +1,1 @@
+lib/simmem/report.ml: Cell Format Hashtbl Heap List Option Printf String

@@ -1,0 +1,1 @@
+lib/simmem/report.mli: Format Heap

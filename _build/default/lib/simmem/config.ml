@@ -1,0 +1,3 @@
+let safety = ref true
+
+let poison = 0x2DEADBEEF

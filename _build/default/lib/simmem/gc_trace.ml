@@ -1,0 +1,66 @@
+type collection = { live_before : int; live_after : int; pause_ns : int }
+
+(* Collection history, per heap. Keyed weakly by heap name; heaps in this
+   codebase are few and long-lived, so a simple association list suffices. *)
+let histories : (string, collection list ref) Hashtbl.t = Hashtbl.create 8
+
+let history_of h =
+  match Hashtbl.find_opt histories (Heap.name h) with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add histories (Heap.name h) r;
+      r
+
+let mark_from h p =
+  let rec go p =
+    if p <> Heap.null && Heap.is_live h p && not (Heap.get_mark h p) then begin
+      Heap.set_mark h p true;
+      List.iter go (Heap.ptr_slot_values h p)
+    end
+  in
+  go p
+
+let collect h =
+  let t0 = Lfrc_util.Clock.now_ns () in
+  let live_before = Heap.live_count h in
+  Heap.iter_live h (fun p -> Heap.set_mark h p false);
+  List.iter (fun root -> mark_from h (Cell.get root)) (Heap.roots h);
+  Heap.iter_frame_roots h (fun p -> mark_from h p);
+  let garbage = ref [] in
+  Heap.iter_live h (fun p ->
+      if not (Heap.get_mark h p) then garbage := p :: !garbage);
+  List.iter (fun p -> Heap.free h p) !garbage;
+  let t1 = Lfrc_util.Clock.now_ns () in
+  let c = { live_before; live_after = Heap.live_count h; pause_ns = t1 - t0 } in
+  let hist = history_of h in
+  hist := c :: !hist;
+  c
+
+let collections h = !(history_of h)
+
+(* Next-collection trigger per heap: like a real collector, the trigger
+   grows with the live set, or back-to-back collections would thrash when
+   most of the heap is genuinely reachable. *)
+let triggers : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let trigger_of h =
+  match Hashtbl.find_opt triggers (Heap.name h) with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add triggers (Heap.name h) r;
+      r
+
+let maybe_collect h ~threshold =
+  let trigger = trigger_of h in
+  if Heap.live_count h > max threshold !trigger then begin
+    let c = collect h in
+    trigger := 2 * c.live_after;
+    Some c
+  end
+  else None
+
+let reset_history h =
+  history_of h := [];
+  Hashtbl.remove triggers (Heap.name h)

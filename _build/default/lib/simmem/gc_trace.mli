@@ -1,0 +1,30 @@
+(** Stop-the-world mark-sweep collector over the simulated heap.
+
+    This is the environment the paper's *input* algorithms assume: a
+    tracing garbage collector that can see thread-local pointers (here via
+    shadow-stack frames instead of register scanning). It gives the
+    GC-dependent baseline for the experiments and exhibits exactly the
+    behaviour the paper criticizes — it stops the world (experiment E8
+    measures its pauses).
+
+    Collections are only safe when every thread is at a yield point
+    (guaranteed under the deterministic scheduler) or at an explicit
+    barrier (real-domain runs). *)
+
+type collection = {
+  live_before : int;
+  live_after : int;
+  pause_ns : int;
+}
+
+val collect : Heap.t -> collection
+(** Mark from the heap's roots and registered frames, then sweep (free)
+    every unmarked live object. *)
+
+val collections : Heap.t -> collection list
+(** History of collections on this heap, newest first. *)
+
+val maybe_collect : Heap.t -> threshold:int -> collection option
+(** Collect iff the heap's live count exceeds [threshold]. *)
+
+val reset_history : Heap.t -> unit

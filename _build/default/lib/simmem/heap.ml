@@ -1,0 +1,258 @@
+type ptr = int
+
+exception Use_after_free of { id : int; gen : int; op : string }
+exception Double_free of { id : int }
+exception Invalid_pointer of { value : int; op : string }
+
+let null = 0
+
+type obj = {
+  id : int;
+  mutable obj_layout : Layout.t;
+  mutable live : bool;
+  mutable gen : int;
+  mutable mark : bool;
+  mutable mark_v : int;
+  mutable cells : Cell.t array; (* sized for the largest layout this id has carried *)
+}
+
+type frame = int
+
+type t = {
+  heap_name : string;
+  lock : Mutex.t;
+  objs : obj array Atomic.t; (* index id-1; grown under lock *)
+  n_objs : int Atomic.t;
+  free_by_shape : (int * int, int list ref) Hashtbl.t;
+  mutable root_cells : Cell.t list;
+  mutable frames : (frame * (unit -> ptr list)) list;
+  mutable frame_ctr : int;
+  allocs : int Atomic.t;
+  frees : int Atomic.t;
+  live : int Atomic.t;
+  peak : int Atomic.t;
+  live_cells : int Atomic.t;
+}
+
+let create ?(name = "heap") () =
+  {
+    heap_name = name;
+    lock = Mutex.create ();
+    objs = Atomic.make [||];
+    n_objs = Atomic.make 0;
+    free_by_shape = Hashtbl.create 16;
+    root_cells = [];
+    frames = [];
+    frame_ctr = 0;
+    allocs = Atomic.make 0;
+    frees = Atomic.make 0;
+    live = Atomic.make 0;
+    peak = Atomic.make 0;
+    live_cells = Atomic.make 0;
+  }
+
+let name t = t.heap_name
+
+let get_obj t p op =
+  if p <= 0 || p > Atomic.get t.n_objs then
+    raise (Invalid_pointer { value = p; op });
+  (Atomic.get t.objs).(p - 1)
+
+let live_obj t p op =
+  let o = get_obj t p op in
+  if (not o.live) && !Config.safety then
+    raise (Use_after_free { id = o.id; gen = o.gen; op });
+  o
+
+let is_live t p =
+  if p <= 0 || p > Atomic.get t.n_objs then false
+  else (Atomic.get t.objs).(p - 1).live
+
+let layout t p = (live_obj t p "layout").obj_layout
+let generation t p = (get_obj t p "generation").gen
+
+let shape (l : Layout.t) = (l.Layout.n_ptrs, l.Layout.n_vals)
+
+let init_cells o (l : Layout.t) =
+  let n = Layout.n_cells l in
+  if Array.length o.cells < n then begin
+    let bigger =
+      Array.init n (fun i ->
+          if i < Array.length o.cells then o.cells.(i)
+          else Cell.make ~frozen:true 0)
+    in
+    o.cells <- bigger
+  end;
+  (* rc = 1 for the reference returned by alloc; pointers null; values 0 *)
+  Cell.thaw o.cells.(0) 1;
+  for i = 1 to n - 1 do
+    Cell.thaw o.cells.(i) 0
+  done
+
+let bump_peak t =
+  let l = Atomic.get t.live in
+  let rec go () =
+    let p = Atomic.get t.peak in
+    if l > p && not (Atomic.compare_and_set t.peak p l) then go ()
+  in
+  go ()
+
+let alloc t l =
+  Mutex.lock t.lock;
+  let o =
+    match Hashtbl.find_opt t.free_by_shape (shape l) with
+    | Some ({ contents = id :: rest } as cell_list) ->
+        cell_list := rest;
+        let o = (Atomic.get t.objs).(id - 1) in
+        o.gen <- o.gen + 1;
+        o.obj_layout <- l;
+        o
+    | Some { contents = [] } | None ->
+        let id = Atomic.get t.n_objs + 1 in
+        let o =
+          {
+            id;
+            obj_layout = l;
+            live = false;
+            gen = 1;
+            mark = false;
+            mark_v = 0;
+            cells = [||];
+          }
+        in
+        let arr = Atomic.get t.objs in
+        if id > Array.length arr then begin
+          let bigger = Array.make (max 64 (2 * Array.length arr)) o in
+          Array.blit arr 0 bigger 0 (Array.length arr);
+          Atomic.set t.objs bigger
+        end;
+        (Atomic.get t.objs).(id - 1) <- o;
+        Atomic.set t.n_objs id;
+        o
+  in
+  init_cells o l;
+  o.live <- true;
+  o.mark <- false;
+  Atomic.incr t.allocs;
+  Atomic.incr t.live;
+  ignore (Atomic.fetch_and_add t.live_cells (Layout.n_cells l));
+  bump_peak t;
+  Mutex.unlock t.lock;
+  o.id
+
+let free t p =
+  let o = get_obj t p "free" in
+  Mutex.lock t.lock;
+  if not o.live then begin
+    Mutex.unlock t.lock;
+    raise (Double_free { id = o.id })
+  end;
+  o.live <- false;
+  for i = 0 to Layout.n_cells o.obj_layout - 1 do
+    Cell.freeze o.cells.(i)
+  done;
+  let key = shape o.obj_layout in
+  (match Hashtbl.find_opt t.free_by_shape key with
+  | Some lst -> lst := o.id :: !lst
+  | None -> Hashtbl.add t.free_by_shape key (ref [ o.id ]));
+  Atomic.incr t.frees;
+  Atomic.decr t.live;
+  ignore (Atomic.fetch_and_add t.live_cells (-Layout.n_cells o.obj_layout));
+  Mutex.unlock t.lock
+
+let rc_cell t p =
+  let o = get_obj t p "rc_cell" in
+  o.cells.(Layout.rc_slot)
+
+let ptr_cell t p i =
+  let o = live_obj t p "ptr_cell" in
+  o.cells.(Layout.ptr_slot o.obj_layout i)
+
+let val_cell t p i =
+  let o = live_obj t p "val_cell" in
+  o.cells.(Layout.val_slot o.obj_layout i)
+
+let n_ptr_slots t p = (live_obj t p "n_ptr_slots").obj_layout.Layout.n_ptrs
+
+(* Roots *)
+
+let root t ?name () =
+  ignore name;
+  let c = Cell.make 0 in
+  Mutex.lock t.lock;
+  t.root_cells <- c :: t.root_cells;
+  Mutex.unlock t.lock;
+  c
+
+let release_root t c =
+  Mutex.lock t.lock;
+  t.root_cells <- List.filter (fun c' -> Cell.id c' <> Cell.id c) t.root_cells;
+  Mutex.unlock t.lock
+
+let roots t = t.root_cells
+
+(* Frames *)
+
+let register_frame t f =
+  Mutex.lock t.lock;
+  t.frame_ctr <- t.frame_ctr + 1;
+  let id = t.frame_ctr in
+  t.frames <- (id, f) :: t.frames;
+  Mutex.unlock t.lock;
+  id
+
+let unregister_frame t id =
+  Mutex.lock t.lock;
+  t.frames <- List.filter (fun (i, _) -> i <> id) t.frames;
+  Mutex.unlock t.lock
+
+let iter_frame_roots t f =
+  List.iter (fun (_, g) -> List.iter f (g ())) t.frames
+
+(* Marks *)
+
+let set_mark t p m = (get_obj t p "set_mark").mark <- m
+let get_mark t p = (get_obj t p "get_mark").mark
+
+let set_mark_version t p v = (get_obj t p "set_mark_version").mark_v <- v
+let get_mark_version t p = (get_obj t p "get_mark_version").mark_v
+
+let high_water_id (t : t) = Atomic.get t.n_objs
+
+(* Iteration and stats *)
+
+let iter_live t f =
+  let n = Atomic.get t.n_objs in
+  let arr = Atomic.get t.objs in
+  for i = 0 to n - 1 do
+    if arr.(i).live then f arr.(i).id
+  done
+
+let ptr_slot_values t p =
+  let o = live_obj t p "ptr_slot_values" in
+  let l = o.obj_layout in
+  List.init l.Layout.n_ptrs (fun i ->
+      Cell.get o.cells.(Layout.ptr_slot l i))
+
+type stats = {
+  allocs : int;
+  frees : int;
+  live : int;
+  peak_live : int;
+  live_cells : int;
+}
+
+let stats (t : t) : stats =
+  {
+    allocs = Atomic.get t.allocs;
+    frees = Atomic.get t.frees;
+    live = Atomic.get t.live;
+    peak_live = Atomic.get t.peak;
+    live_cells = Atomic.get t.live_cells;
+  }
+
+let live_count (t : t) = Atomic.get t.live
+
+let pp_stats ppf s =
+  Format.fprintf ppf "allocs=%d frees=%d live=%d peak=%d live_cells=%d"
+    s.allocs s.frees s.live s.peak_live s.live_cells

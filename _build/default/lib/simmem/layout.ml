@@ -1,0 +1,17 @@
+type t = { name : string; n_ptrs : int; n_vals : int }
+
+let make ~name ~n_ptrs ~n_vals =
+  if n_ptrs < 0 || n_vals < 0 then invalid_arg "Layout.make";
+  { name; n_ptrs; n_vals }
+
+let n_cells t = 1 + t.n_ptrs + t.n_vals
+
+let rc_slot = 0
+
+let ptr_slot t i =
+  if i < 0 || i >= t.n_ptrs then invalid_arg "Layout.ptr_slot";
+  1 + i
+
+let val_slot t i =
+  if i < 0 || i >= t.n_vals then invalid_arg "Layout.val_slot";
+  1 + t.n_ptrs + i

@@ -1,0 +1,27 @@
+(** Object layouts: how many pointer slots and value slots an object type
+    has. The reference count is not part of the layout — every object gets
+    one implicitly, in cell 0, mirroring the paper's step 1 ("add a field
+    [rc] to each object type").
+
+    Cell indexing within an object:
+    - cell 0: reference count
+    - cells [1 .. n_ptrs]: pointer slots
+    - cells [n_ptrs + 1 .. n_ptrs + n_vals]: value slots *)
+
+type t = private { name : string; n_ptrs : int; n_vals : int }
+
+val make : name:string -> n_ptrs:int -> n_vals:int -> t
+
+val n_cells : t -> int
+(** Total cells including the rc cell. *)
+
+val rc_slot : int
+(** = 0 *)
+
+val ptr_slot : t -> int -> int
+(** [ptr_slot l i] is the cell index of pointer slot [i] (0-based);
+    checks bounds. *)
+
+val val_slot : t -> int -> int
+(** [val_slot l i] is the cell index of value slot [i] (0-based);
+    checks bounds. *)

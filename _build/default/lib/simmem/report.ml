@@ -1,0 +1,72 @@
+type violation =
+  | Bad_rc of { id : int; rc : int; expected : int }
+  | Unreachable of { id : int; rc : int }
+
+let incoming_counts h =
+  let counts = Hashtbl.create 64 in
+  let bump p =
+    if p <> Heap.null then
+      Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+  in
+  Heap.iter_live h (fun p -> List.iter bump (Heap.ptr_slot_values h p));
+  List.iter (fun root -> bump (Cell.get root)) (Heap.roots h);
+  Heap.iter_frame_roots h bump;
+  counts
+
+let check_rc_exact_with h ~extra_refs =
+  let counts = incoming_counts h in
+  let violations = ref [] in
+  Heap.iter_live h (fun p ->
+      let rc = Cell.get (Heap.rc_cell h p) in
+      let expected =
+        Option.value ~default:0 (Hashtbl.find_opt counts p) + extra_refs p
+      in
+      if rc <> expected then
+        violations := Bad_rc { id = p; rc; expected } :: !violations);
+  !violations
+
+let check_rc_exact h = check_rc_exact_with h ~extra_refs:(fun _ -> 0)
+
+let check_rc_lower_bound h =
+  let counts = incoming_counts h in
+  let violations = ref [] in
+  Heap.iter_live h (fun p ->
+      let rc = Cell.get (Heap.rc_cell h p) in
+      let visible = Option.value ~default:0 (Hashtbl.find_opt counts p) in
+      if rc < visible then
+        violations := Bad_rc { id = p; rc; expected = visible } :: !violations);
+  !violations
+
+let find_unreachable h =
+  (* Reuse the tracing collector's mark phase without sweeping. *)
+  Heap.iter_live h (fun p -> Heap.set_mark h p false);
+  let rec mark p =
+    if p <> Heap.null && Heap.is_live h p && not (Heap.get_mark h p) then begin
+      Heap.set_mark h p true;
+      List.iter mark (Heap.ptr_slot_values h p)
+    end
+  in
+  List.iter (fun root -> mark (Cell.get root)) (Heap.roots h);
+  Heap.iter_frame_roots h mark;
+  let violations = ref [] in
+  Heap.iter_live h (fun p ->
+      if not (Heap.get_mark h p) then
+        violations :=
+          Unreachable { id = p; rc = Cell.get (Heap.rc_cell h p) } :: !violations);
+  !violations
+
+let assert_no_leaks h =
+  let n = Heap.live_count h in
+  if n <> 0 then begin
+    let ids = ref [] in
+    Heap.iter_live h (fun p -> ids := p :: !ids);
+    failwith
+      (Printf.sprintf "heap %s: %d leaked objects (ids: %s)" (Heap.name h) n
+         (String.concat "," (List.map string_of_int (List.filteri (fun i _ -> i < 20) !ids))))
+  end
+
+let pp_violation ppf = function
+  | Bad_rc { id; rc; expected } ->
+      Format.fprintf ppf "object %d: rc=%d but %d pointers exist" id rc expected
+  | Unreachable { id; rc } ->
+      Format.fprintf ppf "object %d: unreachable but live (rc=%d)" id rc

@@ -1,0 +1,42 @@
+(** Whole-heap invariant checks used by tests.
+
+    These implement the paper's two correctness requirements for weak
+    reference counts, checked at quiescence (no thread mid-operation):
+
+    - safety: every live object's count is at least the number of pointers
+      to it (checked exactly: at quiescence the count must equal it);
+    - liveness: every live object is reachable from a root, i.e. nothing
+      has leaked (an unreachable object with a non-zero count is either a
+      leak or an uncollected cycle). *)
+
+type violation =
+  | Bad_rc of { id : int; rc : int; expected : int }
+  | Unreachable of { id : int; rc : int }
+      (** Live but not reachable from any root/frame: a leak, or cyclic
+          garbage (which plain LFRC is documented not to collect). *)
+
+val check_rc_exact : Heap.t -> violation list
+(** Compare each live object's rc with the true number of pointers to it
+    (from live objects' pointer slots, roots, frames, plus
+    [extra_refs]). *)
+
+val check_rc_exact_with : Heap.t -> extra_refs:(Heap.ptr -> int) -> violation list
+(** Like {!check_rc_exact} but crediting [extra_refs p] additional counted
+    references per object — used when the caller holds counted local
+    pointers outside the heap. *)
+
+val check_rc_lower_bound : Heap.t -> violation list
+(** The paper's *always* half of the weak invariant: every live object's
+    count must be at least the number of heap-visible pointers to it
+    (slots of live objects, roots, frames). Counted thread-local
+    references only add to the true total, so this holds at every
+    instant, not just quiescence — usable from a monitor thread at any
+    yield point. *)
+
+val find_unreachable : Heap.t -> violation list
+
+val assert_no_leaks : Heap.t -> unit
+(** Raise [Failure] with a diagnostic if any object is live. Used by tests
+    after tearing a structure down: LFRC must have freed everything. *)
+
+val pp_violation : Format.formatter -> violation -> unit

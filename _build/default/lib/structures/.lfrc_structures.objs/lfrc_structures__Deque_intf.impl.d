@@ -1,0 +1,1 @@
+lib/structures/deque_intf.ml: Lfrc_core

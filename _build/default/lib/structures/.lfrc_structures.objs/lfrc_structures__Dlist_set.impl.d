@@ -1,0 +1,1 @@
+lib/structures/dlist_set.ml: Lfrc_core Lfrc_simmem List

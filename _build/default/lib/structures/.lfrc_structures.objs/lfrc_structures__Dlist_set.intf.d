@@ -1,0 +1,1 @@
+lib/structures/dlist_set.mli: Lfrc_core Lfrc_simmem

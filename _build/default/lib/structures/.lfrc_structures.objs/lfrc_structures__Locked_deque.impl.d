@@ -1,0 +1,1 @@
+lib/structures/locked_deque.ml: Domain Fun Lfrc_atomics Lfrc_core Lfrc_simmem

@@ -1,0 +1,1 @@
+lib/structures/locked_deque.mli: Deque_intf

@@ -1,0 +1,1 @@
+lib/structures/msqueue.ml: Lfrc_core Lfrc_simmem

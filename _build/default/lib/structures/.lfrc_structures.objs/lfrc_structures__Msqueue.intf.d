@@ -1,0 +1,1 @@
+lib/structures/msqueue.mli: Lfrc_core Lfrc_simmem Queue_intf

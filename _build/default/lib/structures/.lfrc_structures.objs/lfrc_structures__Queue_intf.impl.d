@@ -1,0 +1,1 @@
+lib/structures/queue_intf.ml: Lfrc_core

@@ -1,0 +1,1 @@
+lib/structures/skiplist.ml: Array Hashtbl Lfrc_core Lfrc_simmem Lfrc_util List Option Printf

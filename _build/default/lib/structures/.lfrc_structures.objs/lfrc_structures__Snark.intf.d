@@ -1,0 +1,1 @@
+lib/structures/snark.mli: Deque_intf Lfrc_core

@@ -1,0 +1,1 @@
+lib/structures/snark_common.ml: Array Lfrc_core Lfrc_simmem List Snode

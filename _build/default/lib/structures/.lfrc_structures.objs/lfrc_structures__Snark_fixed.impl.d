@@ -1,0 +1,1 @@
+lib/structures/snark_fixed.ml: Lfrc_core List Snark_common Snode

@@ -1,0 +1,1 @@
+lib/structures/snark_fixed.mli: Deque_intf Lfrc_core

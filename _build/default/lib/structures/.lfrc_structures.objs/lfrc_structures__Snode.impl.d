@@ -1,0 +1,1 @@
+lib/structures/snode.ml: Lfrc_simmem

@@ -1,0 +1,1 @@
+lib/structures/snode.mli: Lfrc_simmem

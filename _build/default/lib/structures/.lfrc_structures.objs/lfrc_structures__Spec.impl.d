@@ -1,0 +1,1 @@
+lib/structures/spec.ml: Format List String

@@ -1,0 +1,1 @@
+lib/structures/spec.mli: Format

@@ -1,0 +1,1 @@
+lib/structures/stack_intf.ml: Lfrc_core

@@ -1,0 +1,1 @@
+lib/structures/treiber.ml: Lfrc_core Lfrc_simmem

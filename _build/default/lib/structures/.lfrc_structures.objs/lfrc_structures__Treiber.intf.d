@@ -1,0 +1,1 @@
+lib/structures/treiber.mli: Lfrc_core Lfrc_simmem Stack_intf

@@ -1,0 +1,119 @@
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+module Dcas = Lfrc_atomics.Dcas
+
+let name = "locked"
+
+let null = Heap.null
+
+let node_layout = Layout.make ~name:"locked-node" ~n_ptrs:2 ~n_vals:1
+
+let prev_slot = 0
+let next_slot = 1
+let value_slot = 0
+
+type t = {
+  env : Lfrc_core.Env.t;
+  heap : Heap.t;
+  lock : Lfrc_simmem.Cell.t; (* 0 free, 1 held *)
+  head : Lfrc_simmem.Cell.t;
+  tail : Lfrc_simmem.Cell.t;
+}
+
+type handle = t
+
+let create env =
+  let heap = Lfrc_core.Env.heap env in
+  {
+    env;
+    heap;
+    lock = Heap.root heap ~name:"deque-lock" ();
+    head = Heap.root heap ~name:"deque-head" ();
+    tail = Heap.root heap ~name:"deque-tail" ();
+  }
+
+let register t = t
+let unregister _ = ()
+
+let d t = Lfrc_core.Env.dcas t.env
+
+let acquire t =
+  let rec spin () =
+    if not (Dcas.cas (d t) t.lock 0 1) then begin
+      Domain.cpu_relax ();
+      spin ()
+    end
+  in
+  spin ()
+
+let release t = Dcas.write (d t) t.lock 0
+
+let with_lock t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let prev_cell t p = Heap.ptr_cell t.heap p prev_slot
+let next_cell t p = Heap.ptr_cell t.heap p next_slot
+let value_cell t p = Heap.val_cell t.heap p value_slot
+
+(* Under the lock, pointer management is plain sequential code: raw reads
+   and writes, immediate free. *)
+
+let push_end t ~end_cell ~other_end_cell ~link_toward_other ~link_toward_end v =
+  with_lock t (fun () ->
+      let dc = d t in
+      let nd = Heap.alloc t.heap node_layout in
+      Dcas.write dc (value_cell t nd) v;
+      let old_end = Dcas.read dc end_cell in
+      if old_end = null then begin
+        Dcas.write dc end_cell nd;
+        Dcas.write dc other_end_cell nd
+      end
+      else begin
+        Dcas.write dc (link_toward_other t nd) old_end;
+        Dcas.write dc (link_toward_end t old_end) nd;
+        Dcas.write dc end_cell nd
+      end)
+
+let pop_end t ~end_cell ~other_end_cell ~link_toward_other ~link_toward_end =
+  with_lock t (fun () ->
+      let dc = d t in
+      let old_end = Dcas.read dc end_cell in
+      if old_end = null then None
+      else begin
+        let v = Dcas.read dc (value_cell t old_end) in
+        let neighbour = Dcas.read dc (link_toward_other t old_end) in
+        if neighbour = null then begin
+          Dcas.write dc end_cell null;
+          Dcas.write dc other_end_cell null
+        end
+        else begin
+          Dcas.write dc (link_toward_end t neighbour) null;
+          Dcas.write dc end_cell neighbour
+        end;
+        Heap.free t.heap old_end;
+        Some v
+      end)
+
+let push_right t v =
+  push_end t ~end_cell:t.tail ~other_end_cell:t.head
+    ~link_toward_other:prev_cell ~link_toward_end:next_cell v
+
+let push_left t v =
+  push_end t ~end_cell:t.head ~other_end_cell:t.tail
+    ~link_toward_other:next_cell ~link_toward_end:prev_cell v
+
+let pop_right t =
+  pop_end t ~end_cell:t.tail ~other_end_cell:t.head
+    ~link_toward_other:prev_cell ~link_toward_end:next_cell
+
+let pop_left t =
+  pop_end t ~end_cell:t.head ~other_end_cell:t.tail
+    ~link_toward_other:next_cell ~link_toward_end:prev_cell
+
+let destroy t =
+  let rec drain () = if pop_left t <> None then drain () in
+  drain ();
+  Heap.release_root t.heap t.lock;
+  Heap.release_root t.heap t.head;
+  Heap.release_root t.heap t.tail

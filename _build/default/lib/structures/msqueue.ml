@@ -1,0 +1,122 @@
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+
+let null = Heap.null
+
+let node_layout = Layout.make ~name:"queue-node" ~n_ptrs:1 ~n_vals:1
+let anchor_layout = Layout.make ~name:"queue-anchor" ~n_ptrs:2 ~n_vals:0
+
+let next_slot = 0
+let value_slot = 0
+let head_slot = 0
+let tail_slot = 1
+
+module Make (O : Lfrc_core.Ops_intf.OPS) = struct
+  let name = "msqueue-" ^ O.name
+
+  type t = {
+    env : Lfrc_core.Env.t;
+    heap : Heap.t;
+    root : Lfrc_simmem.Cell.t;
+    head : Lfrc_simmem.Cell.t;
+    tail : Lfrc_simmem.Cell.t;
+  }
+
+  type handle = { t : t; ctx : O.ctx }
+
+  let next_cell t p = Heap.ptr_cell t.heap p next_slot
+  let value_cell t p = Heap.val_cell t.heap p value_slot
+
+  let create env =
+    let heap = Lfrc_core.Env.heap env in
+    let ctx = O.make_ctx env in
+    let anchor_l = O.declare ctx in
+    O.alloc ctx anchor_layout anchor_l;
+    let anchor = O.get anchor_l in
+    let head = Heap.ptr_cell heap anchor head_slot in
+    let tail = Heap.ptr_cell heap anchor tail_slot in
+    (* One dummy node; head and tail both point at it. *)
+    let d = O.declare ctx and dm = O.declare ctx in
+    O.alloc ctx node_layout d;
+    O.store_alloc ctx head d;
+    O.load ctx head dm;
+    O.store ctx tail (O.get dm);
+    O.retire ctx dm;
+    O.retire ctx d;
+    let root = Heap.root heap ~name:"msqueue" () in
+    O.store_alloc ctx root anchor_l;
+    O.retire ctx anchor_l;
+    O.dispose_ctx ctx;
+    { env; heap; root; head; tail }
+
+  let register t = { t; ctx = O.make_ctx t.env }
+  let unregister h = O.dispose_ctx h.ctx
+
+  let enqueue h v =
+    let ctx = h.ctx and t = h.t in
+    let nd = O.declare ctx and tl = O.declare ctx and nx = O.declare ctx in
+    O.alloc ctx node_layout nd;
+    O.write_val ctx (value_cell t (O.get nd)) v;
+    let rec loop () =
+      O.load ctx t.tail tl;
+      O.load ctx (next_cell t (O.get tl)) nx;
+      if O.get nx = null then begin
+        if
+          O.cas ctx (next_cell t (O.get tl)) ~old_ptr:null
+            ~new_ptr:(O.get nd)
+        then
+          (* Linearized; swing the tail (failure means someone helped). *)
+          ignore (O.cas ctx t.tail ~old_ptr:(O.get tl) ~new_ptr:(O.get nd))
+        else loop ()
+      end
+      else begin
+        (* Tail is lagging: help it forward, then retry. *)
+        ignore (O.cas ctx t.tail ~old_ptr:(O.get tl) ~new_ptr:(O.get nx));
+        loop ()
+      end
+    in
+    loop ();
+    O.retire ctx nd;
+    O.retire ctx tl;
+    O.retire ctx nx
+
+  let dequeue h =
+    let ctx = h.ctx and t = h.t in
+    let hd = O.declare ctx and tl = O.declare ctx and nx = O.declare ctx in
+    let rec loop () =
+      O.load ctx t.head hd;
+      O.load ctx t.tail tl;
+      O.load ctx (next_cell t (O.get hd)) nx;
+      if O.get hd = O.get tl then begin
+        if O.get nx = null then None
+        else begin
+          ignore (O.cas ctx t.tail ~old_ptr:(O.get tl) ~new_ptr:(O.get nx));
+          loop ()
+        end
+      end
+      else begin
+        (* Read the value before the CAS: after it, another dequeuer may
+           free the successor's content (Michael & Scott's own rule). *)
+        let v = O.read_val ctx (value_cell t (O.get nx)) in
+        if O.cas ctx t.head ~old_ptr:(O.get hd) ~new_ptr:(O.get nx) then
+          Some v
+        else loop ()
+      end
+    in
+    let r = loop () in
+    O.retire ctx hd;
+    O.retire ctx tl;
+    O.retire ctx nx;
+    r
+
+  let destroy t =
+    let ctx = O.make_ctx t.env in
+    let h = { t; ctx } in
+    let rec drain () = if dequeue h <> None then drain () in
+    drain ();
+    O.store ctx t.head null;
+    O.store ctx t.tail null;
+    O.store ctx t.root null;
+    Heap.release_root t.heap t.root;
+    O.dispose_ctx ctx
+end

@@ -1,0 +1,15 @@
+(** Common signature for queue implementations (concurrent FIFO). *)
+
+module type QUEUE = sig
+  val name : string
+
+  type t
+  type handle
+
+  val create : Lfrc_core.Env.t -> t
+  val register : t -> handle
+  val unregister : handle -> unit
+  val enqueue : handle -> int -> unit
+  val dequeue : handle -> int option
+  val destroy : t -> unit
+end

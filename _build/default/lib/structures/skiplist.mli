@@ -1,0 +1,47 @@
+(** A lock-free skip-list set over the pointer-operation interface.
+
+    The paper cites Pugh's concurrent skip lists [16] as a structure whose
+    design is "significantly simplified" by garbage collection; this
+    implementation carries that example through the LFRC methodology. The
+    design composes the repository's DCAS ordered list ({!Dlist_set})
+    level-wise:
+
+    - the bottom level is the truth: membership linearizes on bottom-level
+      linking (insert's CAS) and unlinking (remove's DCAS, which
+      tombstones the victim's bottom link in the same step);
+    - upper levels are index shortcuts, linked best-effort after the
+      bottom-level insert and unlinked before the bottom-level remove;
+      a traversal that stumbles on a dead node at any level simply
+      restarts its descent — counted references mean the dead node is
+      still safely readable, which is the whole point of the methodology;
+    - node levels are chosen by a deterministic per-handle geometric
+      distribution (p = 1/2, capped), so runs are reproducible.
+
+    Garbage is cycle-free: a removed node's forward pointers are
+    tombstoned level by level, and tombstones point at a live sentinel. *)
+
+val max_level : int
+
+module Make (O : Lfrc_core.Ops_intf.OPS) : sig
+  val name : string
+
+  type t
+  type handle
+
+  val create : Lfrc_core.Env.t -> t
+  val register : ?seed:int -> t -> handle
+  val unregister : handle -> unit
+
+  val insert : handle -> int -> bool
+  val remove : handle -> int -> bool
+  val contains : handle -> int -> bool
+
+  val to_list : handle -> int list
+  (** Bottom-level snapshot (ascending); quiescent use. *)
+
+  val height_histogram : handle -> int array
+  (** How many live nodes exist of each level (1-based index 0 = level 1);
+      quiescent use, for tests of the level distribution. *)
+
+  val destroy : t -> unit
+end

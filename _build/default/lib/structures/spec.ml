@@ -1,0 +1,61 @@
+module Deque = struct
+  (* Two stacks with lazy rebalancing: [front] holds the left end in
+     order, [back] holds the right end reversed. *)
+  type t = { front : int list; back : int list }
+
+  let empty = { front = []; back = [] }
+  let is_empty t = t.front = [] && t.back = []
+  let length t = List.length t.front + List.length t.back
+  let push_left v t = { t with front = v :: t.front }
+  let push_right v t = { t with back = v :: t.back }
+
+  let pop_left t =
+    match t.front with
+    | v :: front -> Some (v, { t with front })
+    | [] -> (
+        match List.rev t.back with
+        | [] -> None
+        | v :: front -> Some (v, { front; back = [] }))
+
+  let pop_right t =
+    match t.back with
+    | v :: back -> Some (v, { t with back })
+    | [] -> (
+        match List.rev t.front with
+        | [] -> None
+        | v :: back -> Some (v, { back; front = [] }))
+
+  let to_list t = t.front @ List.rev t.back
+  let of_list l = { front = l; back = [] }
+  let equal a b = to_list a = to_list b
+
+  let pp ppf t =
+    Format.fprintf ppf "[%s]"
+      (String.concat ";" (List.map string_of_int (to_list t)))
+end
+
+module Stack = struct
+  type t = int list
+
+  let empty = []
+  let push v t = v :: t
+  let pop = function [] -> None | v :: t -> Some (v, t)
+  let to_list t = t
+end
+
+module Queue = struct
+  type t = { front : int list; back : int list }
+
+  let empty = { front = []; back = [] }
+  let enqueue v t = { t with back = v :: t.back }
+
+  let dequeue t =
+    match t.front with
+    | v :: front -> Some (v, { t with front })
+    | [] -> (
+        match List.rev t.back with
+        | [] -> None
+        | v :: front -> Some (v, { front; back = [] }))
+
+  let to_list t = t.front @ List.rev t.back
+end

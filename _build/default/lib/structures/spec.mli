@@ -1,0 +1,42 @@
+(** Purely functional sequential models of the concurrent structures.
+
+    These are the oracles: qcheck compares single-threaded runs of the
+    concurrent implementations against them operation by operation, and
+    the linearizability checker searches for an order of concurrent
+    operations that the model accepts. *)
+
+module Deque : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val length : t -> int
+  val push_left : int -> t -> t
+  val push_right : int -> t -> t
+  val pop_left : t -> (int * t) option
+  val pop_right : t -> (int * t) option
+  val to_list : t -> int list
+  (** Left to right. *)
+
+  val of_list : int list -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Stack : sig
+  type t
+
+  val empty : t
+  val push : int -> t -> t
+  val pop : t -> (int * t) option
+  val to_list : t -> int list
+end
+
+module Queue : sig
+  type t
+
+  val empty : t
+  val enqueue : int -> t -> t
+  val dequeue : t -> (int * t) option
+  val to_list : t -> int list
+end

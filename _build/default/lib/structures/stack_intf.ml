@@ -1,0 +1,15 @@
+(** Common signature for stack implementations (concurrent LIFO). *)
+
+module type STACK = sig
+  val name : string
+
+  type t
+  type handle
+
+  val create : Lfrc_core.Env.t -> t
+  val register : t -> handle
+  val unregister : handle -> unit
+  val push : handle -> int -> unit
+  val pop : handle -> int option
+  val destroy : t -> unit
+end

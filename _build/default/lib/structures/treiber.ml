@@ -1,0 +1,70 @@
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+
+let null = Heap.null
+
+let node_layout = Layout.make ~name:"stack-node" ~n_ptrs:1 ~n_vals:1
+
+let next_slot = 0
+let value_slot = 0
+
+module Make (O : Lfrc_core.Ops_intf.OPS) = struct
+  let name = "treiber-" ^ O.name
+
+  type t = {
+    env : Lfrc_core.Env.t;
+    heap : Heap.t;
+    top : Lfrc_simmem.Cell.t; (* rooted pointer to the top node *)
+  }
+
+  type handle = { t : t; ctx : O.ctx }
+
+  let create env =
+    let heap = Lfrc_core.Env.heap env in
+    { env; heap; top = Heap.root heap ~name:"stack-top" () }
+
+  let register t = { t; ctx = O.make_ctx t.env }
+  let unregister h = O.dispose_ctx h.ctx
+
+  let push h v =
+    let ctx = h.ctx and t = h.t in
+    let nd = O.declare ctx and top = O.declare ctx in
+    O.alloc ctx node_layout nd;
+    O.write_val ctx (Heap.val_cell t.heap (O.get nd) value_slot) v;
+    let rec loop () =
+      O.load ctx t.top top;
+      O.store ctx (Heap.ptr_cell t.heap (O.get nd) next_slot) (O.get top);
+      if O.cas ctx t.top ~old_ptr:(O.get top) ~new_ptr:(O.get nd) then ()
+      else loop ()
+    in
+    loop ();
+    O.retire ctx nd;
+    O.retire ctx top
+
+  let pop h =
+    let ctx = h.ctx and t = h.t in
+    let top = O.declare ctx and next = O.declare ctx in
+    let rec loop () =
+      O.load ctx t.top top;
+      if O.get top = null then None
+      else begin
+        O.load ctx (Heap.ptr_cell t.heap (O.get top) next_slot) next;
+        if O.cas ctx t.top ~old_ptr:(O.get top) ~new_ptr:(O.get next) then
+          Some (O.read_val ctx (Heap.val_cell t.heap (O.get top) value_slot))
+        else loop ()
+      end
+    in
+    let r = loop () in
+    O.retire ctx top;
+    O.retire ctx next;
+    r
+
+  let destroy t =
+    let ctx = O.make_ctx t.env in
+    let h = { t; ctx } in
+    let rec drain () = if pop h <> None then drain () in
+    drain ();
+    O.store ctx t.top null;
+    Heap.release_root t.heap t.top;
+    O.dispose_ctx ctx
+end

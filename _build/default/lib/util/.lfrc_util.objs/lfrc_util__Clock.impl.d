@@ -1,0 +1,1 @@
+lib/util/clock.ml: Float Int64 Unix

@@ -1,0 +1,10 @@
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let time_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, t1 - t0)
+
+let ns_per_op ~total_ns ~ops =
+  if ops = 0 then 0.0 else Float.of_int total_ns /. Float.of_int ops

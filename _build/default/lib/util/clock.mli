@@ -1,0 +1,9 @@
+(** Monotonic wall-clock timing helpers for benchmarks. *)
+
+val now_ns : unit -> int
+(** Monotonic clock reading in nanoseconds. *)
+
+val time_ns : (unit -> 'a) -> 'a * int
+(** [time_ns f] runs [f] and returns its result with the elapsed time. *)
+
+val ns_per_op : total_ns:int -> ops:int -> float

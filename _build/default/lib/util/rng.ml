@@ -1,0 +1,48 @@
+(* Splitmix64 implemented over Int64 (OCaml's native int is 63-bit). *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.add (Int64.of_int seed) golden_gamma) }
+
+let raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let next t = Int64.to_int (raw t) land max_int
+
+let split t = { state = raw t }
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias on pathological bounds. *)
+  let limit = max_int - (max_int mod bound) in
+  let rec go () =
+    let v = next t in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let bool t = next t land 1 = 1
+
+let float t = Float.of_int (next t) /. Float.of_int max_int
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

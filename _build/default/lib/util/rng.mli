@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the library flows through this module so that every
+    experiment, stress test and scheduler run is reproducible from a seed.
+    The core generator is splitmix64, which has a one-word state and passes
+    BigCrush; it is also used to seed independent per-thread streams. *)
+
+type t
+(** Mutable generator state. Not thread-safe; give each thread its own
+    stream via {!split}. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Two generators created with the
+    same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each simulated thread its own deterministic stream. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative 62-bit int. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform value in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] returns a uniformly chosen element. [arr] must be
+    non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

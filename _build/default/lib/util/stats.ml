@@ -1,0 +1,80 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. Float.of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0.0 xs in
+    sqrt (acc /. Float.of_int (n - 1))
+  end
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  assert (n > 0);
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = q *. Float.of_int (n - 1) in
+    let lo = Float.to_int (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. Float.of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  assert (Array.length xs > 0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    p50 = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+    max = sorted.(Array.length sorted - 1);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3g sd=%.3g min=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g" s.n
+    s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+module Histogram = struct
+  type t = { bounds : float array; counts : int array }
+
+  let create ~buckets =
+    { bounds = Array.copy buckets; counts = Array.make (Array.length buckets + 1) 0 }
+
+  let add t x =
+    let n = Array.length t.bounds in
+    let rec find i = if i >= n || x <= t.bounds.(i) then i else find (i + 1) in
+    let i = find 0 in
+    t.counts.(i) <- t.counts.(i) + 1
+
+  let count t = Array.fold_left ( + ) 0 t.counts
+
+  let bucket_counts t =
+    let n = Array.length t.bounds in
+    List.init (n + 1) (fun i ->
+        let label =
+          if i = 0 then Printf.sprintf "<=%.3g" t.bounds.(0)
+          else if i = n then Printf.sprintf ">%.3g" t.bounds.(n - 1)
+          else Printf.sprintf "<=%.3g" t.bounds.(i)
+        in
+        (label, t.counts.(i)))
+end

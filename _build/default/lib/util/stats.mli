@@ -1,0 +1,39 @@
+(** Summary statistics for benchmark and experiment measurements. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** [summarize xs] computes the summary of a non-empty sample. The input
+    array is not modified. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; [sorted] must be sorted
+    ascending. Linear interpolation between ranks. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Fixed-width histogram used for pause-time distributions (E8). *)
+module Histogram : sig
+  type t
+
+  val create : buckets:float array -> t
+  (** [create ~buckets] uses [buckets] as ascending upper bounds; an
+      implicit overflow bucket catches the rest. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> (string * int) list
+  (** Label/count pairs, labels rendered from bounds. *)
+end

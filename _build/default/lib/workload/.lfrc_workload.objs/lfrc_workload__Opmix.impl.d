@@ -1,0 +1,1 @@
+lib/workload/opmix.ml: Array Format Lfrc_util List Printf String

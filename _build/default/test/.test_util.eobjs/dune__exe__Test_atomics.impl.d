@@ -1,0 +1,1 @@
+test/test_atomics.ml: Alcotest Array Atomic Domain Lfrc_atomics Lfrc_sched Lfrc_simmem List Option Printexc Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cycle.ml: Alcotest Lfrc_atomics Lfrc_core Lfrc_cycle Lfrc_simmem List

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bool Format Int Lfrc_atomics Lfrc_core Lfrc_linearize Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util List Option Printexc Printf QCheck2 QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Lfrc_core Lfrc_harness Lfrc_sched Lfrc_structures Lfrc_util Lfrc_workload List Printexc String

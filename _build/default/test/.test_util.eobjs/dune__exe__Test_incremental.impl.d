@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Atomic Lfrc_atomics Lfrc_core Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util List Option Printf

@@ -1,0 +1,1 @@
+test/test_lfrc.ml: Alcotest Array Format Lfrc_atomics Lfrc_core Lfrc_cycle Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util List Option Printf QCheck2 QCheck_alcotest

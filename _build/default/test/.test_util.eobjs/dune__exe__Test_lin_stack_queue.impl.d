@@ -1,0 +1,1 @@
+test/test_lin_stack_queue.ml: Alcotest Format Lfrc_atomics Lfrc_core Lfrc_linearize Lfrc_sched Lfrc_simmem Lfrc_structures List Printf

@@ -1,0 +1,1 @@
+test/test_lin_stack_queue.mli:

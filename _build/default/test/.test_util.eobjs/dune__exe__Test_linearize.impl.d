@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Lfrc_harness Lfrc_linearize List

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Atomic Domain Hashtbl Lfrc_atomics Lfrc_core Lfrc_simmem Lfrc_structures Lfrc_util List Option

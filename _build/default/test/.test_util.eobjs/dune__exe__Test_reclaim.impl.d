@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Atomic Lfrc_atomics Lfrc_core Lfrc_reclaim Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util List Printf

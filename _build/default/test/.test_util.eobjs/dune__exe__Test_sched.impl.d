@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Atomic Lfrc_sched List Option Printf

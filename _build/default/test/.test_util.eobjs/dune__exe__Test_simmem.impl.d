@@ -1,0 +1,1 @@
+test/test_simmem.ml: Alcotest Fun Hashtbl Lfrc_simmem List QCheck2 QCheck_alcotest

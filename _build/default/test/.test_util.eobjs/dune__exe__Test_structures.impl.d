@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Lfrc_atomics Lfrc_core Lfrc_harness Lfrc_sched Lfrc_simmem Lfrc_structures Lfrc_util List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,135 @@
+(* Tests for the backup cycle collector (paper §7 extension): LFRC leaks
+   exactly the cyclic garbage, and the tracer reclaims exactly that. *)
+
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+module Lfrc = Lfrc_core.Lfrc
+module Env = Lfrc_core.Env
+module Collector = Lfrc_cycle.Cycle_collector
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let node = Layout.make ~name:"n" ~n_ptrs:2 ~n_vals:0
+
+let fresh name =
+  let heap = Heap.create ~name () in
+  (Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap, heap)
+
+(* Build a ring of [k] nodes rooted at [root]; returns the first node. *)
+let build_rooted_ring env root k =
+  let heap = Env.heap env in
+  let first = Lfrc.alloc env node in
+  let prev = ref first in
+  for _ = 2 to k do
+    let nd = Lfrc.alloc env node in
+    Lfrc.store_alloc env ~dst:(Heap.ptr_cell heap !prev 0) nd;
+    prev := nd
+  done;
+  Lfrc.store env ~dst:(Heap.ptr_cell heap !prev 0) first;
+  Lfrc.store_alloc env ~dst:root first;
+  first
+
+let test_ring_leaks_without_tracer () =
+  let env, heap = fresh "c1" in
+  let root = Heap.root heap () in
+  ignore (build_rooted_ring env root 5);
+  Lfrc.store env ~dst:root Heap.null;
+  checki "LFRC cannot free the ring" 5 (Heap.live_count heap)
+
+let test_collector_frees_ring () =
+  let env, heap = fresh "c2" in
+  let root = Heap.root heap () in
+  ignore (build_rooted_ring env root 5);
+  Lfrc.store env ~dst:root Heap.null;
+  let c = Collector.collect heap in
+  checki "freed the ring" 5 c.Collector.cyclic_freed;
+  checki "heap empty" 0 (Heap.live_count heap)
+
+let test_collector_spares_reachable_ring () =
+  let env, heap = fresh "c3" in
+  let root = Heap.root heap () in
+  ignore (build_rooted_ring env root 5);
+  let c = Collector.collect heap in
+  checki "reachable ring untouched" 0 c.Collector.cyclic_freed;
+  checki "still live" 5 (Heap.live_count heap);
+  Lfrc.store env ~dst:root Heap.null;
+  ignore (Collector.collect heap);
+  checki "freed after unrooting" 0 (Heap.live_count heap)
+
+let test_self_loop () =
+  let env, heap = fresh "c4" in
+  let p = Lfrc.alloc env node in
+  Lfrc.store env ~dst:(Heap.ptr_cell heap p 0) p;
+  Lfrc.destroy env p;
+  checki "self-loop leaks" 1 (Heap.live_count heap);
+  let c = Collector.collect heap in
+  checki "self-loop collected" 1 c.Collector.cyclic_freed
+
+let test_cycle_with_acyclic_tail () =
+  (* A chain hanging off a dead ring is also unreclaimable by counts
+     alone — "the memory on and reachable from the cycle" (paper step 3). *)
+  let env, heap = fresh "c5" in
+  let root = Heap.root heap () in
+  let first = build_rooted_ring env root 3 in
+  let tail = Lfrc.alloc env node in
+  Lfrc.store_alloc env ~dst:(Heap.ptr_cell heap first 1) tail;
+  Lfrc.store env ~dst:root Heap.null;
+  checki "ring and tail leak" 4 (Heap.live_count heap);
+  ignore (Collector.collect heap);
+  checki "all gone" 0 (Heap.live_count heap)
+
+let test_cyclic_garbage_listing () =
+  let env, heap = fresh "c6" in
+  let root = Heap.root heap () in
+  ignore (build_rooted_ring env root 4);
+  checki "nothing garbage while rooted" 0
+    (List.length (Collector.cyclic_garbage heap));
+  Lfrc.store env ~dst:root Heap.null;
+  checki "four garbage nodes listed" 4
+    (List.length (Collector.cyclic_garbage heap));
+  checki "listing does not free" 4 (Heap.live_count heap)
+
+let test_counts_stay_nonzero_in_cycle () =
+  (* The observation the paper's step 3 rests on. *)
+  let env, heap = fresh "c7" in
+  let root = Heap.root heap () in
+  ignore (build_rooted_ring env root 3);
+  Lfrc.store env ~dst:root Heap.null;
+  Heap.iter_live heap (fun p ->
+      checkb "count pinned at 1" true
+        (Lfrc_simmem.Cell.get (Heap.rc_cell heap p) = 1))
+
+let test_mixed_graph () =
+  let env, heap = fresh "c8" in
+  let root = Heap.root heap () in
+  (* acyclic chain rooted *)
+  let a = Lfrc.alloc env node and b = Lfrc.alloc env node in
+  Lfrc.store_alloc env ~dst:(Heap.ptr_cell heap a 0) b;
+  Lfrc.store_alloc env ~dst:root a;
+  (* unrooted ring *)
+  let r1 = Lfrc.alloc env node and r2 = Lfrc.alloc env node in
+  Lfrc.store_alloc env ~dst:(Heap.ptr_cell heap r1 0) r2;
+  Lfrc.store env ~dst:(Heap.ptr_cell heap r2 0) r1;
+  Lfrc.destroy env r1;
+  let c = Collector.collect heap in
+  checki "only the ring collected" 2 c.Collector.cyclic_freed;
+  checki "chain kept" 2 (Heap.live_count heap);
+  Lfrc.store env ~dst:root Heap.null;
+  checki "chain freed by LFRC itself" 0 (Heap.live_count heap)
+
+let () =
+  Alcotest.run "cycle"
+    [
+      ( "collector",
+        [
+          Alcotest.test_case "ring leaks" `Quick test_ring_leaks_without_tracer;
+          Alcotest.test_case "collector frees ring" `Quick test_collector_frees_ring;
+          Alcotest.test_case "spares reachable" `Quick test_collector_spares_reachable_ring;
+          Alcotest.test_case "self loop" `Quick test_self_loop;
+          Alcotest.test_case "acyclic tail" `Quick test_cycle_with_acyclic_tail;
+          Alcotest.test_case "garbage listing" `Quick test_cyclic_garbage_listing;
+          Alcotest.test_case "counts pinned" `Quick test_counts_stay_nonzero_in_cycle;
+          Alcotest.test_case "mixed graph" `Quick test_mixed_graph;
+        ] );
+    ]

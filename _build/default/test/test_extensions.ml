@@ -1,0 +1,634 @@
+(* Tests for the methodology extensions: the DCAS-based ordered set (a
+   further "candidate implementation" in the paper's §2.1 sense), the
+   LL/SC operations (§2.1's suggested extension), and the Handicap
+   scheduling strategy behind experiment E9. *)
+
+module Heap = Lfrc_simmem.Heap
+module Env = Lfrc_core.Env
+module Report = Lfrc_simmem.Report
+module Sched = Lfrc_sched.Sched
+module Strategy = Lfrc_sched.Strategy
+module Ll_sc = Lfrc_core.Ll_sc
+module Lfrc = Lfrc_core.Lfrc
+
+module Set_lfrc = Lfrc_structures.Dlist_set.Make (Lfrc_core.Lfrc_ops)
+module Set_gc = Lfrc_structures.Dlist_set.Make (Lfrc_core.Gc_ops)
+module Skip_lfrc = Lfrc_structures.Skiplist.Make (Lfrc_core.Lfrc_ops)
+module Skip_gc = Lfrc_structures.Skiplist.Make (Lfrc_core.Gc_ops)
+
+module Int_set = Set.Make (Int)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let fresh name =
+  let heap = Heap.create ~name () in
+  (Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap, heap)
+
+(* --- ordered set: sequential semantics --- *)
+
+let test_set_basics () =
+  let env, heap = fresh "set1" in
+  let s = Set_lfrc.create env in
+  let h = Set_lfrc.register s in
+  checkb "insert new" true (Set_lfrc.insert h 5);
+  checkb "insert dup" false (Set_lfrc.insert h 5);
+  checkb "contains" true (Set_lfrc.contains h 5);
+  checkb "not contains" false (Set_lfrc.contains h 6);
+  checkb "remove" true (Set_lfrc.remove h 5);
+  checkb "remove absent" false (Set_lfrc.remove h 5);
+  checkb "gone" false (Set_lfrc.contains h 5);
+  Set_lfrc.unregister h;
+  Set_lfrc.destroy s;
+  Report.assert_no_leaks heap
+
+let test_set_sorted () =
+  let env, _ = fresh "set2" in
+  let s = Set_lfrc.create env in
+  let h = Set_lfrc.register s in
+  List.iter (fun v -> ignore (Set_lfrc.insert h v)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (list int)) "ascending" [ 1; 3; 5; 7; 9 ] (Set_lfrc.to_list h);
+  Set_lfrc.unregister h;
+  Set_lfrc.destroy s
+
+let test_set_negative_keys () =
+  let env, _ = fresh "set3" in
+  let s = Set_lfrc.create env in
+  let h = Set_lfrc.register s in
+  checkb "negative insert" true (Set_lfrc.insert h (-10));
+  checkb "zero" true (Set_lfrc.insert h 0);
+  checkb "negative found" true (Set_lfrc.contains h (-10));
+  Alcotest.(check (list int)) "order with negatives" [ -10; 0 ]
+    (Set_lfrc.to_list h);
+  Set_lfrc.unregister h;
+  Set_lfrc.destroy s
+
+module type SET = sig
+  type t
+  type handle
+
+  val create : Env.t -> t
+  val register : t -> handle
+  val unregister : handle -> unit
+  val insert : handle -> int -> bool
+  val remove : handle -> int -> bool
+  val contains : handle -> int -> bool
+  val to_list : handle -> int list
+  val destroy : t -> unit
+end
+
+let random_set_run (type t h) name
+    (module S : SET with type t = t and type handle = h) ~leak_check =
+  let env, heap = fresh name in
+  let s : t = S.create env in
+  let hd : h = S.register s in
+  let rng = Lfrc_util.Rng.create 55 in
+  let model = ref Int_set.empty in
+  for _ = 0 to 3_000 do
+    let key = Lfrc_util.Rng.int rng 50 in
+    match Lfrc_util.Rng.int rng 3 with
+    | 0 ->
+        let got = S.insert hd key in
+        let want = not (Int_set.mem key !model) in
+        model := Int_set.add key !model;
+        if got <> want then Alcotest.fail (name ^ ": insert mismatch")
+    | 1 ->
+        let got = S.remove hd key in
+        let want = Int_set.mem key !model in
+        model := Int_set.remove key !model;
+        if got <> want then Alcotest.fail (name ^ ": remove mismatch")
+    | _ ->
+        if S.contains hd key <> Int_set.mem key !model then
+          Alcotest.fail (name ^ ": contains mismatch")
+  done;
+  Alcotest.(check (list int)) (name ^ " final content")
+    (Int_set.elements !model) (S.to_list hd);
+  S.unregister hd;
+  S.destroy s;
+  if leak_check then Report.assert_no_leaks heap
+
+let test_set_random_vs_model () =
+  random_set_run "set-lfrc" (module Set_lfrc) ~leak_check:true
+
+let test_set_random_vs_model_gc () =
+  random_set_run "set-gc" (module Set_gc) ~leak_check:false
+
+(* qcheck: arbitrary op sequences against the functional set *)
+let prop_set_conforms =
+  QCheck2.Test.make ~name:"dlist set conforms to Set.Make(Int)" ~count:80
+    QCheck2.Gen.(list_size (int_range 0 150) (pair (int_bound 2) (int_bound 20)))
+    (fun ops ->
+      let env, heap = fresh "set-qc" in
+      let s = Set_lfrc.create env in
+      let h = Set_lfrc.register s in
+      let model = ref Int_set.empty in
+      let ok = ref true in
+      List.iter
+        (fun (kind, key) ->
+          match kind with
+          | 0 ->
+              let got = Set_lfrc.insert h key in
+              if got <> not (Int_set.mem key !model) then ok := false;
+              model := Int_set.add key !model
+          | 1 ->
+              let got = Set_lfrc.remove h key in
+              if got <> Int_set.mem key !model then ok := false;
+              model := Int_set.remove key !model
+          | _ ->
+              if Set_lfrc.contains h key <> Int_set.mem key !model then
+                ok := false)
+        ops;
+      let content_ok = Set_lfrc.to_list h = Int_set.elements !model in
+      Set_lfrc.unregister h;
+      Set_lfrc.destroy s;
+      !ok && content_ok && Heap.live_count heap = 0)
+
+(* --- ordered set: concurrent linearizability --- *)
+
+module Set_spec = struct
+  type state = Int_set.t
+  type op = Insert of int | Remove of int | Contains of int
+  type res = bool
+
+  let init = Int_set.empty
+
+  let apply state = function
+    | Insert k -> (Int_set.add k state, not (Int_set.mem k state))
+    | Remove k -> (Int_set.remove k state, Int_set.mem k state)
+    | Contains k -> (state, Int_set.mem k state)
+
+  let equal_res = Bool.equal
+
+  let pp_op ppf = function
+    | Insert k -> Format.fprintf ppf "insert %d" k
+    | Remove k -> Format.fprintf ppf "remove %d" k
+    | Contains k -> Format.fprintf ppf "contains %d" k
+
+  let pp_res = Format.pp_print_bool
+end
+
+module Set_checker = Lfrc_linearize.Checker.Make (Set_spec)
+
+let run_set_scenario ~preload ~threads seed =
+  let history = Lfrc_linearize.History.create () in
+  let body () =
+    let env, _heap = fresh "set-lin" in
+    let s = Set_lfrc.create env in
+    let h0 = Set_lfrc.register s in
+    List.iter (fun k -> ignore (Set_lfrc.insert h0 k)) preload;
+    List.iter
+      (fun k ->
+        ignore
+          (Lfrc_linearize.History.record history ~thread:0
+             (Set_spec.Insert k) (fun () -> true)))
+      preload;
+    let tids =
+      List.mapi
+        (fun i ops ->
+          Sched.spawn (fun () ->
+              let h = Set_lfrc.register s in
+              List.iter
+                (fun op ->
+                  ignore
+                    (Lfrc_linearize.History.record history ~thread:(i + 1) op
+                       (fun () ->
+                         match op with
+                         | Set_spec.Insert k -> Set_lfrc.insert h k
+                         | Set_spec.Remove k -> Set_lfrc.remove h k
+                         | Set_spec.Contains k -> Set_lfrc.contains h k)))
+                ops;
+              Set_lfrc.unregister h))
+        threads
+    in
+    Sched.join tids;
+    Set_lfrc.unregister h0
+  in
+  ignore (Sched.run ~max_steps:1_000_000 (Strategy.Random seed) body);
+  match Set_checker.check history with
+  | Set_checker.Linearizable _ -> true
+  | Set_checker.Not_linearizable -> false
+
+let test_set_linearizable () =
+  let scenarios =
+    Set_spec.
+      [
+        ([ 5 ], [ [ Remove 5 ]; [ Remove 5 ]; [ Insert 5 ] ]);
+        ([ 1; 2 ], [ [ Insert 3; Remove 1 ]; [ Remove 2; Contains 3 ] ]);
+        ([], [ [ Insert 7; Contains 7 ]; [ Insert 7; Remove 7 ] ]);
+        ([ 4 ], [ [ Remove 4; Insert 4 ]; [ Contains 4; Contains 4 ] ]);
+      ]
+  in
+  List.iteri
+    (fun i (preload, threads) ->
+      for seed = 0 to 199 do
+        if not (run_set_scenario ~preload ~threads seed) then
+          Alcotest.fail
+            (Printf.sprintf "set scenario %d seed %d not linearizable" i seed)
+      done)
+    scenarios
+
+let test_set_exhaustive_small () =
+  (* Bounded-exhaustive exploration (the Snark hunt's deep oracle) on the
+     smallest contended scenario: two removers and an inserter on one
+     key. *)
+  let captured = ref None in
+  let body () =
+    let history = Lfrc_linearize.History.create () in
+    let env, heap = fresh "set-exh" in
+    let s = Set_lfrc.create env in
+    let h0 = Set_lfrc.register s in
+    ignore (Set_lfrc.insert h0 5);
+    ignore
+      (Lfrc_linearize.History.record history ~thread:0 (Set_spec.Insert 5)
+         (fun () -> true));
+    captured := Some (history, heap);
+    let worker i op =
+      Sched.spawn (fun () ->
+          let h = Set_lfrc.register s in
+          ignore
+            (Lfrc_linearize.History.record history ~thread:i op (fun () ->
+                 match op with
+                 | Set_spec.Insert k -> Set_lfrc.insert h k
+                 | Set_spec.Remove k -> Set_lfrc.remove h k
+                 | Set_spec.Contains k -> Set_lfrc.contains h k));
+          Set_lfrc.unregister h)
+    in
+    let tids =
+      [ worker 1 (Set_spec.Remove 5); worker 2 (Set_spec.Remove 5);
+        worker 3 (Set_spec.Insert 5) ]
+    in
+    Sched.join tids;
+    Set_lfrc.unregister h0
+  in
+  let check () =
+    match !captured with
+    | None -> failwith "no history"
+    | Some (history, _heap) -> (
+        match Set_checker.check history with
+        | Set_checker.Linearizable _ -> ()
+        | Set_checker.Not_linearizable -> failwith "set not linearizable")
+  in
+  match
+    Lfrc_sched.Explore.check ~max_preemptions:2 ~max_schedules:30_000 ~body
+      ~check ()
+  with
+  | Lfrc_sched.Explore.Ok { schedules } ->
+      checkb "complete exploration" true (schedules > 100)
+  | Lfrc_sched.Explore.Budget_exhausted { schedules } ->
+      checkb "no violation within budget" true (schedules = 30_000)
+  | Lfrc_sched.Explore.Violation { exn; _ } ->
+      Alcotest.fail ("set violation: " ^ Printexc.to_string exn)
+
+let test_set_concurrent_stress () =
+  (* Conservation under churn: the final content equals a serial replay
+     of the successful operations is too strong; instead check structural
+     sanity (sorted, duplicate-free) and memory cleanliness. *)
+  for seed = 0 to 19 do
+    let leftover = ref None in
+    let body () =
+      let env, heap = fresh "set-stress" in
+      let s = Set_lfrc.create env in
+      let tids =
+        List.init 3 (fun t ->
+            Sched.spawn (fun () ->
+                let h = Set_lfrc.register s in
+                let rng = Lfrc_util.Rng.create (seed + (t * 313)) in
+                for _ = 1 to 80 do
+                  let k = Lfrc_util.Rng.int rng 20 in
+                  match Lfrc_util.Rng.int rng 3 with
+                  | 0 -> ignore (Set_lfrc.insert h k)
+                  | 1 -> ignore (Set_lfrc.remove h k)
+                  | _ -> ignore (Set_lfrc.contains h k)
+                done;
+                Set_lfrc.unregister h))
+      in
+      Sched.join tids;
+      leftover := Some (s, heap)
+    in
+    ignore (Sched.run ~max_steps:10_000_000 (Strategy.Random seed) body);
+    let s, heap = Option.get !leftover in
+    let h = Set_lfrc.register s in
+    let content = Set_lfrc.to_list h in
+    let sorted_nodup = List.sort_uniq compare content in
+    checkb "sorted and duplicate-free" true (content = sorted_nodup);
+    Set_lfrc.unregister h;
+    Set_lfrc.destroy s;
+    Report.assert_no_leaks heap;
+    checki "counts exact" 0 (List.length (Report.check_rc_exact heap))
+  done
+
+(* --- skip list --- *)
+
+let test_skip_basics () =
+  let env, heap = fresh "sk1" in
+  let s = Skip_lfrc.create env in
+  let h = Skip_lfrc.register s in
+  checkb "insert new" true (Skip_lfrc.insert h 5);
+  checkb "insert dup" false (Skip_lfrc.insert h 5);
+  checkb "contains" true (Skip_lfrc.contains h 5);
+  checkb "absent" false (Skip_lfrc.contains h 4);
+  checkb "remove" true (Skip_lfrc.remove h 5);
+  checkb "remove absent" false (Skip_lfrc.remove h 5);
+  Skip_lfrc.unregister h;
+  Skip_lfrc.destroy s;
+  Report.assert_no_leaks heap
+
+let skip_random_run (type t h)
+    (module S : SET with type t = t and type handle = h) name ~leak_check =
+  let env, heap = fresh name in
+  let s : t = S.create env in
+  let hd : h = S.register s in
+  let rng = Lfrc_util.Rng.create 91 in
+  let model = ref Int_set.empty in
+  for _ = 0 to 4_000 do
+    let key = Lfrc_util.Rng.int rng 120 in
+    match Lfrc_util.Rng.int rng 3 with
+    | 0 ->
+        let got = S.insert hd key in
+        if got <> not (Int_set.mem key !model) then
+          Alcotest.fail (name ^ ": insert mismatch");
+        model := Int_set.add key !model
+    | 1 ->
+        let got = S.remove hd key in
+        if got <> Int_set.mem key !model then
+          Alcotest.fail (name ^ ": remove mismatch");
+        model := Int_set.remove key !model
+    | _ ->
+        if S.contains hd key <> Int_set.mem key !model then
+          Alcotest.fail (name ^ ": contains mismatch")
+  done;
+  Alcotest.(check (list int)) (name ^ " content") (Int_set.elements !model)
+    (S.to_list hd);
+  S.unregister hd;
+  S.destroy s;
+  if leak_check then Report.assert_no_leaks heap
+
+module Skip_as_set_lfrc = struct
+  include Skip_lfrc
+
+  let register t = Skip_lfrc.register t
+end
+
+module Skip_as_set_gc = struct
+  include Skip_gc
+
+  let register t = Skip_gc.register t
+end
+
+let test_skip_random_vs_model () =
+  skip_random_run (module Skip_as_set_lfrc) "skip-lfrc" ~leak_check:true
+
+let test_skip_random_vs_model_gc () =
+  skip_random_run (module Skip_as_set_gc) "skip-gc" ~leak_check:false
+
+let test_skip_height_distribution () =
+  let env, _ = fresh "sk-h" in
+  let s = Skip_lfrc.create env in
+  let h = Skip_lfrc.register s in
+  for k = 1 to 2_000 do
+    ignore (Skip_lfrc.insert h k)
+  done;
+  let hist = Skip_lfrc.height_histogram h in
+  checkb "roughly half at level 1" true
+    (hist.(0) > 800 && hist.(0) < 1200);
+  checkb "towers thin out" true (hist.(1) > hist.(3));
+  Skip_lfrc.unregister h;
+  Skip_lfrc.destroy s
+
+let test_skip_linearizable () =
+  (* same scenarios as the ordered list, same oracle *)
+  let run_scenario ~preload ~threads seed =
+    let history = Lfrc_linearize.History.create () in
+    let body () =
+      let env, _heap = fresh "sk-lin" in
+      let s = Skip_lfrc.create env in
+      let h0 = Skip_lfrc.register s in
+      List.iter (fun k -> ignore (Skip_lfrc.insert h0 k)) preload;
+      List.iter
+        (fun k ->
+          ignore
+            (Lfrc_linearize.History.record history ~thread:0
+               (Set_spec.Insert k) (fun () -> true)))
+        preload;
+      let tids =
+        List.mapi
+          (fun i ops ->
+            Sched.spawn (fun () ->
+                let h = Skip_lfrc.register ~seed:(i + 1) s in
+                List.iter
+                  (fun op ->
+                    ignore
+                      (Lfrc_linearize.History.record history ~thread:(i + 1)
+                         op (fun () ->
+                           match op with
+                           | Set_spec.Insert k -> Skip_lfrc.insert h k
+                           | Set_spec.Remove k -> Skip_lfrc.remove h k
+                           | Set_spec.Contains k -> Skip_lfrc.contains h k)))
+                  ops;
+                Skip_lfrc.unregister h))
+          threads
+      in
+      Sched.join tids;
+      Skip_lfrc.unregister h0
+    in
+    ignore (Sched.run ~max_steps:2_000_000 (Strategy.Random seed) body);
+    match Set_checker.check history with
+    | Set_checker.Linearizable _ -> true
+    | Set_checker.Not_linearizable -> false
+  in
+  let scenarios =
+    Set_spec.
+      [
+        ([ 5 ], [ [ Remove 5 ]; [ Remove 5 ]; [ Insert 5 ] ]);
+        ([ 1; 2 ], [ [ Insert 3; Remove 1 ]; [ Remove 2; Contains 3 ] ]);
+        ([], [ [ Insert 7; Contains 7 ]; [ Insert 7; Remove 7 ] ]);
+      ]
+  in
+  List.iteri
+    (fun i (preload, threads) ->
+      for seed = 0 to 149 do
+        if not (run_scenario ~preload ~threads seed) then
+          Alcotest.fail
+            (Printf.sprintf "skiplist scenario %d seed %d not linearizable" i
+               seed)
+      done)
+    scenarios
+
+(* --- LL/SC --- *)
+
+let node = Lfrc_simmem.Layout.make ~name:"llsc" ~n_ptrs:1 ~n_vals:0
+
+let test_llsc_success () =
+  let env, heap = fresh "llsc1" in
+  let cell = Heap.root heap () in
+  let a = Lfrc.alloc env node and b = Lfrc.alloc env node in
+  Lfrc.store_alloc env ~dst:cell a;
+  let r = Ll_sc.load_linked env cell in
+  checki "linked value" a (Ll_sc.value r);
+  checkb "validates" true (Ll_sc.validate env r);
+  checkb "sc succeeds" true (Ll_sc.store_conditional env r b);
+  checki "stored" b (Lfrc.read_ptr env cell);
+  checkb "a reclaimed" false (Heap.is_live heap a);
+  Lfrc.store env ~dst:cell Heap.null;
+  Lfrc.destroy env b;
+  Report.assert_no_leaks heap
+
+let test_llsc_fails_after_change () =
+  let env, heap = fresh "llsc2" in
+  let cell = Heap.root heap () in
+  let a = Lfrc.alloc env node and b = Lfrc.alloc env node in
+  Lfrc.store env ~dst:cell a;
+  let r = Ll_sc.load_linked env cell in
+  Lfrc.store env ~dst:cell b (* interference *);
+  checkb "no longer validates" false (Ll_sc.validate env r);
+  checkb "sc fails" false (Ll_sc.store_conditional env r a);
+  checki "b kept" b (Lfrc.read_ptr env cell);
+  Lfrc.store env ~dst:cell Heap.null;
+  Lfrc.destroy env a;
+  Lfrc.destroy env b;
+  Report.assert_no_leaks heap
+
+let test_llsc_no_false_positive_via_recycling () =
+  (* The CAS-emulation weakness: value changes A -> B -> A and SC wrongly
+     succeeds. With LFRC the reservation holds a counted reference, so
+     the id cannot be recycled; a *genuine* A->B->A (the same object
+     re-stored) is a legitimate success. Show both facts. *)
+  let env, heap = fresh "llsc3" in
+  let cell = Heap.root heap () in
+  let a = Lfrc.alloc env node and b = Lfrc.alloc env node in
+  Lfrc.store env ~dst:cell a;
+  let r = Ll_sc.load_linked env cell in
+  (* A -> B -> A with the same object: SC succeeding is linearizable *)
+  Lfrc.store env ~dst:cell b;
+  Lfrc.store env ~dst:cell a;
+  checkb "same-object ABA may succeed" true (Ll_sc.store_conditional env r a);
+  (* now: remove a entirely; its id must NOT be recycled while linked *)
+  let r2 = Ll_sc.load_linked env cell in
+  Lfrc.store env ~dst:cell Heap.null;
+  Lfrc.destroy env a;
+  Lfrc.destroy env b;
+  checkb "object survives while reservation held" true
+    (Heap.is_live heap (Ll_sc.value r2));
+  let fresh_obj = Lfrc.alloc env node in
+  checkb "allocator did not recycle the linked id" true
+    (fresh_obj <> Ll_sc.value r2);
+  Lfrc.destroy env fresh_obj;
+  Ll_sc.abandon env r2;
+  Report.assert_no_leaks heap
+
+let test_llsc_reuse_rejected () =
+  let env, heap = fresh "llsc4" in
+  let cell = Heap.root heap () in
+  let r = Ll_sc.load_linked env cell in
+  checkb "first use ok" true (Ll_sc.store_conditional env r Heap.null);
+  checkb "second use rejected" true
+    (match Ll_sc.store_conditional env r Heap.null with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  ignore heap
+
+let test_llsc_counter_object () =
+  (* The classic LL/SC use: atomically replace an immutable object. *)
+  let env, heap = fresh "llsc5" in
+  let boxed = Lfrc_simmem.Layout.make ~name:"box" ~n_ptrs:0 ~n_vals:1 in
+  let cell = Heap.root heap () in
+  let first = Lfrc.alloc env boxed in
+  Lfrc.store_alloc env ~dst:cell first;
+  let incr_box () =
+    let rec attempt () =
+      let r = Ll_sc.load_linked env cell in
+      let v =
+        Lfrc_simmem.Cell.get (Heap.val_cell heap (Ll_sc.value r) 0)
+      in
+      let fresh_box = Lfrc.alloc env boxed in
+      Lfrc_simmem.Cell.set (Heap.val_cell heap fresh_box 0) (v + 1);
+      let ok = Ll_sc.store_conditional env r fresh_box in
+      Lfrc.destroy env fresh_box;
+      if not ok then attempt ()
+    in
+    attempt ()
+  in
+  for _ = 1 to 100 do
+    incr_box ()
+  done;
+  let final = Lfrc.read_ptr env cell in
+  checki "hundred increments" 100
+    (Lfrc_simmem.Cell.get (Heap.val_cell heap final 0));
+  checki "intermediate boxes reclaimed" 1 (Heap.live_count heap);
+  Lfrc.store env ~dst:cell Heap.null;
+  Report.assert_no_leaks heap
+
+(* --- Handicap strategy --- *)
+
+let test_handicap_starves_victim () =
+  let victim_steps = ref 0 and other_steps = ref 0 in
+  ignore
+    (Sched.run
+       (Strategy.Handicap { seed = 3; victim = 1; period = 50 })
+       (fun () ->
+         let work me () =
+           for _ = 1 to 200 do
+             Sched.point ();
+             incr me
+           done
+         in
+         ignore (Sched.spawn (work victim_steps));
+         ignore (Sched.spawn (work other_steps))));
+  checki "victim completed eventually" 200 !victim_steps;
+  checki "other completed" 200 !other_steps
+
+let test_handicap_victim_only_runs () =
+  (* With only the victim runnable, the freeze must not deadlock. *)
+  let done_ = ref false in
+  ignore
+    (Sched.run
+       (Strategy.Handicap { seed = 1; victim = 1; period = 10 })
+       (fun () ->
+         let t =
+           Sched.spawn (fun () ->
+               for _ = 1 to 100 do
+                 Sched.point ()
+               done;
+               done_ := true)
+         in
+         Sched.join [ t ]));
+  checkb "completed" true !done_
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "dlist-set",
+        [
+          Alcotest.test_case "basics" `Quick test_set_basics;
+          Alcotest.test_case "sorted" `Quick test_set_sorted;
+          Alcotest.test_case "negative keys" `Quick test_set_negative_keys;
+          Alcotest.test_case "random vs model (lfrc)" `Quick test_set_random_vs_model;
+          Alcotest.test_case "random vs model (gc)" `Quick test_set_random_vs_model_gc;
+          QCheck_alcotest.to_alcotest prop_set_conforms;
+          Alcotest.test_case "linearizable" `Slow test_set_linearizable;
+          Alcotest.test_case "exhaustive small" `Slow test_set_exhaustive_small;
+          Alcotest.test_case "concurrent stress" `Slow test_set_concurrent_stress;
+        ] );
+      ( "skiplist",
+        [
+          Alcotest.test_case "basics" `Quick test_skip_basics;
+          Alcotest.test_case "random vs model (lfrc)" `Quick test_skip_random_vs_model;
+          Alcotest.test_case "random vs model (gc)" `Quick test_skip_random_vs_model_gc;
+          Alcotest.test_case "height distribution" `Quick test_skip_height_distribution;
+          Alcotest.test_case "linearizable" `Slow test_skip_linearizable;
+        ] );
+      ( "ll-sc",
+        [
+          Alcotest.test_case "success" `Quick test_llsc_success;
+          Alcotest.test_case "fails after change" `Quick test_llsc_fails_after_change;
+          Alcotest.test_case "no recycling false-positive" `Quick
+            test_llsc_no_false_positive_via_recycling;
+          Alcotest.test_case "reuse rejected" `Quick test_llsc_reuse_rejected;
+          Alcotest.test_case "counter object" `Quick test_llsc_counter_object;
+        ] );
+      ( "handicap",
+        [
+          Alcotest.test_case "starves but completes" `Quick test_handicap_starves_victim;
+          Alcotest.test_case "victim-only no deadlock" `Quick test_handicap_victim_only_runs;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Tests for the experiment harness: workload generators, the scenario
+   engine, and the experiment registry. *)
+
+module Opmix = Lfrc_workload.Opmix
+module Scenario = Lfrc_harness.Scenario
+module Experiments = Lfrc_harness.Experiments
+module Strategy = Lfrc_sched.Strategy
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Opmix --- *)
+
+let test_stream_deterministic () =
+  let a = Opmix.stream Opmix.balanced_deque ~seed:1 ~thread:0 100 in
+  let b = Opmix.stream Opmix.balanced_deque ~seed:1 ~thread:0 100 in
+  checkb "same stream" true (a = b)
+
+let test_stream_thread_independent () =
+  let a = Opmix.stream Opmix.balanced_deque ~seed:1 ~thread:0 100 in
+  let b = Opmix.stream Opmix.balanced_deque ~seed:1 ~thread:1 100 in
+  checkb "different threads differ" true (a <> b)
+
+let test_stream_respects_weights () =
+  let ops = Opmix.stream Opmix.right_only ~seed:3 ~thread:0 1_000 in
+  checkb "only right ops" true
+    (Array.for_all
+       (fun k -> k = Opmix.Push_right || k = Opmix.Pop_right)
+       ops);
+  let pushes =
+    Array.to_list ops |> List.filter (( = ) Opmix.Push_right) |> List.length
+  in
+  checkb "roughly balanced" true (pushes > 400 && pushes < 600)
+
+let test_mix_rejects_bad_weights () =
+  checkb "negative weight rejected" true
+    (match Opmix.make [ (Opmix.Pop_left, -1) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "empty mix rejected" true
+    (match Opmix.make [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_mix_names () =
+  checkb "named" true (Opmix.name Opmix.balanced_deque = "balanced")
+
+(* --- Scenario engine --- *)
+
+module Fixed = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+
+let test_scenario_sequential_linearizable () =
+  let o =
+    Scenario.run
+      (module Fixed)
+      ~preload:[ 1; 2; 3 ]
+      ~threads:Scenario.[ [ Pop_left; Push_right 9 ] ]
+      (Strategy.Round_robin)
+  in
+  checkb "ok" true o.Scenario.ok;
+  checkb "history recorded" true (List.length o.Scenario.history >= 5)
+
+let test_scenario_detects_bad_impl () =
+  (* A deliberately broken deque: pop_left always says empty. The
+     scenario engine must flag it. *)
+  let module Broken : Lfrc_structures.Deque_intf.DEQUE = struct
+    let name = "broken"
+
+    type t = Fixed.t
+    type handle = Fixed.handle
+
+    let create = Fixed.create
+    let register = Fixed.register
+    let unregister = Fixed.unregister
+    let push_left = Fixed.push_left
+    let push_right = Fixed.push_right
+    let pop_left h = ignore (Fixed.pop_left h); None
+    let pop_right = Fixed.pop_right
+    let destroy = Fixed.destroy
+  end in
+  let o =
+    Scenario.run
+      (module Broken)
+      ~preload:[ 1 ]
+      ~threads:[ [ Scenario.Pop_left ] ]
+      (Strategy.Round_robin)
+  in
+  checkb "broken implementation flagged" false o.Scenario.ok
+
+let test_scenario_body_and_check () =
+  let body, check =
+    Scenario.body_and_check
+      (module Fixed)
+      ~preload:[ 1 ]
+      ~threads:Scenario.[ [ Pop_right ]; [ Pop_left ] ]
+      ()
+  in
+  (match
+     Lfrc_sched.Explore.check ~max_schedules:2_000 ~body ~check ()
+   with
+  | Lfrc_sched.Explore.Ok { schedules } ->
+      checkb "explored" true (schedules > 10)
+  | Lfrc_sched.Explore.Budget_exhausted _ -> ()
+  | Lfrc_sched.Explore.Violation { exn; _ } ->
+      Alcotest.fail (Printexc.to_string exn))
+
+(* --- Experiments registry --- *)
+
+let test_registry_complete () =
+  checki "ten experiments" 10 (List.length Experiments.all);
+  List.iter
+    (fun id ->
+      checkb (id ^ " registered") true (Experiments.find id <> None))
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10" ];
+  checkb "case-insensitive" true (Experiments.find "e3" <> None);
+  checkb "unknown rejected" true (Experiments.find "E99" = None)
+
+let test_e7_runs_quickly () =
+  (* E7 is the cheapest experiment: run it end to end as a smoke test of
+     the harness plumbing. *)
+  match Experiments.find "E7" with
+  | None -> Alcotest.fail "E7 missing"
+  | Some e ->
+      let table = e.Experiments.run () in
+      let rendered = Lfrc_util.Table.render table in
+      checkb "produced rows" true (String.length rendered > 100)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "opmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+          Alcotest.test_case "thread independent" `Quick test_stream_thread_independent;
+          Alcotest.test_case "weights" `Quick test_stream_respects_weights;
+          Alcotest.test_case "bad weights" `Quick test_mix_rejects_bad_weights;
+          Alcotest.test_case "names" `Quick test_mix_names;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "sequential linearizable" `Quick
+            test_scenario_sequential_linearizable;
+          Alcotest.test_case "detects bad impl" `Quick test_scenario_detects_bad_impl;
+          Alcotest.test_case "body and check" `Slow test_scenario_body_and_check;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "E7 end to end" `Quick test_e7_runs_quickly;
+        ] );
+    ]

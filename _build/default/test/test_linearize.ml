@@ -1,0 +1,140 @@
+(* Tests for the history recorder and the Wing–Gong linearizability
+   checker, on hand-built histories with known verdicts. *)
+
+module History = Lfrc_linearize.History
+module Scenario = Lfrc_harness.Scenario
+module Checker = Scenario.Deque_checker
+
+let checkb = Alcotest.(check bool)
+
+let ev thread op result invoked_at returned_at =
+  { History.thread; op; result; invoked_at; returned_at }
+
+open Scenario
+
+let is_lin evs =
+  match Checker.check_events evs with
+  | Checker.Linearizable _ -> true
+  | Checker.Not_linearizable -> false
+
+let test_empty_history () = checkb "empty ok" true (is_lin [])
+
+let test_sequential_ok () =
+  checkb "simple sequence" true
+    (is_lin
+       [
+         ev 0 (Push_right 1) Done 0 1;
+         ev 0 Pop_left (Popped (Some 1)) 2 3;
+         ev 0 Pop_left (Popped None) 4 5;
+       ])
+
+let test_sequential_wrong_value () =
+  checkb "wrong pop value rejected" false
+    (is_lin
+       [
+         ev 0 (Push_right 1) Done 0 1;
+         ev 0 Pop_left (Popped (Some 2)) 2 3;
+       ])
+
+let test_pop_empty_when_full_rejected () =
+  checkb "empty answer while an element is present" false
+    (is_lin
+       [
+         ev 0 (Push_right 1) Done 0 1;
+         ev 1 Pop_left (Popped None) 2 3;
+       ])
+
+let test_concurrent_reorder_allowed () =
+  (* The pop overlaps the push, so linearizing pop after push is legal
+     even though the pop was invoked first. *)
+  checkb "overlap allows reorder" true
+    (is_lin
+       [
+         ev 1 Pop_left (Popped (Some 1)) 0 10;
+         ev 0 (Push_right 1) Done 1 2;
+       ])
+
+let test_realtime_order_enforced () =
+  (* Here the pop returned before the push was invoked: no reordering. *)
+  checkb "non-overlap fixes order" false
+    (is_lin
+       [
+         ev 1 Pop_left (Popped (Some 1)) 0 1;
+         ev 0 (Push_right 1) Done 2 3;
+       ])
+
+let test_double_pop_rejected () =
+  checkb "one value popped twice" false
+    (is_lin
+       [
+         ev 0 (Push_right 7) Done 0 1;
+         ev 1 Pop_left (Popped (Some 7)) 2 10;
+         ev 2 Pop_right (Popped (Some 7)) 2 10;
+       ])
+
+let test_concurrent_both_orders () =
+  (* Two concurrent pushes to the same end: both orders must replay, so
+     either drain order is accepted. *)
+  let base drain1 drain2 =
+    [
+      ev 1 (Push_right 1) Done 0 10;
+      ev 2 (Push_right 2) Done 0 10;
+      ev 0 Pop_left (Popped (Some drain1)) 11 12;
+      ev 0 Pop_left (Popped (Some drain2)) 13 14;
+    ]
+  in
+  checkb "order a" true (is_lin (base 1 2));
+  checkb "order b" true (is_lin (base 2 1))
+
+let test_witness_replays () =
+  let evs =
+    [
+      ev 0 (Push_right 1) Done 0 1;
+      ev 1 Pop_left (Popped (Some 1)) 2 3;
+    ]
+  in
+  match Checker.check_events evs with
+  | Checker.Linearizable witness ->
+      Alcotest.(check int) "witness covers all ops" 2 (List.length witness)
+  | Checker.Not_linearizable -> Alcotest.fail "should be linearizable"
+
+let test_history_recorder () =
+  let h = History.create () in
+  let r =
+    History.record h ~thread:3 (Push_left 5) (fun () -> Done)
+  in
+  checkb "result passed through" true (r = Done);
+  match History.events h with
+  | [ e ] ->
+      Alcotest.(check int) "thread" 3 e.History.thread;
+      checkb "interval ordered" true (e.History.invoked_at <= e.History.returned_at)
+  | _ -> Alcotest.fail "one event expected"
+
+let test_history_many_threads () =
+  let h = History.create () in
+  for t = 0 to 9 do
+    ignore (History.record h ~thread:t Pop_left (fun () -> Popped None))
+  done;
+  Alcotest.(check int) "all recorded" 10 (History.size h)
+
+let () =
+  Alcotest.run "linearize"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_history;
+          Alcotest.test_case "sequential ok" `Quick test_sequential_ok;
+          Alcotest.test_case "wrong value" `Quick test_sequential_wrong_value;
+          Alcotest.test_case "false empty" `Quick test_pop_empty_when_full_rejected;
+          Alcotest.test_case "overlap reorder" `Quick test_concurrent_reorder_allowed;
+          Alcotest.test_case "real-time order" `Quick test_realtime_order_enforced;
+          Alcotest.test_case "double pop" `Quick test_double_pop_rejected;
+          Alcotest.test_case "both orders" `Quick test_concurrent_both_orders;
+          Alcotest.test_case "witness" `Quick test_witness_replays;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "recorder" `Quick test_history_recorder;
+          Alcotest.test_case "many threads" `Quick test_history_many_threads;
+        ] );
+    ]

@@ -1,0 +1,314 @@
+(* Tests for the deterministic scheduler, strategies, traces and the
+   exhaustive explorer. *)
+
+module Sched = Lfrc_sched.Sched
+module Strategy = Lfrc_sched.Strategy
+module Trace = Lfrc_sched.Trace
+module Explore = Lfrc_sched.Explore
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_runs_to_completion () =
+  let hits = ref 0 in
+  let o =
+    Sched.run Strategy.Round_robin (fun () ->
+        for _ = 1 to 5 do
+          Sched.point ();
+          incr hits
+        done)
+  in
+  checki "all iterations ran" 5 !hits;
+  checkb "steps counted" true (o.Sched.steps > 0)
+
+let test_spawn_runs_all () =
+  let done_ = Array.make 4 false in
+  ignore
+    (Sched.run (Strategy.Random 1) (fun () ->
+         for i = 0 to 3 do
+           ignore
+             (Sched.spawn (fun () ->
+                  Sched.point ();
+                  done_.(i) <- true))
+         done));
+  Array.iteri (fun i d -> checkb (Printf.sprintf "thread %d ran" i) true d) done_
+
+let test_deterministic_same_seed () =
+  let trace_of seed =
+    let body () =
+      let r = ref 0 in
+      for _ = 1 to 3 do
+        ignore
+          (Sched.spawn (fun () ->
+               Sched.point ();
+               incr r;
+               Sched.point ()))
+      done
+    in
+    let o = Sched.run ~record:true (Strategy.Random seed) body in
+    Trace.chosen (Option.get o.Sched.trace)
+  in
+  Alcotest.(check (array int)) "same seed same schedule" (trace_of 5) (trace_of 5);
+  checkb "different seeds usually differ" true (trace_of 5 <> trace_of 6)
+
+let test_tid_inside () =
+  let seen = ref [] in
+  ignore
+    (Sched.run Strategy.Round_robin (fun () ->
+         ignore (Sched.spawn (fun () -> seen := Sched.tid () :: !seen));
+         ignore (Sched.spawn (fun () -> seen := Sched.tid () :: !seen))));
+  Alcotest.(check (list int)) "tids" [ 2; 1 ] (List.sort compare !seen |> List.rev)
+
+let test_point_outside_is_noop () =
+  Sched.point ();
+  checkb "not active outside" false (Sched.active ())
+
+let test_active_inside () =
+  let was_active = ref false in
+  ignore (Sched.run Strategy.Round_robin (fun () -> was_active := Sched.active ()));
+  checkb "active inside" true !was_active
+
+let test_spawn_outside_rejected () =
+  Alcotest.check_raises "spawn outside"
+    (Invalid_argument "Sched.spawn: not inside a simulation run") (fun () ->
+      ignore (Sched.spawn (fun () -> ())))
+
+let test_nested_run_rejected () =
+  (* The rejection happens inside the simulated thread, so it surfaces as
+     that thread's failure. *)
+  checkb "nested run rejected" true
+    (match
+       Sched.run Strategy.Round_robin (fun () ->
+           ignore (Sched.run Strategy.Round_robin (fun () -> ())))
+     with
+    | _ -> false
+    | exception Sched.Thread_failure { exn = Invalid_argument msg; _ } ->
+        msg = "Sched.run: nested simulation"
+    | exception _ -> false)
+
+let test_step_limit () =
+  checkb "raises step limit" true
+    (match
+       Sched.run ~max_steps:100 Strategy.Round_robin (fun () ->
+           while true do
+             Sched.point ()
+           done)
+     with
+    | _ -> false
+    | exception Sched.Step_limit_exceeded _ -> true)
+
+let test_thread_failure_propagates () =
+  checkb "failure carries tid" true
+    (match
+       Sched.run (Strategy.Random 3) (fun () ->
+           ignore (Sched.spawn (fun () -> failwith "boom")))
+     with
+    | _ -> false
+    | exception Sched.Thread_failure { tid; exn = Failure msg; _ } ->
+        tid = 1 && msg = "boom"
+    | exception _ -> false)
+
+let test_join_waits () =
+  let order = ref [] in
+  ignore
+    (Sched.run (Strategy.Random 9) (fun () ->
+         let t1 =
+           Sched.spawn (fun () ->
+               Sched.point ();
+               Sched.point ();
+               order := `Worker :: !order)
+         in
+         Sched.join [ t1 ];
+         order := `Main :: !order));
+  Alcotest.(check bool) "worker before main" true (!order = [ `Main; `Worker ])
+
+let test_join_many () =
+  let count = ref 0 in
+  ignore
+    (Sched.run (Strategy.Random 4) (fun () ->
+         let tids =
+           List.init 5 (fun _ ->
+               Sched.spawn (fun () ->
+                   Sched.point ();
+                   incr count))
+         in
+         Sched.join tids;
+         checki "all finished at join" 5 !count))
+
+let test_per_thread_steps () =
+  let o =
+    Sched.run Strategy.Round_robin (fun () ->
+        ignore
+          (Sched.spawn (fun () ->
+               Sched.point ();
+               Sched.point ())))
+  in
+  checki "two threads tracked" 2 (Array.length o.Sched.per_thread_steps);
+  checkb "worker stepped" true (o.Sched.per_thread_steps.(1) >= 2)
+
+(* --- Trace --- *)
+
+let test_trace_preemptions () =
+  let t =
+    [|
+      { Trace.tid = 0; enabled = 0b11 };
+      { Trace.tid = 1; enabled = 0b11 };
+      (* preempt: 0 still enabled *)
+      { Trace.tid = 0; enabled = 0b01 };
+      (* not a preemption: 1 finished *)
+    |]
+  in
+  checki "one preemption" 1 (Trace.preemptions t)
+
+let test_trace_enabled_list () =
+  Alcotest.(check (list int)) "decode mask" [ 0; 2 ]
+    (Trace.enabled_list { Trace.tid = 0; enabled = 0b101 })
+
+(* --- Strategies --- *)
+
+let test_scripted_replay () =
+  let body () =
+    ignore (Sched.spawn (fun () -> Sched.point ()));
+    ignore (Sched.spawn (fun () -> Sched.point ()))
+  in
+  let o = Sched.run ~record:true (Strategy.Random 17) body in
+  let schedule = Trace.chosen (Option.get o.Sched.trace) in
+  let o2 =
+    Sched.run ~record:true
+      (Strategy.Scripted { prefix = schedule; tail_seed = None })
+      body
+  in
+  Alcotest.(check (array int)) "replay identical" schedule
+    (Trace.chosen (Option.get o2.Sched.trace))
+
+let test_scripted_divergence_detected () =
+  checkb "diverged script detected" true
+    (match
+       Sched.run
+         (Strategy.Scripted { prefix = [| 5 |]; tail_seed = None })
+         (fun () -> Sched.point ())
+     with
+    | _ -> false
+    | exception Strategy.Script_diverged _ -> true)
+
+let test_pct_runs () =
+  let o =
+    Sched.run (Strategy.Pct { seed = 2; change_points = 3 }) (fun () ->
+        for _ = 1 to 3 do
+          ignore
+            (Sched.spawn (fun () ->
+                 Sched.point ();
+                 Sched.point ()))
+        done)
+  in
+  checkb "pct completes" true (o.Sched.steps > 0)
+
+(* --- Explore --- *)
+
+let test_explore_finds_race () =
+  let counter = ref 0 in
+  let body () =
+    counter := 0;
+    let worker () =
+      Sched.point ();
+      let v = !counter in
+      Sched.point ();
+      counter := v + 1
+    in
+    ignore (Sched.spawn worker);
+    ignore (Sched.spawn worker)
+  in
+  let check () = if !counter <> 2 then failwith "lost update" in
+  match Explore.check ~body ~check () with
+  | Explore.Violation { exn = Failure msg; schedule; _ } ->
+      checkb "right failure" true (msg = "lost update");
+      checkb "counterexample non-trivial" true (Array.length schedule > 0)
+  | _ -> Alcotest.fail "expected a violation"
+
+let test_explore_passes_atomic () =
+  let counter = Atomic.make 0 in
+  let body () =
+    Atomic.set counter 0;
+    let worker () =
+      Sched.point ();
+      Atomic.incr counter
+    in
+    ignore (Sched.spawn worker);
+    ignore (Sched.spawn worker)
+  in
+  let check () = if Atomic.get counter <> 2 then failwith "impossible" in
+  match Explore.check ~body ~check () with
+  | Explore.Ok { schedules } -> checkb "explored >1 schedule" true (schedules > 1)
+  | _ -> Alcotest.fail "expected OK"
+
+let test_explore_budget () =
+  let body () =
+    for _ = 1 to 4 do
+      ignore
+        (Sched.spawn (fun () ->
+             for _ = 1 to 10 do
+               Sched.point ()
+             done))
+    done
+  in
+  match Explore.check ~max_schedules:5 ~body ~check:(fun () -> ()) () with
+  | Explore.Budget_exhausted { schedules } -> checki "stopped at budget" 5 schedules
+  | _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_explore_replay_counterexample () =
+  let counter = ref 0 in
+  let body () =
+    counter := 0;
+    let worker () =
+      Sched.point ();
+      let v = !counter in
+      Sched.point ();
+      counter := v + 1
+    in
+    ignore (Sched.spawn worker);
+    ignore (Sched.spawn worker)
+  in
+  match Explore.check ~body ~check:(fun () -> if !counter <> 2 then failwith "x") () with
+  | Explore.Violation { schedule; _ } ->
+      let trace = Explore.replay schedule body in
+      checkb "replay reproduces" true (!counter <> 2 && Array.length trace > 0)
+  | _ -> Alcotest.fail "expected violation"
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "runs to completion" `Quick test_runs_to_completion;
+          Alcotest.test_case "spawn runs all" `Quick test_spawn_runs_all;
+          Alcotest.test_case "deterministic per seed" `Quick test_deterministic_same_seed;
+          Alcotest.test_case "tid inside" `Quick test_tid_inside;
+          Alcotest.test_case "point outside noop" `Quick test_point_outside_is_noop;
+          Alcotest.test_case "active inside" `Quick test_active_inside;
+          Alcotest.test_case "spawn outside rejected" `Quick test_spawn_outside_rejected;
+          Alcotest.test_case "nested run rejected" `Quick test_nested_run_rejected;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "thread failure" `Quick test_thread_failure_propagates;
+          Alcotest.test_case "join waits" `Quick test_join_waits;
+          Alcotest.test_case "join many" `Quick test_join_many;
+          Alcotest.test_case "per-thread steps" `Quick test_per_thread_steps;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "preemptions" `Quick test_trace_preemptions;
+          Alcotest.test_case "enabled list" `Quick test_trace_enabled_list;
+        ] );
+      ( "strategy",
+        [
+          Alcotest.test_case "scripted replay" `Quick test_scripted_replay;
+          Alcotest.test_case "script divergence" `Quick test_scripted_divergence_detected;
+          Alcotest.test_case "pct runs" `Quick test_pct_runs;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "finds race" `Quick test_explore_finds_race;
+          Alcotest.test_case "passes atomic" `Quick test_explore_passes_atomic;
+          Alcotest.test_case "budget" `Quick test_explore_budget;
+          Alcotest.test_case "replay counterexample" `Quick test_explore_replay_counterexample;
+        ] );
+    ]
