@@ -90,10 +90,64 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Randomized linearizability check of a Snark variant")
     Term.(const run $ variant $ schedules)
 
+let chaos_cmd =
+  let module E11 = Lfrc_harness.E11_chaos in
+  let structure =
+    let names = List.map (fun s -> (E11.structure_name s, s)) E11.structures in
+    Arg.(
+      value
+      & opt (some (enum names)) None
+      & info [ "structure" ] ~doc:"Structure to torture; all when omitted.")
+  in
+  let fault =
+    let names = List.map (fun f -> (E11.fault_name f, f)) E11.fault_kinds in
+    Arg.(
+      value
+      & opt (some (enum names)) None
+      & info [ "fault" ] ~doc:"Fault kind to inject; all when omitted.")
+  in
+  let seeds =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Seeds per cell (1..N).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run's report, not just failures.")
+  in
+  let run structure fault seeds verbose =
+    let structures =
+      match structure with Some s -> [ s ] | None -> E11.structures
+    in
+    let faults = match fault with Some f -> [ f ] | None -> E11.fault_kinds in
+    let failed = ref false in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun f ->
+            for seed = 1 to seeds do
+              let r = E11.run_one ~structure:s ~fault:f ~seed in
+              let bad = not (Lfrc_faults.Chaos.ok r) in
+              if bad then failed := true;
+              if bad || verbose then
+                Format.printf "[%s/%s seed=%d] %s@\n%a@.@."
+                  (E11.structure_name s) (E11.fault_name f) seed
+                  (if bad then "FAIL" else "ok")
+                  Lfrc_faults.Chaos.pp r
+              else
+                Printf.printf "[%s/%s seed=%d] ok\n%!" (E11.structure_name s)
+                  (E11.fault_name f) seed
+            done)
+          faults)
+        structures;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fault-injection runs (spurious CAS/DCAS, OOM, crashes) with post-mortem heap audit")
+    Term.(const run $ structure $ fault $ seeds $ verbose)
+
 let main =
   Cmd.group
     (Cmd.info "lfrc_cli" ~version:"1.0.0"
        ~doc:"Lock-free reference counting (PODC 2001) reproduction toolkit")
-    [ experiments_cmd; check_cmd ]
+    [ experiments_cmd; check_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -10,17 +10,34 @@ type counters = {
   cas_failures : int;
   dcas_attempts : int;
   dcas_failures : int;
+  spurious_cas : int;
+  spurious_dcas : int;
+  max_cas_failure_streak : int;
+  max_dcas_failure_streak : int;
 }
+
+type injector = { inject_cas : unit -> bool; inject_dcas : unit -> bool }
 
 type t = {
   kind : impl;
   stripes : Mutex.t array; (* used by Striped_lock only *)
+  mutable injector : injector option;
   c_reads : int Atomic.t;
   c_writes : int Atomic.t;
   c_cas : int Atomic.t;
   c_cas_fail : int Atomic.t;
   c_dcas : int Atomic.t;
   c_dcas_fail : int Atomic.t;
+  c_sp_cas : int Atomic.t;
+  c_sp_dcas : int Atomic.t;
+  (* Retry telemetry: longest run of consecutive failed attempts. Exact
+     under the simulator (single domain); approximate across real
+     domains. A growing streak with no intervening success is the
+     livelock signal the chaos watchdog reports. *)
+  cas_streak : int Atomic.t;
+  cas_streak_max : int Atomic.t;
+  dcas_streak : int Atomic.t;
+  dcas_streak_max : int Atomic.t;
 }
 
 let n_stripes = 64
@@ -29,13 +46,22 @@ let create kind =
   {
     kind;
     stripes = Array.init n_stripes (fun _ -> Mutex.create ());
+    injector = None;
     c_reads = Atomic.make 0;
     c_writes = Atomic.make 0;
     c_cas = Atomic.make 0;
     c_cas_fail = Atomic.make 0;
     c_dcas = Atomic.make 0;
     c_dcas_fail = Atomic.make 0;
+    c_sp_cas = Atomic.make 0;
+    c_sp_dcas = Atomic.make 0;
+    cas_streak = Atomic.make 0;
+    cas_streak_max = Atomic.make 0;
+    dcas_streak = Atomic.make 0;
+    dcas_streak_max = Atomic.make 0;
   }
+
+let set_injector t i = t.injector <- i
 
 let impl t = t.kind
 
@@ -82,17 +108,49 @@ let write t c v =
       let rec go () = if not (Mcas.cas c (Mcas.read c) v) then go () in
       go ()
 
+let bump_streak ~streak ~streak_max ok =
+  if ok then Atomic.set streak 0
+  else begin
+    let s = 1 + Atomic.fetch_and_add streak 1 in
+    let rec raise_max () =
+      let m = Atomic.get streak_max in
+      if s > m && not (Atomic.compare_and_set streak_max m s) then raise_max ()
+    in
+    raise_max ()
+  end
+
 let count_cas t ok =
   Atomic.incr t.c_cas;
   if not ok then Atomic.incr t.c_cas_fail;
+  bump_streak ~streak:t.cas_streak ~streak_max:t.cas_streak_max ok;
   ok
+
+(* A spurious failure reports false without comparing or writing anything —
+   the LL/SC-style failure mode every LFRC retry loop must compensate for
+   (dropping its speculative count increments before trying again). *)
+let spurious_cas t =
+  match t.injector with
+  | Some i when i.inject_cas () ->
+      Atomic.incr t.c_sp_cas;
+      ignore (count_cas t false);
+      true
+  | _ -> false
+
+let spurious_dcas t =
+  match t.injector with
+  | Some i when i.inject_dcas () ->
+      Atomic.incr t.c_sp_dcas;
+      true
+  | _ -> false
 
 let cas t c old_v new_v =
   Sched.point ();
-  match t.kind with
-  | Atomic_step -> count_cas t (Cell.cas c old_v new_v)
-  | Striped_lock -> count_cas t (with_stripe t c (fun () -> Cell.cas c old_v new_v))
-  | Software_mcas -> count_cas t (Mcas.cas c old_v new_v)
+  if spurious_cas t then false
+  else
+    match t.kind with
+    | Atomic_step -> count_cas t (Cell.cas c old_v new_v)
+    | Striped_lock -> count_cas t (with_stripe t c (fun () -> Cell.cas c old_v new_v))
+    | Software_mcas -> count_cas t (Mcas.cas c old_v new_v)
 
 let fetch_add t c d =
   Sched.point ();
@@ -109,10 +167,13 @@ let fetch_add t c d =
 let count_dcas t ok =
   Atomic.incr t.c_dcas;
   if not ok then Atomic.incr t.c_dcas_fail;
+  bump_streak ~streak:t.dcas_streak ~streak_max:t.dcas_streak_max ok;
   ok
 
 let dcas t c0 c1 ~old0 ~old1 ~new0 ~new1 =
   Sched.point ();
+  if spurious_dcas t then count_dcas t false
+  else
   match t.kind with
   | Atomic_step ->
       (* Indivisible between yield points: simulated hardware DCAS. *)
@@ -141,6 +202,10 @@ let counters t =
     cas_failures = Atomic.get t.c_cas_fail;
     dcas_attempts = Atomic.get t.c_dcas;
     dcas_failures = Atomic.get t.c_dcas_fail;
+    spurious_cas = Atomic.get t.c_sp_cas;
+    spurious_dcas = Atomic.get t.c_sp_dcas;
+    max_cas_failure_streak = Atomic.get t.cas_streak_max;
+    max_dcas_failure_streak = Atomic.get t.dcas_streak_max;
   }
 
 let reset_counters t =
@@ -149,4 +214,10 @@ let reset_counters t =
   Atomic.set t.c_cas 0;
   Atomic.set t.c_cas_fail 0;
   Atomic.set t.c_dcas 0;
-  Atomic.set t.c_dcas_fail 0
+  Atomic.set t.c_dcas_fail 0;
+  Atomic.set t.c_sp_cas 0;
+  Atomic.set t.c_sp_dcas 0;
+  Atomic.set t.cas_streak 0;
+  Atomic.set t.cas_streak_max 0;
+  Atomic.set t.dcas_streak 0;
+  Atomic.set t.dcas_streak_max 0

@@ -54,6 +54,13 @@ type counters = {
   cas_failures : int;
   dcas_attempts : int;
   dcas_failures : int;
+  spurious_cas : int;  (** injected CAS failures (counted in [cas_failures]) *)
+  spurious_dcas : int;
+      (** injected DCAS failures (counted in [dcas_failures]) *)
+  max_cas_failure_streak : int;
+      (** longest run of consecutive failed CAS attempts — retry/livelock
+          telemetry; exact under the simulator *)
+  max_dcas_failure_streak : int;
 }
 
 val counters : t -> counters
@@ -61,3 +68,16 @@ val counters : t -> counters
     the "simulated work" metric by the experiment harness. *)
 
 val reset_counters : t -> unit
+
+(** {2 Fault injection}
+
+    An installed injector is consulted on every [cas]/[dcas]; answering
+    [true] makes that attempt fail {e spuriously}: nothing is compared or
+    written and the operation reports failure, exactly the LL/SC-style
+    false-negative the paper's retry loops must tolerate. Spurious
+    failures still count as attempts and failures, and additionally as
+    [spurious_cas]/[spurious_dcas]. *)
+
+type injector = { inject_cas : unit -> bool; inject_dcas : unit -> bool }
+
+val set_injector : t -> injector option -> unit

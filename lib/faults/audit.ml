@@ -1,0 +1,114 @@
+module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
+module Env = Lfrc_core.Env
+
+type finding =
+  | Dangling of { holder : string; target : int }
+  | Rc_below_refs of { id : int; rc : int; refs : int }
+  | Unaccounted_leak of { id : int; rc : int }
+
+type report = {
+  live : int;
+  reachable : int;
+  leaked : int;
+  findings : finding list;
+}
+
+let null = Heap.null
+
+let rc_of heap p = Cell.get (Heap.rc_cell heap p)
+
+(* Reachability over live objects from a seed list, using a private mark
+   table (the heap's own marks belong to the collectors). *)
+let reach heap seeds =
+  let seen = Hashtbl.create 64 in
+  let rec go p =
+    if p <> null && Heap.is_live heap p && not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      List.iter go (Heap.ptr_slot_values heap p)
+    end
+  in
+  List.iter go seeds;
+  seen
+
+let run env =
+  let heap = Env.heap env in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+
+  (* 1. Dangling pointers: live slots and global roots only. A crashed
+     thread's registered locals are exempt — its stale OCaml variables
+     may legitimately name objects that were freed after the crash. *)
+  Heap.iter_live heap (fun p ->
+      List.iteri
+        (fun i q ->
+          if q <> null && not (Heap.is_live heap q) then
+            add
+              (Dangling
+                 { holder = Printf.sprintf "object %d slot %d" p i; target = q }))
+        (Heap.ptr_slot_values heap p));
+  List.iteri
+    (fun i root ->
+      let v = Cell.get root in
+      if v <> null && not (Heap.is_live heap v) then
+        add (Dangling { holder = Printf.sprintf "root %d" i; target = v }))
+    (Heap.roots heap);
+
+  (* 2. Count lower bound. Pointers held by objects that are themselves
+     mid-destroy (count already zero) are about to be released and are
+     no longer backed by a count — the paper's destroy runs exactly this
+     window — so they do not count against their targets. *)
+  let counts = Hashtbl.create 64 in
+  let bump p =
+    if p <> null && Heap.is_live heap p then
+      Hashtbl.replace counts p
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts p))
+  in
+  Heap.iter_live heap (fun p ->
+      if rc_of heap p > 0 then List.iter bump (Heap.ptr_slot_values heap p));
+  List.iter (fun root -> bump (Cell.get root)) (Heap.roots heap);
+  Heap.iter_live heap (fun p ->
+      let rc = rc_of heap p in
+      let refs = Option.value ~default:0 (Hashtbl.find_opt counts p) in
+      if rc < refs then add (Rc_below_refs { id = p; rc; refs }));
+
+  (* 3. Bounded leak accounting. *)
+  let roots_now = List.map Cell.get (Heap.roots heap) in
+  let from_globals = reach heap roots_now in
+  let anchored = reach heap (roots_now @ Env.anchors env) in
+  let live = ref 0 and reachable = ref 0 and leaked = ref 0 in
+  Heap.iter_live heap (fun p ->
+      incr live;
+      if Hashtbl.mem from_globals p then incr reachable
+      else begin
+        incr leaked;
+        if not (Hashtbl.mem anchored p) then
+          add (Unaccounted_leak { id = p; rc = rc_of heap p })
+      end);
+
+  {
+    live = !live;
+    reachable = !reachable;
+    leaked = !leaked;
+    findings = List.rev !findings;
+  }
+
+let ok r = r.findings = []
+
+let pp_finding ppf = function
+  | Dangling { holder; target } ->
+      Format.fprintf ppf "dangling: %s -> freed object %d" holder target
+  | Rc_below_refs { id; rc; refs } ->
+      Format.fprintf ppf "rc too low: object %d has rc=%d but %d pointers"
+        id rc refs
+  | Unaccounted_leak { id; rc } ->
+      Format.fprintf ppf
+        "unaccounted leak: object %d (rc=%d) reachable from no root or \
+         lost reference"
+        id rc
+
+let pp ppf r =
+  Format.fprintf ppf "live=%d reachable=%d leaked=%d findings=%d" r.live
+    r.reachable r.leaked
+    (List.length r.findings);
+  List.iter (fun f -> Format.fprintf ppf "@\n  %a" pp_finding f) r.findings

@@ -1,0 +1,43 @@
+(** Post-mortem heap auditor for fault-injected runs.
+
+    After a chaos run — in particular after a thread crash — the heap is
+    walked against the paper's {e weak} reference-count invariant and its
+    footnote 3 concession, in the form of three checks:
+
+    + {b No dangling pointers}: no live object's pointer slot and no
+      global root refers to a freed object. Crashes may leak; they must
+      never free prematurely.
+    + {b Count lower bound}: every live object's count is at least the
+      number of heap-visible pointers to it (live slots of objects that
+      are not themselves mid-destroy, plus global roots). Counts may be
+      conservatively high after a crash (the dead thread's increments are
+      never compensated) but never low.
+    + {b Bounded, accounted leak}: an object unreachable from the global
+      roots must be reachable from a published lost reference — a crashed
+      thread's registered locals, an in-flight destroy, or the deferred
+      queue ({!Lfrc_core.Env.anchors}). Garbage may exist ("it is
+      possible for garbage to exist and never be freed in the case where
+      a thread fails permanently"), but every piece must be attributable
+      to a lost reference; anything else is a counting bug. *)
+
+type finding =
+  | Dangling of { holder : string; target : int }
+      (** [holder] describes the referring slot or root *)
+  | Rc_below_refs of { id : int; rc : int; refs : int }
+  | Unaccounted_leak of { id : int; rc : int }
+
+type report = {
+  live : int;  (** live objects at audit time *)
+  reachable : int;  (** of those, reachable from global roots *)
+  leaked : int;  (** live - reachable *)
+  findings : finding list;
+}
+
+val run : Lfrc_core.Env.t -> report
+
+val ok : report -> bool
+(** No findings. Leaks are not findings when anchored — check [leaked]
+    separately when a run with no crash must end clean. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,85 @@
+module Sched = Lfrc_sched.Sched
+module Strategy = Lfrc_sched.Strategy
+module Heap = Lfrc_simmem.Heap
+module Env = Lfrc_core.Env
+
+type status =
+  | Completed of { steps : int; crashed : int list }
+  | Livelock of { max_steps : int }
+  | Thread_raised of { tid : int; exn : exn }
+
+type report = {
+  spec : Fault_plan.spec;
+  repro : string;
+  status : status;
+  audit : Audit.report option;
+  injected : int;
+  counters : Lfrc_atomics.Dcas.counters;
+  env : Env.t;
+}
+
+let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ~strategy ~spec
+    body =
+  let heap = Heap.create ~name:"chaos" () in
+  let env =
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy heap
+  in
+  let plan = Fault_plan.make spec in
+  Fault_plan.install plan env;
+  let repro =
+    Printf.sprintf "strategy=%s max_steps=%d %s"
+      (Strategy.describe strategy)
+      max_steps
+      (Fault_plan.spec_to_string spec)
+  in
+  let status =
+    Fun.protect
+      ~finally:(fun () -> Fault_plan.uninstall env)
+      (fun () ->
+        match
+          Sched.run ~max_steps
+            ~inject_crash:(Fault_plan.crash_hook plan)
+            strategy
+            (fun () -> body env)
+        with
+        | o -> Completed { steps = o.Sched.steps; crashed = o.Sched.crashed }
+        | exception Sched.Step_limit_exceeded _ -> Livelock { max_steps }
+        | exception Sched.Thread_failure { tid; exn; _ } ->
+            Thread_raised { tid; exn })
+  in
+  let audit =
+    match status with Completed _ -> Some (Audit.run env) | _ -> None
+  in
+  {
+    spec;
+    repro;
+    status;
+    audit;
+    injected = Fault_plan.injected plan;
+    counters = Lfrc_atomics.Dcas.counters (Env.dcas env);
+    env;
+  }
+
+let ok r = match r.audit with Some a -> Audit.ok a | None -> false
+
+let pp_status ppf = function
+  | Completed { steps; crashed } ->
+      Format.fprintf ppf "completed in %d steps%s" steps
+        (match crashed with
+        | [] -> ""
+        | l ->
+            Printf.sprintf " (crashed threads: %s)"
+              (String.concat "," (List.map string_of_int l)))
+  | Livelock { max_steps } ->
+      Format.fprintf ppf "LIVELOCK: step budget %d exhausted" max_steps
+  | Thread_raised { tid; exn } ->
+      Format.fprintf ppf "THREAD RAISED: tid %d: %s" tid
+        (Printexc.to_string exn)
+
+let pp ppf r =
+  Format.fprintf ppf "%a@\ninjected=%d cas_fail_streak<=%d@\nreplay: %s"
+    pp_status r.status r.injected
+    r.counters.Lfrc_atomics.Dcas.max_cas_failure_streak r.repro;
+  match r.audit with
+  | None -> ()
+  | Some a -> Format.fprintf ppf "@\naudit: %a" Audit.pp a

@@ -1,0 +1,48 @@
+(** One fault-injected simulated run, end to end: build a fresh heap and
+    environment, install a {!Fault_plan}, execute the body under the
+    deterministic scheduler (with the plan's crash hook), classify the
+    outcome, and audit the heap post-mortem.
+
+    Every report carries a [repro] token (scheduler strategy + step budget
+    + fault-plan spec) from which the run can be replayed exactly:
+    {!Lfrc_sched.Strategy.of_string} and {!Fault_plan.spec_of_string}
+    parse the two halves. A run that exhausts its step budget is reported
+    as [Livelock] rather than raised — the watchdog for retry loops that
+    stop compensating under injected failures. *)
+
+type status =
+  | Completed of { steps : int; crashed : int list }
+      (** all threads finished (crash-injected ones by dying) *)
+  | Livelock of { max_steps : int }
+      (** step budget exhausted ({!Lfrc_sched.Sched.Step_limit_exceeded}) *)
+  | Thread_raised of { tid : int; exn : exn }
+      (** a simulated thread raised — graceful degradation failed *)
+
+type report = {
+  spec : Fault_plan.spec;
+  repro : string;
+  status : status;
+  audit : Audit.report option;
+      (** present iff the run completed; the livelock and raise outcomes
+          leave the heap mid-operation, where auditing is meaningless *)
+  injected : int;  (** faults fired during the run *)
+  counters : Lfrc_atomics.Dcas.counters;
+  env : Lfrc_core.Env.t;  (** post-run environment, for extra checks *)
+}
+
+val run :
+  ?max_steps:int ->
+  ?policy:Lfrc_core.Env.policy ->
+  strategy:Lfrc_sched.Strategy.t ->
+  spec:Fault_plan.spec ->
+  (Lfrc_core.Env.t -> unit) ->
+  report
+(** [run ~strategy ~spec body] executes [body env] as the simulation's
+    main thread; [body] typically builds a structure and spawns workers.
+    [max_steps] defaults to 2 million; [policy] to [Iterative]. Hooks are
+    uninstalled before returning, whatever the outcome. *)
+
+val ok : report -> bool
+(** Completed and the audit found nothing. *)
+
+val pp : Format.formatter -> report -> unit

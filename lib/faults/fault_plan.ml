@@ -1,0 +1,228 @@
+module Rng = Lfrc_util.Rng
+
+type spec = {
+  seed : int;
+  cas_fail_at : int list;
+  dcas_fail_at : int list;
+  cas_fail_prob : float;
+  dcas_fail_prob : float;
+  alloc_fail_at : int list;
+  alloc_fail_prob : float;
+  max_spurious : int;
+  crash : (int * int) option;
+}
+
+let default =
+  {
+    seed = 0;
+    cas_fail_at = [];
+    dcas_fail_at = [];
+    cas_fail_prob = 0.0;
+    dcas_fail_prob = 0.0;
+    alloc_fail_at = [];
+    alloc_fail_prob = 0.0;
+    max_spurious = 1000;
+    crash = None;
+  }
+
+(* The textual form appears in failure reports and must survive a round
+   trip, so it is a rigid key=value list — no optional fields. *)
+
+let ints_to_string l = String.concat "," (List.map string_of_int l)
+
+let ints_of_string s =
+  if s = "" then Some []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | x :: rest -> (
+          match int_of_string_opt x with
+          | Some i -> go (i :: acc) rest
+          | None -> None)
+    in
+    go [] parts
+
+let spec_to_string s =
+  Printf.sprintf
+    "seed=%d cas@=%s dcas@=%s casp=%h dcasp=%h alloc@=%s allocp=%h cap=%d \
+     crash=%s"
+    s.seed (ints_to_string s.cas_fail_at)
+    (ints_to_string s.dcas_fail_at)
+    s.cas_fail_prob s.dcas_fail_prob
+    (ints_to_string s.alloc_fail_at)
+    s.alloc_fail_prob s.max_spurious
+    (match s.crash with
+    | None -> "-"
+    | Some (tid, n) -> Printf.sprintf "%d:%d" tid n)
+
+let spec_of_string str =
+  let kv part =
+    match String.index_opt part '=' with
+    | None -> None
+    | Some i ->
+        Some
+          ( String.sub part 0 i,
+            String.sub part (i + 1) (String.length part - i - 1) )
+  in
+  let parts = String.split_on_char ' ' (String.trim str) in
+  let tbl = Hashtbl.create 9 in
+  let ok =
+    List.for_all
+      (fun p ->
+        p = ""
+        ||
+        match kv p with
+        | Some (k, v) ->
+            Hashtbl.replace tbl k v;
+            true
+        | None -> false)
+      parts
+  in
+  let ( let* ) = Option.bind in
+  if not ok then None
+  else
+    let* seed = Option.bind (Hashtbl.find_opt tbl "seed") int_of_string_opt in
+    let* cas_fail_at = Option.bind (Hashtbl.find_opt tbl "cas@") ints_of_string in
+    let* dcas_fail_at =
+      Option.bind (Hashtbl.find_opt tbl "dcas@") ints_of_string
+    in
+    let* cas_fail_prob =
+      Option.bind (Hashtbl.find_opt tbl "casp") float_of_string_opt
+    in
+    let* dcas_fail_prob =
+      Option.bind (Hashtbl.find_opt tbl "dcasp") float_of_string_opt
+    in
+    let* alloc_fail_at =
+      Option.bind (Hashtbl.find_opt tbl "alloc@") ints_of_string
+    in
+    let* alloc_fail_prob =
+      Option.bind (Hashtbl.find_opt tbl "allocp") float_of_string_opt
+    in
+    let* max_spurious =
+      Option.bind (Hashtbl.find_opt tbl "cap") int_of_string_opt
+    in
+    let* crash =
+      match Hashtbl.find_opt tbl "crash" with
+      | None -> None
+      | Some "-" -> Some None
+      | Some s -> (
+          match String.split_on_char ':' s with
+          | [ tid; n ] -> (
+              match (int_of_string_opt tid, int_of_string_opt n) with
+              | Some tid, Some n -> Some (Some (tid, n))
+              | _ -> None)
+          | _ -> None)
+    in
+    Some
+      {
+        seed;
+        cas_fail_at;
+        dcas_fail_at;
+        cas_fail_prob;
+        dcas_fail_prob;
+        alloc_fail_at;
+        alloc_fail_prob;
+        max_spurious;
+        crash;
+      }
+
+type t = {
+  plan_spec : spec;
+  rng : Rng.t;
+  mutable cas_seen : int;
+  mutable dcas_seen : int;
+  mutable alloc_seen : int;
+  mutable spurious_fired : int; (* probabilistic injections, capped *)
+  mutable fired : int; (* all injections *)
+  mutable crash_fired : bool;
+  resumes : (int, int ref) Hashtbl.t;
+}
+
+let make spec =
+  {
+    plan_spec = spec;
+    rng = Rng.create spec.seed;
+    cas_seen = 0;
+    dcas_seen = 0;
+    alloc_seen = 0;
+    spurious_fired = 0;
+    fired = 0;
+    crash_fired = false;
+    resumes = Hashtbl.create 8;
+  }
+
+let spec t = t.plan_spec
+let injected t = t.fired
+
+(* An injection decision: an indexed fault always fires; a probabilistic
+   one fires from the plan's own stream, subject to the cap that keeps
+   the run lock-free in the limit. Plan state is only touched from inside
+   a (single-domain) simulated run, so plain mutation is safe. *)
+let decide t ~index ~at_list ~prob =
+  let indexed = List.mem index at_list in
+  let probabilistic =
+    (not indexed)
+    && prob > 0.0
+    && t.spurious_fired < t.plan_spec.max_spurious
+    && Rng.float t.rng < prob
+  in
+  if probabilistic then t.spurious_fired <- t.spurious_fired + 1;
+  let fire = indexed || probabilistic in
+  if fire then t.fired <- t.fired + 1;
+  fire
+
+let inject_cas t () =
+  let i = t.cas_seen in
+  t.cas_seen <- i + 1;
+  decide t ~index:i ~at_list:t.plan_spec.cas_fail_at
+    ~prob:t.plan_spec.cas_fail_prob
+
+let inject_dcas t () =
+  let i = t.dcas_seen in
+  t.dcas_seen <- i + 1;
+  decide t ~index:i ~at_list:t.plan_spec.dcas_fail_at
+    ~prob:t.plan_spec.dcas_fail_prob
+
+let inject_alloc t () =
+  let i = t.alloc_seen in
+  t.alloc_seen <- i + 1;
+  decide t ~index:i ~at_list:t.plan_spec.alloc_fail_at
+    ~prob:t.plan_spec.alloc_fail_prob
+
+let install t env =
+  Lfrc_atomics.Dcas.set_injector
+    (Lfrc_core.Env.dcas env)
+    (Some
+       {
+         Lfrc_atomics.Dcas.inject_cas = inject_cas t;
+         inject_dcas = inject_dcas t;
+       });
+  Lfrc_simmem.Heap.set_alloc_hook
+    (Lfrc_core.Env.heap env)
+    (Some (inject_alloc t))
+
+let uninstall env =
+  Lfrc_atomics.Dcas.set_injector (Lfrc_core.Env.dcas env) None;
+  Lfrc_simmem.Heap.set_alloc_hook (Lfrc_core.Env.heap env) None
+
+let crash_hook t ~tid ~step:_ =
+  match t.plan_spec.crash with
+  | Some (victim, n) when tid = victim && not t.crash_fired ->
+      let count =
+        match Hashtbl.find_opt t.resumes tid with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.add t.resumes tid r;
+            r
+      in
+      let i = !count in
+      incr count;
+      if i = n then begin
+        t.crash_fired <- true;
+        t.fired <- t.fired + 1;
+        true
+      end
+      else false
+  | _ -> false

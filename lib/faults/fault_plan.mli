@@ -1,0 +1,69 @@
+(** A seeded, deterministic, replayable plan of injected faults.
+
+    A plan drives the three low-layer injection hooks:
+
+    - {b spurious CAS/DCAS failures} via {!Lfrc_atomics.Dcas.set_injector}
+      — the LL/SC-style false negative every LFRC retry loop must
+      compensate (dropping its speculative count increments);
+    - {b simulated OOM} via {!Lfrc_simmem.Heap.set_alloc_hook} — the
+      allocator fails before touching the heap, and every operation must
+      degrade gracefully;
+    - {b thread crash} via {!Lfrc_sched.Sched.run}'s [inject_crash] — a
+      thread parked at a yield point never runs again, the paper's
+      footnote 3 permanent failure.
+
+    Faults fire either at exact operation indices (exhaustive sweeps) or
+    probabilistically from the plan's own seeded stream (chaos soaks).
+    Replaying the same spec against the same scheduler strategy reproduces
+    the run exactly; {!spec_to_string}/{!spec_of_string} round-trip a spec
+    through the failure report for that purpose. *)
+
+type spec = {
+  seed : int;  (** seeds the plan's private random stream *)
+  cas_fail_at : int list;
+      (** fail the i-th CAS attempt (0-based, counted per plan) *)
+  dcas_fail_at : int list;  (** fail the i-th DCAS attempt *)
+  cas_fail_prob : float;  (** per-attempt spurious-failure probability *)
+  dcas_fail_prob : float;
+  alloc_fail_at : int list;  (** fail the i-th allocation *)
+  alloc_fail_prob : float;
+  max_spurious : int;
+      (** cap on {e probabilistic} injections of all kinds: keeps a chaos
+          run lock-free in the limit so it terminates (indexed faults are
+          not capped — a sweep means every listed index) *)
+  crash : (int * int) option;
+      (** [(tid, n)]: kill thread [tid] at its [n]-th resume (0-based) *)
+}
+
+val default : spec
+(** No faults: seed 0, empty index lists, zero probabilities,
+    [max_spurious = 1000], no crash. Build specs with
+    [{ default with ... }]. *)
+
+val spec_to_string : spec -> string
+
+val spec_of_string : string -> spec option
+(** Parses exactly what {!spec_to_string} prints. *)
+
+type t
+(** A running plan: a spec plus its mutable fire-state (operation
+    counters, the random stream, whether the crash has fired). Single
+    simulated-run use only — make a fresh plan per run. *)
+
+val make : spec -> t
+val spec : t -> spec
+
+val install : t -> Lfrc_core.Env.t -> unit
+(** Point the environment's DCAS injector and the heap's alloc hook at
+    this plan. *)
+
+val uninstall : Lfrc_core.Env.t -> unit
+(** Clear both hooks. *)
+
+val crash_hook : t -> tid:int -> step:int -> bool
+(** Pass as [Sched.run]'s [inject_crash]. Counts resumes per thread and
+    fires the spec's crash exactly once. *)
+
+val injected : t -> int
+(** How many faults (of all kinds, indexed and probabilistic) have fired
+    so far. *)

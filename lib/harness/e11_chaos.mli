@@ -1,0 +1,22 @@
+(** E11 — chaos matrix: structures × fault kinds × seeds.
+
+    Each cell runs a multi-threaded workload on one LFRC structure under a
+    {!Lfrc_faults.Fault_plan} (no faults / spurious CAS+DCAS / allocator
+    OOM / thread crash / all mixed) and judges it with the post-mortem
+    {!Lfrc_faults.Audit}. Any livelock, unexpected raise, or audit finding
+    is counted in the [bad] column and its replay token printed. *)
+
+type structure
+type fault_kind
+
+val structures : structure list
+val fault_kinds : fault_kind list
+val structure_name : structure -> string
+val fault_name : fault_kind -> string
+
+val run_one :
+  structure:structure -> fault:fault_kind -> seed:int -> Lfrc_faults.Chaos.report
+(** One cell of the matrix, for ad-hoc exploration (the [chaos] CLI
+    command); prints nothing. *)
+
+val run : unit -> Lfrc_util.Table.t

@@ -56,6 +56,11 @@ let all =
       title = "Skip-list index payoff: search cost vs set size";
       run = E10_search.run;
     };
+    {
+      id = "E11";
+      title = "Chaos matrix: faults injected across structures";
+      run = E11_chaos.run;
+    };
   ]
 
 let find id =

@@ -9,6 +9,20 @@ type t = {
   env_policy : policy;
   pending : int Queue.t;
   pending_lock : Mutex.t;
+  (* Objects a destroy is in the middle of tearing down, keyed by simulated
+     thread id. While a destroy runs, the reference being dropped is held
+     only in OCaml locals, invisible to the heap; this registry republishes
+     it so the post-mortem fault auditor can account for it if the
+     destroying thread crashes. Deliberately NOT a heap frame: heap frames
+     feed the tracing collectors and invariant checkers, whose semantics
+     must not change under LFRC. *)
+  destroying : (int, int list ref) Hashtbl.t;
+  destroying_lock : Mutex.t;
+  (* Thread-local pointer variables published for the same auditor (their
+     heap-frame analogue, kept off the heap for the same reason). *)
+  mutable local_frames : (int * (unit -> int list)) list;
+  mutable local_frame_ctr : int;
+  local_frames_lock : Mutex.t;
   env_gc_threshold : int;
   mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
 }
@@ -27,6 +41,11 @@ let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0) heap =
     env_policy = policy;
     pending = Queue.create ();
     pending_lock = Mutex.create ();
+    destroying = Hashtbl.create 8;
+    destroying_lock = Mutex.create ();
+    local_frames = [];
+    local_frame_ctr = 0;
+    local_frames_lock = Mutex.create ();
     env_gc_threshold = gc_threshold;
     env_incremental = None;
   }
@@ -61,3 +80,55 @@ let deferred_pending t =
   let n = Queue.length t.pending in
   Mutex.unlock t.pending_lock;
   n
+
+let begin_destroy t p =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.destroying_lock;
+  (match Hashtbl.find_opt t.destroying tid with
+  | Some l -> l := p :: !l
+  | None -> Hashtbl.add t.destroying tid (ref [ p ]));
+  Mutex.unlock t.destroying_lock
+
+let end_destroy t p =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.destroying_lock;
+  (match Hashtbl.find_opt t.destroying tid with
+  | Some l ->
+      let rec remove = function
+        | [] -> []
+        | x :: rest -> if x = p then rest else x :: remove rest
+      in
+      l := remove !l
+  | None -> ());
+  Mutex.unlock t.destroying_lock
+
+let destroying_now t =
+  Mutex.lock t.destroying_lock;
+  let ds = Hashtbl.fold (fun _ l acc -> !l @ acc) t.destroying [] in
+  Mutex.unlock t.destroying_lock;
+  ds
+
+type local_frame = int
+
+let register_locals t f =
+  Mutex.lock t.local_frames_lock;
+  t.local_frame_ctr <- t.local_frame_ctr + 1;
+  let id = t.local_frame_ctr in
+  t.local_frames <- (id, f) :: t.local_frames;
+  Mutex.unlock t.local_frames_lock;
+  id
+
+let unregister_locals t id =
+  Mutex.lock t.local_frames_lock;
+  t.local_frames <- List.filter (fun (i, _) -> i <> id) t.local_frames;
+  Mutex.unlock t.local_frames_lock
+
+let anchors t =
+  Mutex.lock t.local_frames_lock;
+  let frames = t.local_frames in
+  Mutex.unlock t.local_frames_lock;
+  let locals = List.concat_map (fun (_, f) -> f ()) frames in
+  Mutex.lock t.pending_lock;
+  let pend = Queue.fold (fun acc p -> p :: acc) [] t.pending in
+  Mutex.unlock t.pending_lock;
+  destroying_now t @ pend @ locals

@@ -54,3 +54,45 @@ val drain_deferred : t -> max:int -> int list
 (** Dequeue up to [max] pending dead objects (all of them if [max < 0]). *)
 
 val deferred_pending : t -> int
+
+(** {2 Audit publication}
+
+    From the moment a destroy commits to dropping a reference until the
+    object is freed (or parked in the deferred queue), that reference is
+    held only in the destroying thread's OCaml locals — invisible to the
+    heap. The destroy registry republishes such objects (keyed by
+    simulated thread id), and {!register_locals} does the same for a
+    thread's local pointer variables, so the post-mortem fault auditor can
+    attribute a crashed thread's leaks to its lost references instead of
+    flagging them as unaccounted.
+
+    None of this is visible to the heap: heap frames feed the tracing
+    collectors and invariant checkers, whose semantics must not change
+    under LFRC (a dead thread's stack is gone in the real world, and a
+    counted local mid-ownership-transfer is not an extra reference).
+    {!Lfrc}'s destroy paths and {!Lfrc_ops} maintain these registries;
+    user code never needs to. *)
+
+val begin_destroy : t -> int -> unit
+(** Record that the current simulated thread holds an unpublished
+    reference to this object while tearing it down. *)
+
+val end_destroy : t -> int -> unit
+(** The object has been freed (or handed to the deferred queue); drop it
+    from the current thread's registry entry. *)
+
+val destroying_now : t -> int list
+(** All registered in-flight destroys, across threads (auditing aid). *)
+
+type local_frame
+
+val register_locals : t -> (unit -> int list) -> local_frame
+(** Publish a closure over a thread's local pointer variables for the
+    auditor; returns a token for {!unregister_locals}. *)
+
+val unregister_locals : t -> local_frame -> unit
+
+val anchors : t -> int list
+(** Everything the auditor may treat as a lost-reference anchor: in-flight
+    destroys, the deferred queue's contents, and all registered locals
+    (with duplicates and nulls possible; the caller filters). *)

@@ -124,6 +124,11 @@ let alloc ctx layout local =
       Gc_incr.poll gc ~budget
   | None -> ()
 
+let try_alloc ctx layout local =
+  match alloc ctx layout local with
+  | () -> true
+  | exception Heap.Simulated_oom -> false
+
 let read_val ctx cell = Dcas.read (d ctx) cell
 let write_val ctx cell v = Dcas.write (d ctx) cell v
 let cas_val ctx cell old_v new_v = Dcas.cas (d ctx) cell old_v new_v

@@ -20,6 +20,14 @@ let add_to_rc env p v =
 
 let alloc env layout = Heap.alloc (Env.heap env) layout
 
+(* Allocation with graceful OOM: a simulated allocation failure surfaces as
+   a result before any count or cell is touched, so the caller can abort
+   its operation with the heap intact. *)
+let try_alloc env layout =
+  match Heap.alloc (Env.heap env) layout with
+  | p -> Ok p
+  | exception Heap.Simulated_oom -> Error `Out_of_memory
+
 (* Destroying the last pointer to an object frees it and destroys the
    pointers it contains. Three policies; all call [release_one] to drop a
    single count and report whether the object died. *)
@@ -33,30 +41,51 @@ let ptr_slot_contents env p =
   let n = Heap.n_ptr_slots heap p in
   List.init n (fun i -> Dcas.read (Env.dcas env) (Heap.ptr_cell heap p i))
 
+(* From the moment a destroy is committed to dropping a reference until the
+   object is freed (or handed to the deferred queue), that reference exists
+   only in OCaml locals — invisible to the heap. [Env.begin_destroy]
+   republishes the object for the post-mortem fault auditor covering that
+   whole span. Registry calls are mutex-only (no yield points), so no
+   simulated crash can separate a reference from its registration. *)
+
 (* Figure 2, lines 13..15: recursive destroy, faithful to the paper. *)
 let rec destroy_recursive env p =
-  if p <> null && release_one env p then begin
-    List.iter (destroy_recursive env) (ptr_slot_contents env p);
-    free_obj env p
+  if p <> null then begin
+    Env.begin_destroy env p;
+    if release_one env p then begin
+      List.iter (destroy_recursive env) (ptr_slot_contents env p);
+      free_obj env p
+    end;
+    Env.end_destroy env p
   end
 
 (* Same semantics with an explicit work list: survives arbitrarily long
    chains of dead objects. *)
 let destroy_iterative env p =
-  if p <> null && release_one env p then begin
-    let work = ref [ p ] in
-    while !work <> [] do
-      match !work with
-      | [] -> ()
-      | q :: rest ->
-          work := rest;
-          List.iter
-            (fun child ->
-              if child <> null && release_one env child then
-                work := child :: !work)
-            (ptr_slot_contents env q);
-          free_obj env q
-    done
+  if p <> null then begin
+    Env.begin_destroy env p;
+    if not (release_one env p) then Env.end_destroy env p
+    else begin
+      let work = ref [ p ] in
+      while !work <> [] do
+        match !work with
+        | [] -> ()
+        | q :: rest ->
+            work := rest;
+            List.iter
+              (fun child ->
+                (* A dead child outlives its parent's registration (the
+                   parent is freed first), so it gets its own. *)
+                if child <> null then begin
+                  Env.begin_destroy env child;
+                  if release_one env child then work := child :: !work
+                  else Env.end_destroy env child
+                end)
+              (ptr_slot_contents env q);
+            free_obj env q;
+            Env.end_destroy env q
+      done
+    end
   end
 
 (* Deferred policy: dead objects go to the environment's queue; each later
@@ -73,22 +102,30 @@ let pump_deferred env ~budget =
     match Env.drain_deferred env ~max:1 with
     | [] -> exhausted := true
     | q :: _ ->
+        Env.begin_destroy env q;
         incr freed;
         List.iter
           (fun child ->
             if child <> null && release_one env child then
               defer_dead env child)
           (ptr_slot_contents env q);
-        free_obj env q
+        free_obj env q;
+        Env.end_destroy env q
   done;
   !freed
+
+let flush env = pump_deferred env ~budget:(-1)
 
 let destroy env p =
   match Env.policy env with
   | Env.Recursive -> destroy_recursive env p
   | Env.Iterative -> destroy_iterative env p
   | Env.Deferred { budget_per_op } ->
-      if p <> null && release_one env p then defer_dead env p;
+      if p <> null then begin
+        Env.begin_destroy env p;
+        if release_one env p then defer_dead env p;
+        Env.end_destroy env p
+      end;
       ignore (pump_deferred env ~budget:budget_per_op)
 
 (* LFRCLoad (Figure 2, lines 1..12). *)

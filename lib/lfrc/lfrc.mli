@@ -24,6 +24,13 @@ val alloc : Env.t -> Lfrc_simmem.Layout.t -> ptr
 (** New object with reference count 1 — the count for the reference this
     function returns (the paper's constructor, step 1). *)
 
+val try_alloc :
+  Env.t -> Lfrc_simmem.Layout.t -> (ptr, [ `Out_of_memory ]) result
+(** Like {!alloc}, but turns a simulated allocator failure
+    ({!Lfrc_simmem.Heap.Simulated_oom}) into [Error `Out_of_memory]. The
+    failure is observed before any count or cell is touched, so the caller
+    can abort its operation with all reference counts intact. *)
+
 val load : Env.t -> src:Lfrc_simmem.Cell.t -> dest:ptr ref -> unit
 (** [LFRCLoad(A, p)]: load the shared pointer at [src] into the local
     variable [dest], incrementing the target's count via DCAS on
@@ -89,6 +96,12 @@ val add_to_rc : Env.t -> ptr -> int -> int
 val pump_deferred : Env.t -> budget:int -> int
 (** Free up to [budget] objects from the deferred-destroy queue; returns
     how many were freed. No-op under other policies. *)
+
+val flush : Env.t -> int
+(** Drain the deferred-destroy queue completely
+    ([pump_deferred ~budget:(-1)]); returns how many objects were freed.
+    Surviving threads call this after a peer crashes so that deferred
+    garbage does not masquerade as a leak. *)
 
 val with_locals : Env.t -> int -> (ptr ref array -> 'a) -> 'a
 (** [with_locals env n f] runs [f] with [n] null-initialized local pointer

@@ -2,55 +2,89 @@ module Heap = Lfrc_simmem.Heap
 
 let name = "lfrc"
 
-type ctx = Env.t
-
-let make_ctx env = env
-let dispose_ctx _ = ()
-let env ctx = ctx
-
 type local = Heap.ptr ref
 
-let declare _ctx = ref Heap.null
+(* Locals hold counted references, so LFRC itself never needs them
+   published. The registration with {!Env} (not with the heap — heap
+   frames would change what the tracing collectors and invariant checkers
+   see) exists for the fault auditor: when a simulated thread crashes, its
+   registered locals are the "lost references" that account for any
+   objects it leaks. *)
+type ctx = {
+  ctx_env : Env.t;
+  locals : local list ref;
+  frame : Env.local_frame;
+}
+
+let make_ctx env =
+  let locals = ref [] in
+  let frame = Env.register_locals env (fun () -> List.map ( ! ) !locals) in
+  { ctx_env = env; locals; frame }
+
+let dispose_ctx ctx = Env.unregister_locals ctx.ctx_env ctx.frame
+
+let env ctx = ctx.ctx_env
+
+let declare ctx =
+  let l = ref Heap.null in
+  ctx.locals := l :: !(ctx.locals);
+  l
 
 let retire ctx local =
-  Lfrc.destroy ctx !local;
-  local := Heap.null
+  (* Destroy while the local still holds the pointer: the frame must keep
+     anchoring the reference up to the instant destroy takes it over. *)
+  Lfrc.destroy ctx.ctx_env !local;
+  local := Heap.null;
+  ctx.locals := List.filter (fun l -> l != local) !(ctx.locals)
 
 let get local = !local
 
-let load ctx cell local = Lfrc.load ctx ~src:cell ~dest:local
+let load ctx cell local = Lfrc.load ctx.ctx_env ~src:cell ~dest:local
 
-let store ctx cell p = Lfrc.store ctx ~dst:cell p
+let store ctx cell p = Lfrc.store ctx.ctx_env ~dst:cell p
 
 let store_alloc ctx cell local =
-  Lfrc.store_alloc ctx ~dst:cell !local;
+  Lfrc.store_alloc ctx.ctx_env ~dst:cell !local;
   (* The allocation reference now lives in the cell, not the local. *)
   local := Heap.null
 
-let copy ctx local p = Lfrc.copy ctx ~dest:local p
+let copy ctx local p = Lfrc.copy ctx.ctx_env ~dest:local p
 
 let set_null ctx local =
-  Lfrc.destroy ctx !local;
+  Lfrc.destroy ctx.ctx_env !local;
   local := Heap.null
 
-let cas ctx cell ~old_ptr ~new_ptr = Lfrc.cas ctx cell ~old_ptr ~new_ptr
+let cas ctx cell ~old_ptr ~new_ptr =
+  Lfrc.cas ctx.ctx_env cell ~old_ptr ~new_ptr
 
 let dcas ctx c0 c1 ~old0 ~old1 ~new0 ~new1 =
-  Lfrc.dcas ctx c0 c1 ~old0 ~old1 ~new0 ~new1
+  Lfrc.dcas ctx.ctx_env c0 c1 ~old0 ~old1 ~new0 ~new1
 
 let dcas_ptr_val ctx ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
-  Lfrc.dcas_ptr_val ctx ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val
-    ~new_val
+  Lfrc.dcas_ptr_val ctx.ctx_env ~ptr_cell ~val_cell ~old_ptr ~new_ptr
+    ~old_val ~new_val
 
 let alloc ctx layout local =
-  let p = Lfrc.alloc ctx layout in
+  let p = Lfrc.alloc ctx.ctx_env layout in
   (* The previous content dies; the new object's count of 1 is carried by
      the local. Plain assignment plus destroy keeps the counts exact. *)
   let old = !local in
   local := p;
-  Lfrc.destroy ctx old
+  Lfrc.destroy ctx.ctx_env old
 
-let read_val ctx cell = Lfrc_atomics.Dcas.read (Env.dcas ctx) cell
-let write_val ctx cell v = Lfrc_atomics.Dcas.write (Env.dcas ctx) cell v
+let try_alloc ctx layout local =
+  match Lfrc.try_alloc ctx.ctx_env layout with
+  | Error `Out_of_memory -> false
+  | Ok p ->
+      let old = !local in
+      local := p;
+      Lfrc.destroy ctx.ctx_env old;
+      true
+
+let read_val ctx cell = Lfrc_atomics.Dcas.read (Env.dcas ctx.ctx_env) cell
+
+let write_val ctx cell v =
+  Lfrc_atomics.Dcas.write (Env.dcas ctx.ctx_env) cell v
+
 let cas_val ctx cell old_v new_v =
-  Lfrc_atomics.Dcas.cas (Env.dcas ctx) cell old_v new_v
+  Lfrc_atomics.Dcas.cas (Env.dcas ctx.ctx_env) cell old_v new_v

@@ -88,6 +88,12 @@ module type OPS = sig
       content). In GC-dependent mode allocation may trigger a tracing
       collection first. *)
 
+  val try_alloc : ctx -> Lfrc_simmem.Layout.t -> local -> bool
+  (** Like {!alloc} but fallible: on a simulated allocator failure
+      ({!Lfrc_simmem.Heap.Simulated_oom}) returns [false] with the local —
+      and every reference count — untouched, so the enclosing structure
+      operation can report out-of-memory instead of dying mid-update. *)
+
   (* Value-slot access (not pointer operations; always permitted). *)
 
   val read_val : ctx -> Lfrc_simmem.Cell.t -> int

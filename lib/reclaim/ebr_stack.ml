@@ -31,8 +31,10 @@ let d t = Lfrc_core.Env.dcas t.env
 
 let push h v =
   let t = h.t in
-  Epoch.pin t.ebr h.slot;
+  (* Allocate before pinning: a simulated OOM must not leave the slot
+     pinned, and the fresh node needs no epoch protection. *)
   let nd = Heap.alloc t.heap node_layout in
+  Epoch.pin t.ebr h.slot;
   Dcas.write (d t) (Heap.val_cell t.heap nd 0) v;
   let rec loop () =
     let top = Dcas.read (d t) t.top in
@@ -41,6 +43,11 @@ let push h v =
   in
   loop ();
   Epoch.unpin t.ebr h.slot
+
+let try_push h v =
+  match push h v with
+  | () -> Ok ()
+  | exception Heap.Simulated_oom -> Error `Out_of_memory
 
 let pop h =
   let t = h.t in

@@ -40,6 +40,13 @@ let push h v =
   in
   loop ()
 
+(* The allocation is push's first action, so a simulated OOM backs out
+   before the stack is touched. *)
+let try_push h v =
+  match push h v with
+  | () -> Ok ()
+  | exception Heap.Simulated_oom -> Error `Out_of_memory
+
 let pop h =
   let t = h.t in
   let rec loop () =

@@ -131,6 +131,13 @@ let push t v =
   (* transfer our allocation count to the stack's reference *)
   ()
 
+(* [alloc_node] either recycles (infallible) or allocates as its last
+   step, so a simulated OOM backs out before the stack is touched. *)
+let try_push t v =
+  match push t v with
+  | () -> Ok ()
+  | exception Heap.Simulated_oom -> Error `Out_of_memory
+
 let pop t =
   let rec loop () =
     let top = safe_read t t.top in

@@ -1,11 +1,28 @@
 exception Step_limit_exceeded of int
-exception Thread_failure of { tid : int; exn : exn; trace : Trace.t option }
+
+exception
+  Thread_failure of {
+    tid : int;
+    exn : exn;
+    trace : Trace.t option;
+    repro : string;
+  }
+
 exception Stuck of { unfinished : int list }
+
+let () =
+  Printexc.register_printer (function
+    | Thread_failure { tid; exn; repro; _ } ->
+        Some
+          (Printf.sprintf "Sched.Thread_failure(tid=%d, %s) [replay: %s]" tid
+             (Printexc.to_string exn) repro)
+    | _ -> None)
 
 type outcome = {
   steps : int;
   per_thread_steps : int array;
   trace : Trace.t option;
+  crashed : int list;
 }
 
 type _ Effect.t += Yield : unit Effect.t
@@ -156,8 +173,13 @@ let cleanup s =
     | Running | Finished -> ()
   done
 
-let run ?(max_steps = 10_000_000) ?(record = false) strategy main =
+let run ?(max_steps = 10_000_000) ?(record = false)
+    ?(inject_crash = fun ~tid:_ ~step:_ -> false) strategy main =
   if active () then invalid_arg "Sched.run: nested simulation";
+  let repro =
+    Printf.sprintf "strategy=%s max_steps=%d" (Strategy.describe strategy)
+      max_steps
+  in
   let s =
     {
       threads = Array.make 8 { id = 0; name = "main"; state = Finished };
@@ -175,6 +197,7 @@ let run ?(max_steps = 10_000_000) ?(record = false) strategy main =
   in
   ignore (add_thread s "main" main);
   current_sched := Some s;
+  let crashed = ref [] in
   let result =
     try
       let rec loop last =
@@ -198,9 +221,25 @@ let run ?(max_steps = 10_000_000) ?(record = false) strategy main =
               s.trace_buf <- { Trace.tid = choice; enabled } :: s.trace_buf;
             s.steps <- s.steps + 1;
             s.per_thread.(choice) <- s.per_thread.(choice) + 1;
-            s.current <- choice;
-            step_thread s s.threads.(choice);
-            s.current <- -1;
+            let th = s.threads.(choice) in
+            let crash_here =
+              (match th.state with
+              | Not_started _ | Suspended _ -> true
+              | Waiting _ | Running | Finished -> false)
+              && inject_crash ~tid:choice ~step:(s.steps - 1)
+            in
+            if crash_here then begin
+              (* Crash injection: the thread is parked at a yield point and
+                 simply never runs again — no unwinding, no cleanup, exactly
+                 like [kill]. *)
+              th.state <- Finished;
+              crashed := choice :: !crashed
+            end
+            else begin
+              s.current <- choice;
+              step_thread s th;
+              s.current <- -1
+            end;
             loop choice
           end
         end
@@ -220,10 +259,11 @@ let run ?(max_steps = 10_000_000) ?(record = false) strategy main =
   | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt
   | Ok () -> (
       match s.failure with
-      | Some (tid, exn) -> raise (Thread_failure { tid; exn; trace })
+      | Some (tid, exn) -> raise (Thread_failure { tid; exn; trace; repro })
       | None ->
           {
             steps = s.steps;
             per_thread_steps = Array.sub s.per_thread 0 s.n_threads;
             trace;
+            crashed = List.rev !crashed;
           })

@@ -16,25 +16,44 @@ exception Step_limit_exceeded of int
 (** Raised (inside [run]) when the run exceeds its step budget — the
     livelock detector for randomized checking. *)
 
-exception Thread_failure of { tid : int; exn : exn; trace : Trace.t option }
+exception
+  Thread_failure of {
+    tid : int;
+    exn : exn;
+    trace : Trace.t option;
+    repro : string;
+  }
 (** Raised by [run] when a simulated thread raised; carries the trace when
-    recording was on. *)
+    recording was on and a replay token ([strategy=… max_steps=…], with the
+    strategy rendered by {!Strategy.describe}) so the failure is
+    reproducible from its error message alone. A printer including the
+    token is registered with [Printexc]. *)
 
 type outcome = {
   steps : int;  (** total scheduling decisions taken *)
   per_thread_steps : int array;
   trace : Trace.t option;  (** present iff [record] was true *)
+  crashed : int list;  (** threads killed by [inject_crash], in crash order *)
 }
 
 val run :
   ?max_steps:int ->
   ?record:bool ->
+  ?inject_crash:(tid:int -> step:int -> bool) ->
   Strategy.t ->
   (unit -> unit) ->
   outcome
 (** [run strategy main] executes [main] as thread 0, scheduling it and any
     threads it {!spawn}s until all have finished. [max_steps] defaults to
-    10 million; [record] (default [false]) keeps the full trace. *)
+    10 million; [record] (default [false]) keeps the full trace.
+
+    [inject_crash] is the fault-injection hook: it is consulted each time
+    the scheduler is about to resume a thread parked at a yield point
+    (including a thread's very first activation), and answering [true]
+    permanently fails that thread there — it never runs again and no
+    cleanup code executes, modelling a thread crash ({!kill}'s semantics,
+    but driven at an exact {!point}). Crashed threads count as finished
+    for {!join} and appear in [outcome.crashed]. *)
 
 val spawn : ?name:string -> (unit -> unit) -> int
 (** Create a new simulated thread; returns its id. Must be called from

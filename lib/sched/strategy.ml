@@ -7,6 +7,38 @@ type t =
 
 exception Script_diverged of { step : int; wanted : int; enabled : int }
 
+(* One-token descriptions, parseable back by [of_string] so a failure
+   message alone is enough to reproduce a randomized run. [Scripted] is
+   the exception: its prefix can be arbitrarily long, so it is described
+   but not parseable. *)
+let describe = function
+  | Round_robin -> "rr"
+  | Random seed -> Printf.sprintf "random:%d" seed
+  | Pct { seed; change_points } -> Printf.sprintf "pct:%d:%d" seed change_points
+  | Scripted { prefix; tail_seed } ->
+      Printf.sprintf "scripted:%d%s" (Array.length prefix)
+        (match tail_seed with None -> "" | Some s -> Printf.sprintf ":%d" s)
+  | Handicap { seed; victim; period } ->
+      Printf.sprintf "handicap:%d:%d:%d" seed victim period
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ "rr" ] -> Some Round_robin
+  | [ "random"; seed ] -> Option.map (fun s -> Random s) (int_of_string_opt seed)
+  | [ "pct"; seed; cp ] -> (
+      match (int_of_string_opt seed, int_of_string_opt cp) with
+      | Some seed, Some change_points -> Some (Pct { seed; change_points })
+      | _ -> None)
+  | [ "handicap"; seed; victim; period ] -> (
+      match
+        (int_of_string_opt seed, int_of_string_opt victim,
+         int_of_string_opt period)
+      with
+      | Some seed, Some victim, Some period ->
+          Some (Handicap { seed; victim; period })
+      | _ -> None)
+  | _ -> None
+
 type state =
   | Rr_state
   | Random_state of Lfrc_util.Rng.t

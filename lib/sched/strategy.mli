@@ -39,3 +39,13 @@ val choose : state -> step:int -> enabled:int -> last:int -> int
 exception Script_diverged of { step : int; wanted : int; enabled : int }
 (** Raised by [Scripted] when the recorded decision is no longer enabled —
     the program under test is not deterministic between runs. *)
+
+val describe : t -> string
+(** Compact one-token description including every parameter needed for
+    exact replay, e.g. ["random:17"] or ["handicap:3:1:50"]. Embedded in
+    failure payloads so an error message alone reproduces the run.
+    [Scripted] strategies are described but cannot be parsed back. *)
+
+val of_string : string -> t option
+(** Inverse of {!describe} for the replayable strategies ([Round_robin],
+    [Random], [Pct], [Handicap]); [None] for anything else. *)

@@ -3,6 +3,7 @@ type ptr = int
 exception Use_after_free of { id : int; gen : int; op : string }
 exception Double_free of { id : int }
 exception Invalid_pointer of { value : int; op : string }
+exception Simulated_oom
 
 let null = 0
 
@@ -32,6 +33,7 @@ type t = {
   live : int Atomic.t;
   peak : int Atomic.t;
   live_cells : int Atomic.t;
+  mutable alloc_hook : (unit -> bool) option;
 }
 
 let create ?(name = "heap") () =
@@ -49,9 +51,12 @@ let create ?(name = "heap") () =
     live = Atomic.make 0;
     peak = Atomic.make 0;
     live_cells = Atomic.make 0;
+    alloc_hook = None;
   }
 
 let name t = t.heap_name
+
+let set_alloc_hook t h = t.alloc_hook <- h
 
 let get_obj t p op =
   if p <= 0 || p > Atomic.get t.n_objs then
@@ -98,6 +103,11 @@ let bump_peak t =
   go ()
 
 let alloc t l =
+  (* Consulted before any mutation: a simulated OOM leaves the heap exactly
+     as it was, so callers can degrade gracefully. *)
+  (match t.alloc_hook with
+  | Some f when f () -> raise Simulated_oom
+  | _ -> ());
   Mutex.lock t.lock;
   let o =
     match Hashtbl.find_opt t.free_by_shape (shape l) with

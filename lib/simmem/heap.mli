@@ -24,6 +24,11 @@ exception Use_after_free of { id : int; gen : int; op : string }
 exception Double_free of { id : int }
 exception Invalid_pointer of { value : int; op : string }
 
+exception Simulated_oom
+(** Raised by {!alloc} when an installed {!set_alloc_hook} answers [true] —
+    the allocator ran out of memory. Raised before the heap is touched, so
+    the failed allocation has no side effects. *)
+
 val null : ptr
 
 val create : ?name:string -> unit -> t
@@ -39,6 +44,11 @@ val alloc : t -> Layout.t -> ptr
 val free : t -> ptr -> unit
 (** Return an object to the allocator. Raises {!Double_free} if it is
     already free. In safe mode, poisons all cells first. *)
+
+val set_alloc_hook : t -> (unit -> bool) option -> unit
+(** Fault-injection hook consulted at the top of every {!alloc}; answering
+    [true] makes that allocation raise {!Simulated_oom} without mutating
+    the heap. [None] (the default) disables injection. *)
 
 val is_live : t -> ptr -> bool
 val layout : t -> ptr -> Layout.t

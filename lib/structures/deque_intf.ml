@@ -19,6 +19,13 @@ module type DEQUE = sig
 
   val push_left : handle -> int -> unit
   val push_right : handle -> int -> unit
+
+  val try_push_left : handle -> int -> (unit, [ `Out_of_memory ]) result
+  val try_push_right : handle -> int -> (unit, [ `Out_of_memory ]) result
+  (** Like the push operations, but when the allocator fails they back out
+      with the deque and all reference counts untouched, instead of
+      raising mid-update. *)
+
   val pop_left : handle -> int option
   val pop_right : handle -> int option
 

@@ -103,6 +103,19 @@ let push_left t v =
   push_end t ~end_cell:t.head ~other_end_cell:t.tail
     ~link_toward_other:next_cell ~link_toward_end:prev_cell v
 
+(* The allocation is the first action under the lock, before any deque
+   cell is written, and [with_lock]'s protect releases the lock on the
+   way out — so a simulated OOM leaves the deque untouched and unlocked. *)
+let try_push_right t v =
+  match push_right t v with
+  | () -> Ok ()
+  | exception Heap.Simulated_oom -> Error `Out_of_memory
+
+let try_push_left t v =
+  match push_left t v with
+  | () -> Ok ()
+  | exception Heap.Simulated_oom -> Error `Out_of_memory
+
 let pop_right t =
   pop_end t ~end_cell:t.tail ~other_end_cell:t.head
     ~link_toward_other:prev_cell ~link_toward_end:next_cell

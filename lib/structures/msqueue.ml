@@ -52,33 +52,46 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
   let register t = { t; ctx = O.make_ctx t.env }
   let unregister h = O.dispose_ctx h.ctx
 
-  let enqueue h v =
+  let try_enqueue h v =
     let ctx = h.ctx and t = h.t in
     let nd = O.declare ctx and tl = O.declare ctx and nx = O.declare ctx in
-    O.alloc ctx node_layout nd;
-    O.write_val ctx (value_cell t (O.get nd)) v;
-    let rec loop () =
-      O.load ctx t.tail tl;
-      O.load ctx (next_cell t (O.get tl)) nx;
-      if O.get nx = null then begin
-        if
-          O.cas ctx (next_cell t (O.get tl)) ~old_ptr:null
-            ~new_ptr:(O.get nd)
-        then
-          (* Linearized; swing the tail (failure means someone helped). *)
-          ignore (O.cas ctx t.tail ~old_ptr:(O.get tl) ~new_ptr:(O.get nd))
-        else loop ()
-      end
+    let result =
+      (* Allocation is the only fallible step and happens before the queue
+         is touched, so an OOM backs out with nothing to undo. *)
+      if not (O.try_alloc ctx node_layout nd) then Error `Out_of_memory
       else begin
-        (* Tail is lagging: help it forward, then retry. *)
-        ignore (O.cas ctx t.tail ~old_ptr:(O.get tl) ~new_ptr:(O.get nx));
-        loop ()
+        O.write_val ctx (value_cell t (O.get nd)) v;
+        let rec loop () =
+          O.load ctx t.tail tl;
+          O.load ctx (next_cell t (O.get tl)) nx;
+          if O.get nx = null then begin
+            if
+              O.cas ctx (next_cell t (O.get tl)) ~old_ptr:null
+                ~new_ptr:(O.get nd)
+            then
+              (* Linearized; swing the tail (failure means someone helped). *)
+              ignore (O.cas ctx t.tail ~old_ptr:(O.get tl) ~new_ptr:(O.get nd))
+            else loop ()
+          end
+          else begin
+            (* Tail is lagging: help it forward, then retry. *)
+            ignore (O.cas ctx t.tail ~old_ptr:(O.get tl) ~new_ptr:(O.get nx));
+            loop ()
+          end
+        in
+        loop ();
+        Ok ()
       end
     in
-    loop ();
     O.retire ctx nd;
     O.retire ctx tl;
-    O.retire ctx nx
+    O.retire ctx nx;
+    result
+
+  let enqueue h v =
+    match try_enqueue h v with
+    | Ok () -> ()
+    | Error `Out_of_memory -> raise Heap.Simulated_oom
 
   let dequeue h =
     let ctx = h.ctx and t = h.t in

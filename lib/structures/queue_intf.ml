@@ -10,6 +10,12 @@ module type QUEUE = sig
   val register : t -> handle
   val unregister : handle -> unit
   val enqueue : handle -> int -> unit
+
+  val try_enqueue : handle -> int -> (unit, [ `Out_of_memory ]) result
+  (** Like [enqueue], but when the allocator fails the operation backs out
+      with the structure and all reference counts untouched, instead of
+      raising mid-update. *)
+
   val dequeue : handle -> int option
   val destroy : t -> unit
 end

@@ -55,6 +55,8 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
 
   let push_right h v = push h right_side v
   let push_left h v = push h left_side v
+  let try_push_right h v = try_push h right_side v
+  let try_push_left h v = try_push h left_side v
   let pop_right h = pop h right_side
   let pop_left h = pop h left_side
 

@@ -83,7 +83,7 @@ module Core (O : Lfrc_core.Ops_intf.OPS) = struct
   let unregister h = O.dispose_ctx h.ctx
 
   (* pushRight: paper Figure 1 lines 49..68 (mirrored for pushLeft). *)
-  let push h side v =
+  let try_push h side v =
     let t = h.t and ctx = h.ctx in
     let nd = O.declare ctx
     and rh = O.declare ctx
@@ -91,7 +91,13 @@ module Core (O : Lfrc_core.Ops_intf.OPS) = struct
     and lh = O.declare ctx
     and dm = O.declare ctx in
     let retire_all () = List.iter (O.retire ctx) [ nd; rh; rh_out; lh; dm ] in
-    O.alloc ctx Snode.snode nd (* line 49 *);
+    (* line 49's allocation is the only fallible step; it precedes every
+       write to the deque, so an OOM backs out with nothing to undo. *)
+    if not (O.try_alloc ctx Snode.snode nd) then begin
+      retire_all ();
+      Error `Out_of_memory
+    end
+    else begin
     O.load ctx (dummy_cell t) dm;
     (* line 54: nd->R = Dummy *)
     O.store ctx (slot_cell t (O.get nd) side.out_slot) (O.get dm);
@@ -123,7 +129,14 @@ module Core (O : Lfrc_core.Ops_intf.OPS) = struct
       end
     in
     loop ();
-    retire_all ()
+    retire_all ();
+    Ok ()
+    end
+
+  let push h side v =
+    match try_push h side v with
+    | Ok () -> ()
+    | Error `Out_of_memory -> raise Heap.Simulated_oom
 
   (* Destructor: paper Figure 1 lines 40..44. Quiescent use only;
      [pop_left] is supplied by the variant. *)

@@ -11,6 +11,10 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
     assert (v <> claimed);
     push h side v
 
+  let try_push_checked h side v =
+    assert (v <> claimed);
+    try_push h side v
+
   (* One attempt at unlinking the claimed node [n] from side [side]:
      swing the hat to n's inward neighbour and null the inward link, in
      one DCAS. Returns true once the hat no longer points at [n]. *)
@@ -141,6 +145,8 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
 
   let push_right h v = push_checked h right_side v
   let push_left h v = push_checked h left_side v
+  let try_push_right h v = try_push_checked h right_side v
+  let try_push_left h v = try_push_checked h left_side v
   let pop_right h = pop h right_side
   let pop_left h = pop h left_side
 

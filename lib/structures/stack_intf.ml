@@ -10,6 +10,12 @@ module type STACK = sig
   val register : t -> handle
   val unregister : handle -> unit
   val push : handle -> int -> unit
+
+  val try_push : handle -> int -> (unit, [ `Out_of_memory ]) result
+  (** Like [push], but when the allocator fails the operation backs out
+      with the structure and all reference counts untouched, instead of
+      raising mid-update. *)
+
   val pop : handle -> int option
   val destroy : t -> unit
 end

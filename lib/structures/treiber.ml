@@ -26,20 +26,33 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
   let register t = { t; ctx = O.make_ctx t.env }
   let unregister h = O.dispose_ctx h.ctx
 
-  let push h v =
+  let try_push h v =
     let ctx = h.ctx and t = h.t in
     let nd = O.declare ctx and top = O.declare ctx in
-    O.alloc ctx node_layout nd;
-    O.write_val ctx (Heap.val_cell t.heap (O.get nd) value_slot) v;
-    let rec loop () =
-      O.load ctx t.top top;
-      O.store ctx (Heap.ptr_cell t.heap (O.get nd) next_slot) (O.get top);
-      if O.cas ctx t.top ~old_ptr:(O.get top) ~new_ptr:(O.get nd) then ()
-      else loop ()
+    let result =
+      (* Allocation is the only fallible step and happens before the stack
+         is touched, so an OOM backs out with nothing to undo. *)
+      if not (O.try_alloc ctx node_layout nd) then Error `Out_of_memory
+      else begin
+        O.write_val ctx (Heap.val_cell t.heap (O.get nd) value_slot) v;
+        let rec loop () =
+          O.load ctx t.top top;
+          O.store ctx (Heap.ptr_cell t.heap (O.get nd) next_slot) (O.get top);
+          if O.cas ctx t.top ~old_ptr:(O.get top) ~new_ptr:(O.get nd) then ()
+          else loop ()
+        in
+        loop ();
+        Ok ()
+      end
     in
-    loop ();
     O.retire ctx nd;
-    O.retire ctx top
+    O.retire ctx top;
+    result
+
+  let push h v =
+    match try_push h v with
+    | Ok () -> ()
+    | Error `Out_of_memory -> raise Heap.Simulated_oom
 
   let pop h =
     let ctx = h.ctx and t = h.t in

@@ -1,0 +1,403 @@
+(* Tests for the fault-injection subsystem: plan replay round-trips, the
+   OOM graceful-degradation contract, spurious CAS/DCAS compensation, the
+   livelock watchdog, deferred-queue drain after a crash, and — the
+   centerpiece — an exhaustive crash sweep over every yield point of a
+   full Snark push/pop cycle, each post-state judged by the audit. *)
+
+module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
+module Layout = Lfrc_simmem.Layout
+module Lfrc = Lfrc_core.Lfrc
+module Env = Lfrc_core.Env
+module Sched = Lfrc_sched.Sched
+module Strategy = Lfrc_sched.Strategy
+module Fault_plan = Lfrc_faults.Fault_plan
+module Audit = Lfrc_faults.Audit
+module Chaos = Lfrc_faults.Chaos
+module E11 = Lfrc_harness.E11_chaos
+
+module Stack = Lfrc_structures.Treiber.Make (Lfrc_core.Lfrc_ops)
+module Deque = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* Small matrix by default so [dune runtest] stays quick; set
+   LFRC_CHAOS_FULL=1 for the long soak. *)
+let full_matrix = Sys.getenv_opt "LFRC_CHAOS_FULL" <> None
+let matrix_seeds = if full_matrix then List.init 8 (fun i -> i + 1) else [ 1; 2 ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let fresh ?policy name =
+  let heap = Heap.create ~name () in
+  let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ?policy heap in
+  (env, heap)
+
+let node = Layout.make ~name:"node" ~n_ptrs:2 ~n_vals:1
+
+(* --- Fault_plan spec replay round-trip --- *)
+
+let test_spec_round_trip () =
+  let specs =
+    [
+      Fault_plan.default;
+      {
+        Fault_plan.seed = 42;
+        cas_fail_at = [ 0; 7; 19 ];
+        dcas_fail_at = [ 3 ];
+        cas_fail_prob = 0.05;
+        dcas_fail_prob = 0.125;
+        alloc_fail_at = [ 1 ];
+        alloc_fail_prob = 0.3;
+        max_spurious = 17;
+        crash = Some (2, 31);
+      };
+    ]
+  in
+  List.iter
+    (fun spec ->
+      let s = Fault_plan.spec_to_string spec in
+      match Fault_plan.spec_of_string s with
+      | Some spec' -> checkb ("round-trip: " ^ s) true (spec = spec')
+      | None -> Alcotest.failf "spec_of_string rejected %S" s)
+    specs
+
+let test_spec_of_string_rejects_garbage () =
+  checkb "garbage" true (Fault_plan.spec_of_string "not a spec" = None);
+  checkb "truncated" true (Fault_plan.spec_of_string "seed=3 cas@=" = None)
+
+(* --- OOM: graceful degradation at exact allocation indices --- *)
+
+let test_try_alloc_indexed_oom () =
+  let env, heap = fresh "oom-indexed" in
+  let plan =
+    Fault_plan.make { Fault_plan.default with alloc_fail_at = [ 1 ] }
+  in
+  Fault_plan.install plan env;
+  Fun.protect
+    ~finally:(fun () -> Fault_plan.uninstall env)
+    (fun () ->
+      let p0 =
+        match Lfrc.try_alloc env node with
+        | Ok p -> p
+        | Error `Out_of_memory -> Alcotest.fail "alloc 0 should succeed"
+      in
+      (match Lfrc.try_alloc env node with
+      | Error `Out_of_memory -> ()
+      | Ok _ -> Alcotest.fail "alloc 1 should fail");
+      let p2 =
+        match Lfrc.try_alloc env node with
+        | Ok p -> p
+        | Error `Out_of_memory -> Alcotest.fail "alloc 2 should succeed"
+      in
+      checki "failed alloc touched nothing" 2 (Heap.live_count heap);
+      checki "plan fired once" 1 (Fault_plan.injected plan);
+      Lfrc.destroy env p0;
+      Lfrc.destroy env p2;
+      checki "clean teardown" 0 (Heap.live_count heap))
+
+let test_structure_try_push_oom_backs_out () =
+  let env, heap = fresh "oom-stack" in
+  let t = Stack.create env in
+  let h = Stack.register t in
+  let plan =
+    (* The plan counts allocations from installation (the stack object is
+       already allocated), so index 1 is the second push's node. *)
+    Fault_plan.make { Fault_plan.default with alloc_fail_at = [ 1 ] }
+  in
+  Fault_plan.install plan env;
+  Fun.protect
+    ~finally:(fun () -> Fault_plan.uninstall env)
+    (fun () ->
+      checkb "push 1" true (Stack.try_push h 1 = Ok ());
+      checkb "push 2 hits OOM" true (Stack.try_push h 2 = Error `Out_of_memory);
+      checkb "push 3" true (Stack.try_push h 3 = Ok ());
+      checkb "pop 3" true (Stack.pop h = Some 3);
+      checkb "pop 1" true (Stack.pop h = Some 1);
+      checkb "empty" true (Stack.pop h = None);
+      Stack.unregister h;
+      Stack.destroy t;
+      checki "no leak after failed push" 0 (Heap.live_count heap))
+
+let test_plain_push_raises_on_oom () =
+  let env, _ = fresh "oom-raise" in
+  let t = Stack.create env in
+  let h = Stack.register t in
+  let plan =
+    Fault_plan.make { Fault_plan.default with alloc_fail_at = [ 0 ] }
+  in
+  Fault_plan.install plan env;
+  Fun.protect
+    ~finally:(fun () -> Fault_plan.uninstall env)
+    (fun () ->
+      match Stack.push h 7 with
+      | () -> Alcotest.fail "push should raise Simulated_oom"
+      | exception Heap.Simulated_oom -> ())
+
+(* --- Spurious CAS/DCAS: every retry loop compensates --- *)
+
+(* Fail the first few CAS attempts of a [store] (its retry loop is
+   single-word CAS): the count effect must be exactly as if the operation
+   had succeeded first try. *)
+let test_spurious_cas_compensated () =
+  let env, heap = fresh "spurious-store" in
+  let plan =
+    Fault_plan.make { Fault_plan.default with cas_fail_at = [ 0; 1; 2 ] }
+  in
+  let src = Lfrc.alloc env node in
+  Fault_plan.install plan env;
+  Fun.protect
+    ~finally:(fun () -> Fault_plan.uninstall env)
+    (fun () ->
+      let root = Heap.root heap ~name:"r" () in
+      Lfrc.store env ~dst:root src;
+      checki "three spurious failures" 3 (Fault_plan.injected plan);
+      checki "rc = root + local, retries compensated" 2
+        (Cell.get (Heap.rc_cell heap src));
+      Lfrc.store env ~dst:root Heap.null;
+      Lfrc.destroy env src;
+      checki "clean" 0 (Heap.live_count heap))
+
+let chosen_faults names =
+  List.filter (fun f -> List.mem (E11.fault_name f) names) E11.fault_kinds
+
+let test_chaos_matrix_spurious_and_oom () =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun fault ->
+          List.iter
+            (fun seed ->
+              let r = E11.run_one ~structure ~fault ~seed in
+              let label =
+                Printf.sprintf "%s/%s seed=%d"
+                  (E11.structure_name structure)
+                  (E11.fault_name fault) seed
+              in
+              (match r.Chaos.status with
+              | Chaos.Completed _ -> ()
+              | _ -> Alcotest.failf "%s did not complete: %s" label r.Chaos.repro);
+              match r.Chaos.audit with
+              | Some a ->
+                  checkb (label ^ " audit") true (Audit.ok a);
+                  checki (label ^ " no crash => no leak") 0
+                    a.Audit.leaked
+              | None -> Alcotest.failf "%s: no audit" label)
+            matrix_seeds)
+        (chosen_faults [ "spurious"; "oom" ]))
+    E11.structures
+
+let test_chaos_matrix_crash_and_mixed () =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun fault ->
+          List.iter
+            (fun seed ->
+              let r = E11.run_one ~structure ~fault ~seed in
+              let label =
+                Printf.sprintf "%s/%s seed=%d"
+                  (E11.structure_name structure)
+                  (E11.fault_name fault) seed
+              in
+              checkb
+                (label ^ " completed with clean audit (repro: " ^ r.Chaos.repro
+               ^ ")")
+                true (Chaos.ok r))
+            matrix_seeds)
+        (chosen_faults [ "crash"; "mixed" ]))
+    E11.structures
+
+(* --- Replay: same strategy + spec => identical run --- *)
+
+let test_replay_is_deterministic () =
+  let structure = List.hd E11.structures in
+  let fault = List.hd (chosen_faults [ "mixed" ]) in
+  let r1 = E11.run_one ~structure ~fault ~seed:5 in
+  let r2 = E11.run_one ~structure ~fault ~seed:5 in
+  checkb "same repro token" true (r1.Chaos.repro = r2.Chaos.repro);
+  checki "same injected count" r1.Chaos.injected r2.Chaos.injected;
+  (match (r1.Chaos.status, r2.Chaos.status) with
+  | Chaos.Completed a, Chaos.Completed b ->
+      checki "same step count" a.steps b.steps;
+      checkb "same crash set" true (a.crashed = b.crashed)
+  | _ -> Alcotest.fail "both runs should complete");
+  match (r1.Chaos.audit, r2.Chaos.audit) with
+  | Some a, Some b ->
+      checki "same live" a.Audit.live b.Audit.live;
+      checki "same leaked" a.Audit.leaked b.Audit.leaked
+  | _ -> Alcotest.fail "both runs should be audited"
+
+(* --- The acceptance sweep: crash at EVERY yield point of a full
+   Snark_fixed push/pop cycle. The victim thread performs one push_right
+   and one pop_left; we kill it at its n-th resume for n = 0,1,2,...
+   until the crash no longer fires (the cycle finished), auditing the
+   heap after every kill. --- *)
+
+let snark_cycle_body env =
+  let t = Deque.create env in
+  let worker =
+    Sched.spawn (fun () ->
+        let h = Deque.register t in
+        (match Deque.try_push_right h 42 with
+        | Ok () -> ignore (Deque.pop_left h)
+        | Error `Out_of_memory -> ());
+        Deque.unregister h)
+  in
+  Sched.join [ worker ]
+
+let test_crash_sweep_every_yield_point () =
+  let strategy = Strategy.Round_robin in
+  let rec sweep n covered =
+    let spec = { Fault_plan.default with crash = Some (1, n) } in
+    let r = Chaos.run ~max_steps:100_000 ~strategy ~spec snark_cycle_body in
+    match r.Chaos.status with
+    | Chaos.Completed { crashed = []; _ } ->
+        (* The victim finished before resume [n]: sweep is complete. *)
+        covered
+    | Chaos.Completed { crashed = [ 1 ]; _ } ->
+        (match r.Chaos.audit with
+        | Some a ->
+            if not (Audit.ok a) then
+              Alcotest.failf "crash at resume %d: audit failed:@ %s (repro: %s)"
+                n
+                (Format.asprintf "%a" Audit.pp a)
+                r.Chaos.repro
+        | None -> Alcotest.failf "crash at resume %d: no audit" n);
+        sweep (n + 1) (covered + 1)
+    | _ ->
+        Alcotest.failf "crash at resume %d: unexpected outcome (repro: %s)" n
+          r.Chaos.repro
+  in
+  let covered = sweep 0 0 in
+  (* A push_right + pop_left cycle crosses many yield points; make sure
+     the sweep actually exercised them rather than exiting early. *)
+  checkb
+    (Printf.sprintf "swept %d yield points (want >= 20)" covered)
+    true (covered >= 20)
+
+(* --- Deferred policy: the pending queue drains after a crash --- *)
+
+let test_deferred_drains_after_crash () =
+  let spec = { Fault_plan.default with crash = Some (1, 25) } in
+  let r =
+    Chaos.run ~max_steps:200_000
+      ~policy:(Env.Deferred { budget_per_op = 0 })
+      ~strategy:(Strategy.Random 3) ~spec snark_cycle_body
+  in
+  (match r.Chaos.status with
+  | Chaos.Completed { crashed = [ 1 ]; _ } -> ()
+  | _ -> Alcotest.failf "expected a crashed completion (repro: %s)" r.Chaos.repro);
+  checkb "audit before flush" true (Chaos.ok r);
+  ignore (Lfrc.flush r.Chaos.env);
+  checki "deferred queue fully drained" 0 (Env.deferred_pending r.Chaos.env);
+  checkb "audit after flush" true (Audit.ok (Audit.run r.Chaos.env))
+
+(* --- Livelock watchdog: uncompensated-by-construction failure storms
+   become a replayable report instead of a hang --- *)
+
+let test_livelock_watchdog () =
+  let spec =
+    {
+      Fault_plan.default with
+      seed = 9;
+      cas_fail_prob = 1.0;
+      dcas_fail_prob = 1.0;
+      max_spurious = max_int;
+    }
+  in
+  let r =
+    Chaos.run ~max_steps:20_000 ~strategy:(Strategy.Random 9) ~spec
+      (fun env ->
+        let t = Stack.create env in
+        let h = Stack.register t in
+        Stack.push h 1;
+        Stack.unregister h)
+  in
+  (match r.Chaos.status with
+  | Chaos.Livelock { max_steps } -> checki "budget in report" 20_000 max_steps
+  | _ -> Alcotest.fail "expected Livelock");
+  checkb "no audit of a mid-operation heap" true (r.Chaos.audit = None);
+  checkb "repro has strategy" true (contains r.Chaos.repro "strategy=random:9");
+  checkb "repro has budget" true (contains r.Chaos.repro "max_steps=20000");
+  (* The spec half of the token parses back to the exact spec. *)
+  let idx =
+    let rec find i =
+      if i >= String.length r.Chaos.repro then Alcotest.fail "no spec in repro"
+      else if contains (String.sub r.Chaos.repro i 5) "seed=" then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let tail =
+    String.sub r.Chaos.repro idx (String.length r.Chaos.repro - idx)
+  in
+  checkb "repro spec parses back" true
+    (Fault_plan.spec_of_string tail = Some spec)
+
+(* --- Thread_failure carries a replay token (and the printer shows it) --- *)
+
+let test_thread_failure_repro_token () =
+  match
+    Sched.run (Strategy.Random 42) (fun () ->
+        Sched.point ();
+        failwith "boom")
+  with
+  | _ -> Alcotest.fail "expected Thread_failure"
+  | exception Sched.Thread_failure ({ tid; repro; _ } as tf) ->
+      checki "failing tid" 0 tid;
+      checkb "token names strategy" true (contains repro "strategy=random:42");
+      checkb "token names budget" true (contains repro "max_steps=");
+      let printed = Printexc.to_string (Sched.Thread_failure tf) in
+      checkb "printer includes token" true (contains printed repro)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "spec round-trip" `Quick test_spec_round_trip;
+          Alcotest.test_case "spec rejects garbage" `Quick
+            test_spec_of_string_rejects_garbage;
+        ] );
+      ( "oom",
+        [
+          Alcotest.test_case "try_alloc indexed" `Quick
+            test_try_alloc_indexed_oom;
+          Alcotest.test_case "try_push backs out" `Quick
+            test_structure_try_push_oom_backs_out;
+          Alcotest.test_case "plain push raises" `Quick
+            test_plain_push_raises_on_oom;
+        ] );
+      ( "spurious",
+        [
+          Alcotest.test_case "store compensates" `Quick
+            test_spurious_cas_compensated;
+        ] );
+      ( "chaos-matrix",
+        [
+          Alcotest.test_case "spurious+oom clean" `Slow
+            test_chaos_matrix_spurious_and_oom;
+          Alcotest.test_case "crash+mixed audited" `Slow
+            test_chaos_matrix_crash_and_mixed;
+          Alcotest.test_case "replay deterministic" `Quick
+            test_replay_is_deterministic;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "sweep every yield point" `Slow
+            test_crash_sweep_every_yield_point;
+          Alcotest.test_case "deferred drains after crash" `Quick
+            test_deferred_drains_after_crash;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "livelock report" `Quick test_livelock_watchdog;
+          Alcotest.test_case "thread failure repro" `Quick
+            test_thread_failure_repro_token;
+        ] );
+    ]

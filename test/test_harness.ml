@@ -74,6 +74,8 @@ let test_scenario_detects_bad_impl () =
     let unregister = Fixed.unregister
     let push_left = Fixed.push_left
     let push_right = Fixed.push_right
+    let try_push_left = Fixed.try_push_left
+    let try_push_right = Fixed.try_push_right
     let pop_left h = ignore (Fixed.pop_left h); None
     let pop_right = Fixed.pop_right
     let destroy = Fixed.destroy
@@ -107,11 +109,11 @@ let test_scenario_body_and_check () =
 (* --- Experiments registry --- *)
 
 let test_registry_complete () =
-  checki "ten experiments" 10 (List.length Experiments.all);
+  checki "eleven experiments" 11 (List.length Experiments.all);
   List.iter
     (fun id ->
       checkb (id ^ " registered") true (Experiments.find id <> None))
-    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10" ];
+    [ "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11" ];
   checkb "case-insensitive" true (Experiments.find "e3" <> None);
   checkb "unknown rejected" true (Experiments.find "E99" = None)
 
