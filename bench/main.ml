@@ -176,9 +176,4 @@ let () =
       Lfrc_harness.Experiments.run_all ();
       run_micro ()
   | ids ->
-      List.iter
-        (fun id ->
-          match Lfrc_harness.Experiments.find id with
-          | Some e -> Lfrc_harness.Experiments.run_and_print e
-          | None -> Printf.eprintf "unknown experiment: %s\n" id)
-        ids
+      if not (Lfrc_harness.Experiments.run_ids ids) then exit 1

@@ -1,42 +1,204 @@
 (* Command-line front end: run experiments (EXPERIMENTS.md tables), quick
-   model checks, and linearizability scenario runs. *)
+   model checks, linearizability scenario runs, fault-injection campaigns,
+   and observability dumps (metrics JSON, Chrome-trace timelines). *)
 
 open Cmdliner
 
+(* --- the shared experiment configuration as a term --- *)
+
+let config_term =
+  let d = Lfrc_harness.Scenario.default_config in
+  let threads =
+    Arg.(
+      value
+      & opt int d.Lfrc_harness.Scenario.threads
+      & info [ "threads" ] ~docv:"N"
+          ~doc:"Worker-thread ceiling for multi-threaded experiments.")
+  in
+  let ops =
+    Arg.(
+      value
+      & opt int d.Lfrc_harness.Scenario.ops_per_thread
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker thread.")
+  in
+  let iters =
+    Arg.(
+      value
+      & opt int d.Lfrc_harness.Scenario.iters
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Single-threaded timing-loop iterations.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int d.Lfrc_harness.Scenario.seed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for schedules and op mixes.")
+  in
+  let no_metrics =
+    Arg.(
+      value & flag
+      & info [ "no-metrics" ]
+          ~doc:"Disable metrics collection (suppresses the JSON blocks).")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Fault-plan spec (Lfrc_faults.Fault_plan syntax) overriding \
+             E11's built-in fault matrix.")
+  in
+  let build threads ops iters seed no_metrics fault =
+    match
+      Option.map
+        (fun s ->
+          match Lfrc_faults.Fault_plan.spec_of_string s with
+          | Some spec -> Ok spec
+          | None -> Error s)
+        fault
+    with
+    | Some (Error s) -> `Error (false, Printf.sprintf "bad fault spec %S" s)
+    | fault ->
+        let fault =
+          match fault with Some (Ok spec) -> Some spec | _ -> None
+        in
+        `Ok
+          {
+            Lfrc_harness.Scenario.threads;
+            ops_per_thread = ops;
+            iters;
+            seed;
+            fault;
+            metrics = not no_metrics;
+            trace_capacity = 0;
+          }
+  in
+  Term.(
+    ret (const build $ threads $ ops $ iters $ seed $ no_metrics $ fault))
+
 let experiments_cmd =
   let ids =
-    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E10); all when omitted.")
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E11); all when omitted.")
   in
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of aligned tables.")
   in
-  let run csv ids =
-    let selected =
-      match ids with
-      | [] -> Lfrc_harness.Experiments.all
-      | ids ->
-          List.filter_map
-            (fun id ->
-              match Lfrc_harness.Experiments.find id with
-              | Some e -> Some e
-              | None ->
-                  Printf.eprintf "unknown experiment %s\n" id;
-                  None)
-            ids
-    in
-    List.iter
-      (fun e ->
-        if csv then begin
-          Printf.printf "# %s: %s\n" e.Lfrc_harness.Experiments.id
-            e.Lfrc_harness.Experiments.title;
-          print_string (Lfrc_util.Table.csv (e.Lfrc_harness.Experiments.run ()))
-        end
-        else Lfrc_harness.Experiments.run_and_print e)
-      selected
+  let run config csv ids =
+    match ids with
+    | [] -> Lfrc_harness.Experiments.run_all ~config ()
+    | ids ->
+        if not (Lfrc_harness.Experiments.run_ids ~config ~csv ids) then exit 1
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the EXPERIMENTS.md tables")
-    Term.(const run $ csv $ ids)
+    Term.(const run $ config_term $ csv $ ids)
+
+(* --- workload plumbing shared by stats and trace --- *)
+
+let structure_arg =
+  let names = List.map (fun (n, w) -> (n, (n, w))) Lfrc_harness.Common.workloads in
+  Arg.(
+    value
+    & opt (enum names) (List.hd names |> snd)
+    & info [ "structure" ]
+        ~doc:(Printf.sprintf "Structure to drive: %s."
+                (String.concat ", " (List.map fst names))))
+
+let run_workload ~workload ~workers ~ops_per_worker ~seed ~metrics ~tracer =
+  let heap = Lfrc_simmem.Heap.create ~name:"cli-workload" () in
+  let env =
+    Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics
+      ~tracer heap
+  in
+  ignore
+    (Lfrc_sched.Sched.run ~max_steps:400_000_000
+       (Lfrc_sched.Strategy.Random seed)
+       (fun () -> workload ~workers ~ops_per_worker ~seed env))
+
+let stats_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let ops =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule and op-mix seed.")
+  in
+  let run (name, workload) workers ops seed =
+    let metrics = Lfrc_obs.Metrics.create () in
+    run_workload ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
+      ~tracer:Lfrc_obs.Tracer.disabled;
+    Printf.printf "# %s: %d threads x %d ops, seed %d\n%s\n" name workers ops
+      seed
+      (Lfrc_obs.Metrics.to_json (Lfrc_obs.Metrics.snapshot metrics))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a structure workload under the simulator and print its \
+          metrics snapshot as JSON (DCAS traffic, LFRC op/retry counts, \
+          heap alloc/free balance)")
+    Term.(const run $ structure_arg $ workers $ ops $ seed)
+
+let trace_cmd =
+  let workers =
+    Arg.(value & opt int 3 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let ops =
+    Arg.(value & opt int 50 & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule and op-mix seed.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 65_536
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Event-ring capacity; oldest events drop beyond it.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("text", `Text) ]) `Chrome
+      & info [ "format" ]
+          ~doc:"Output format: $(b,chrome) (chrome://tracing JSON) or $(b,text) (step-numbered timeline).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run (_, workload) workers ops seed capacity format output =
+    let tracer = Lfrc_obs.Tracer.create ~capacity in
+    run_workload ~workload ~workers ~ops_per_worker:ops ~seed
+      ~metrics:Lfrc_obs.Metrics.disabled ~tracer;
+    let rendered =
+      match format with
+      | `Chrome -> Lfrc_obs.Tracer.to_chrome_json tracer
+      | `Text -> Lfrc_obs.Tracer.to_timeline tracer
+    in
+    match output with
+    | None -> print_string rendered
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc rendered);
+        Printf.printf "%d events (%d recorded, %d dropped) -> %s\n"
+          (List.length (Lfrc_obs.Tracer.events tracer))
+          (Lfrc_obs.Tracer.recorded tracer)
+          (Lfrc_obs.Tracer.dropped tracer)
+          file
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a structure workload with the event tracer on and emit the \
+          timeline (chrome://tracing JSON or text)")
+    Term.(
+      const run $ structure_arg $ workers $ ops $ seed $ capacity $ format
+      $ output)
 
 let check_cmd =
   let variant =
@@ -123,7 +285,7 @@ let chaos_cmd =
         List.iter
           (fun f ->
             for seed = 1 to seeds do
-              let r = E11.run_one ~structure:s ~fault:f ~seed in
+              let r = E11.run_one ~structure:s ~fault:f ~seed () in
               let bad = not (Lfrc_faults.Chaos.ok r) in
               if bad then failed := true;
               if bad || verbose then
@@ -148,6 +310,6 @@ let main =
   Cmd.group
     (Cmd.info "lfrc_cli" ~version:"1.0.0"
        ~doc:"Lock-free reference counting (PODC 2001) reproduction toolkit")
-    [ experiments_cmd; check_cmd; chaos_cmd ]
+    [ experiments_cmd; stats_cmd; trace_cmd; check_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,5 +1,7 @@
 module Cell = Lfrc_simmem.Cell
 module Sched = Lfrc_sched.Sched
+module Metrics = Lfrc_obs.Metrics
+module Tracer = Lfrc_obs.Tracer
 
 type impl = Atomic_step | Striped_lock | Software_mcas
 
@@ -38,6 +40,8 @@ type t = {
   cas_streak_max : int Atomic.t;
   dcas_streak : int Atomic.t;
   dcas_streak_max : int Atomic.t;
+  mutable metrics : Metrics.t;
+  mutable tracer : Tracer.t;
 }
 
 let n_stripes = 64
@@ -59,9 +63,15 @@ let create kind =
     cas_streak_max = Atomic.make 0;
     dcas_streak = Atomic.make 0;
     dcas_streak_max = Atomic.make 0;
+    metrics = Metrics.disabled;
+    tracer = Tracer.disabled;
   }
 
 let set_injector t i = t.injector <- i
+
+let attach_obs t ~metrics ~tracer =
+  t.metrics <- metrics;
+  t.tracer <- tracer
 
 let impl t = t.kind
 
@@ -93,6 +103,7 @@ let with_two_stripes t c0 c1 f =
 let read t c =
   Sched.point ();
   Atomic.incr t.c_reads;
+  Metrics.incr t.metrics "dcas.reads";
   match t.kind with
   | Atomic_step | Striped_lock -> Cell.get c
   | Software_mcas -> Mcas.read c
@@ -100,6 +111,7 @@ let read t c =
 let write t c v =
   Sched.point ();
   Atomic.incr t.c_writes;
+  Metrics.incr t.metrics "dcas.writes";
   match t.kind with
   | Atomic_step -> Cell.set c v
   | Striped_lock -> with_stripe t c (fun () -> Cell.set c v)
@@ -121,7 +133,12 @@ let bump_streak ~streak ~streak_max ok =
 
 let count_cas t ok =
   Atomic.incr t.c_cas;
-  if not ok then Atomic.incr t.c_cas_fail;
+  Metrics.incr t.metrics "dcas.cas_attempts";
+  if not ok then begin
+    Atomic.incr t.c_cas_fail;
+    Metrics.incr t.metrics "dcas.cas_failures";
+    Tracer.emit t.tracer Retry "cas"
+  end;
   bump_streak ~streak:t.cas_streak ~streak_max:t.cas_streak_max ok;
   ok
 
@@ -132,6 +149,8 @@ let spurious_cas t =
   match t.injector with
   | Some i when i.inject_cas () ->
       Atomic.incr t.c_sp_cas;
+      Metrics.incr t.metrics "dcas.spurious_cas";
+      Tracer.emit t.tracer Fault "spurious-cas";
       ignore (count_cas t false);
       true
   | _ -> false
@@ -140,6 +159,8 @@ let spurious_dcas t =
   match t.injector with
   | Some i when i.inject_dcas () ->
       Atomic.incr t.c_sp_dcas;
+      Metrics.incr t.metrics "dcas.spurious_dcas";
+      Tracer.emit t.tracer Fault "spurious-dcas";
       true
   | _ -> false
 
@@ -166,7 +187,12 @@ let fetch_add t c d =
 
 let count_dcas t ok =
   Atomic.incr t.c_dcas;
-  if not ok then Atomic.incr t.c_dcas_fail;
+  Metrics.incr t.metrics "dcas.dcas_attempts";
+  if not ok then begin
+    Atomic.incr t.c_dcas_fail;
+    Metrics.incr t.metrics "dcas.dcas_failures";
+    Tracer.emit t.tracer Retry "dcas"
+  end;
   bump_streak ~streak:t.dcas_streak ~streak_max:t.dcas_streak_max ok;
   ok
 

@@ -81,3 +81,14 @@ val reset_counters : t -> unit
 type injector = { inject_cas : unit -> bool; inject_dcas : unit -> bool }
 
 val set_injector : t -> injector option -> unit
+
+(** {2 Observability}
+
+    With an attached metrics registry, every attempt/failure/spurious
+    event also lands in [dcas.*] counters; with an attached tracer, each
+    failed attempt emits a [Retry] event and each injected failure a
+    [Fault] event. Detached (the default) the cost is one branch per
+    event. {!Lfrc_core.Env.create} attaches its environment's
+    observability here. *)
+
+val attach_obs : t -> metrics:Lfrc_obs.Metrics.t -> tracer:Lfrc_obs.Tracer.t -> unit

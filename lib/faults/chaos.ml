@@ -15,14 +15,18 @@ type report = {
   audit : Audit.report option;
   injected : int;
   counters : Lfrc_atomics.Dcas.counters;
+  metrics : Lfrc_obs.Metrics.snapshot;
   env : Env.t;
 }
 
-let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ~strategy ~spec
-    body =
+let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?metrics ~strategy
+    ~spec body =
   let heap = Heap.create ~name:"chaos" () in
+  let metrics =
+    match metrics with Some m -> m | None -> Lfrc_obs.Metrics.create ()
+  in
   let env =
-    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy heap
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy ~metrics heap
   in
   let plan = Fault_plan.make spec in
   Fault_plan.install plan env;
@@ -57,6 +61,7 @@ let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ~strategy ~spec
     audit;
     injected = Fault_plan.injected plan;
     counters = Lfrc_atomics.Dcas.counters (Env.dcas env);
+    metrics = Lfrc_obs.Metrics.snapshot metrics;
     env;
   }
 
@@ -80,6 +85,8 @@ let pp ppf r =
   Format.fprintf ppf "%a@\ninjected=%d cas_fail_streak<=%d@\nreplay: %s"
     pp_status r.status r.injected
     r.counters.Lfrc_atomics.Dcas.max_cas_failure_streak r.repro;
+  if not (Lfrc_obs.Metrics.is_empty r.metrics) then
+    Format.fprintf ppf "@\nmetrics: %a" Lfrc_obs.Metrics.pp r.metrics;
   match r.audit with
   | None -> ()
   | Some a -> Format.fprintf ppf "@\naudit: %a" Audit.pp a

@@ -27,12 +27,16 @@ type report = {
           leave the heap mid-operation, where auditing is meaningless *)
   injected : int;  (** faults fired during the run *)
   counters : Lfrc_atomics.Dcas.counters;
+  metrics : Lfrc_obs.Metrics.snapshot;
+      (** observability snapshot of the run's environment: DCAS traffic,
+          LFRC operation/retry counts, heap alloc/free balance *)
   env : Lfrc_core.Env.t;  (** post-run environment, for extra checks *)
 }
 
 val run :
   ?max_steps:int ->
   ?policy:Lfrc_core.Env.policy ->
+  ?metrics:Lfrc_obs.Metrics.t ->
   strategy:Lfrc_sched.Strategy.t ->
   spec:Fault_plan.spec ->
   (Lfrc_core.Env.t -> unit) ->
@@ -40,7 +44,10 @@ val run :
 (** [run ~strategy ~spec body] executes [body env] as the simulation's
     main thread; [body] typically builds a structure and spawns workers.
     [max_steps] defaults to 2 million; [policy] to [Iterative]. Hooks are
-    uninstalled before returning, whatever the outcome. *)
+    uninstalled before returning, whatever the outcome. [metrics]
+    defaults to a fresh enabled registry private to this run; pass a
+    shared one to aggregate across a campaign of runs (the report's
+    snapshot then covers everything recorded so far). *)
 
 val ok : report -> bool
 (** Completed and the audit found nothing. *)

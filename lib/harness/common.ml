@@ -1,20 +1,34 @@
+module Sched = Lfrc_sched.Sched
+module Rng = Lfrc_util.Rng
+module Metrics = Lfrc_obs.Metrics
+module Tracer = Lfrc_obs.Tracer
+
 module Snark_gc = Lfrc_structures.Snark.Make (Lfrc_core.Gc_ops)
 module Snark_fixed_lfrc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
 
-let fresh_env ?dcas_impl ?policy ?gc_threshold ~name () =
-  let heap = Lfrc_simmem.Heap.create ~name () in
-  Lfrc_core.Env.create ?dcas_impl ?policy ?gc_threshold heap
+type result = {
+  table : Lfrc_util.Table.t;
+  metrics : Metrics.snapshot;
+}
 
-let time_per_op_ns ~iters f =
-  for _ = 1 to min 1000 (iters / 10) do
-    f ()
-  done;
-  let t0 = Lfrc_util.Clock.now_ns () in
-  for _ = 1 to iters do
-    f ()
-  done;
-  let t1 = Lfrc_util.Clock.now_ns () in
-  Float.of_int (t1 - t0) /. Float.of_int iters
+let obs (cfg : Scenario.config) =
+  let metrics =
+    if cfg.Scenario.metrics then Metrics.create () else Metrics.disabled
+  in
+  let tracer =
+    if cfg.Scenario.trace_capacity > 0 then
+      Tracer.create ~capacity:cfg.Scenario.trace_capacity
+    else Tracer.disabled
+  in
+  (metrics, tracer)
+
+let result ~table metrics = { table; metrics = Metrics.snapshot metrics }
+
+let fresh_env ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer ~name () =
+  let heap = Lfrc_simmem.Heap.create ~name () in
+  Lfrc_core.Env.create ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer heap
+
+let time_per_op_ns = Lfrc_util.Clock.time_per_op_ns
 
 let deque_impls () =
   [
@@ -24,3 +38,72 @@ let deque_impls () =
   ]
 
 let value_stream ~seed ~thread i = (((seed * 67) + thread) * 1_000_000) + i
+
+(* --- multi-threaded structure workloads ---
+
+   Shared between E11's chaos matrix and the CLI's [stats] and [trace]
+   commands. Each builds its structure inside the running simulation and
+   drives [workers] threads for [ops_per_worker] operations. Workers use
+   the fallible push operations and treat [`Out_of_memory] as a skipped
+   op: graceful degradation is part of what the chaos audit certifies. *)
+
+module Stack = Lfrc_structures.Treiber.Make (Lfrc_core.Lfrc_ops)
+module Queue_ = Lfrc_structures.Msqueue.Make (Lfrc_core.Lfrc_ops)
+module Deque = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+
+let stack_workload ~workers ~ops_per_worker ~seed env =
+  let t = Stack.create env in
+  let tids =
+    List.init workers (fun w ->
+        Sched.spawn (fun () ->
+            let h = Stack.register t in
+            let rng = Rng.create ((seed * 131) + w) in
+            for i = 1 to ops_per_worker do
+              if Rng.int rng 3 < 2 then
+                ignore (Stack.try_push h ((w * 1000) + i))
+              else ignore (Stack.pop h)
+            done;
+            Stack.unregister h))
+  in
+  Sched.join tids
+
+let queue_workload ~workers ~ops_per_worker ~seed env =
+  let t = Queue_.create env in
+  let tids =
+    List.init workers (fun w ->
+        Sched.spawn (fun () ->
+            let h = Queue_.register t in
+            let rng = Rng.create ((seed * 131) + w) in
+            for i = 1 to ops_per_worker do
+              if Rng.int rng 3 < 2 then
+                ignore (Queue_.try_enqueue h ((w * 1000) + i))
+              else ignore (Queue_.dequeue h)
+            done;
+            Queue_.unregister h))
+  in
+  Sched.join tids
+
+let deque_workload ~workers ~ops_per_worker ~seed env =
+  let t = Deque.create env in
+  let tids =
+    List.init workers (fun w ->
+        Sched.spawn (fun () ->
+            let h = Deque.register t in
+            let rng = Rng.create ((seed * 131) + w) in
+            for i = 1 to ops_per_worker do
+              match Rng.int rng 4 with
+              | 0 -> ignore (Deque.try_push_left h ((w * 1000) + i))
+              | 1 -> ignore (Deque.try_push_right h ((w * 1000) + i))
+              | 2 -> ignore (Deque.pop_left h)
+              | _ -> ignore (Deque.pop_right h)
+            done;
+            Deque.unregister h))
+  in
+  Sched.join tids
+
+let workloads =
+  [
+    ("treiber", stack_workload);
+    ("msqueue", queue_workload);
+    ("snark-fixed", deque_workload);
+  ]

@@ -1,16 +1,35 @@
 (** Shared plumbing for the experiment modules. *)
 
+type result = {
+  table : Lfrc_util.Table.t;
+  metrics : Lfrc_obs.Metrics.snapshot;
+      (** everything the experiment's environments recorded; {!empty} when
+          the config disabled metrics *)
+}
+(** What every experiment's [run] returns: the EXPERIMENTS.md table plus
+    the observability snapshot gathered while producing it. *)
+
+val obs : Scenario.config -> Lfrc_obs.Metrics.t * Lfrc_obs.Tracer.t
+(** The registry and tracer an experiment should thread through every
+    environment it creates: enabled or disabled per the config. *)
+
+val result : table:Lfrc_util.Table.t -> Lfrc_obs.Metrics.t -> result
+(** Pair the finished table with a snapshot of the registry. *)
+
 val fresh_env :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:Lfrc_core.Env.policy ->
   ?gc_threshold:int ->
+  ?metrics:Lfrc_obs.Metrics.t ->
+  ?tracer:Lfrc_obs.Tracer.t ->
   name:string ->
   unit ->
   Lfrc_core.Env.t
 (** A new heap wrapped in a new environment. *)
 
 val time_per_op_ns : iters:int -> (unit -> unit) -> float
-(** Wall-clock nanoseconds per call, after a small warmup. *)
+(** Wall-clock nanoseconds per call, after a small warmup
+    (= {!Lfrc_util.Clock.time_per_op_ns}). *)
 
 val deque_impls :
   unit -> (string * (module Lfrc_structures.Deque_intf.DEQUE) * bool) list
@@ -19,3 +38,26 @@ val deque_impls :
 
 val value_stream : seed:int -> thread:int -> int -> int
 (** Deterministic distinct-ish value for the [int]h op of a thread. *)
+
+(** {2 Structure workloads}
+
+    Multi-threaded mixed-op drivers over the three LFRC structures,
+    shared by E11's chaos matrix and the CLI's [stats]/[trace] commands.
+    Each must run inside {!Lfrc_sched.Sched.run}; pushes are the fallible
+    [try_*] forms with [`Out_of_memory] treated as a skipped op. *)
+
+val stack_workload :
+  workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit
+
+val queue_workload :
+  workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit
+
+val deque_workload :
+  workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit
+
+val workloads :
+  (string
+  * (workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit))
+  list
+(** The three workloads keyed by structure name
+    (["treiber"], ["msqueue"], ["snark-fixed"]). *)

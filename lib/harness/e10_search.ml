@@ -24,8 +24,11 @@ let ops_count env =
   let c = Dcas.counters (Lfrc_core.Env.dcas env) in
   c.Dcas.reads + c.Dcas.writes + c.Dcas.cas_attempts + c.Dcas.dcas_attempts
 
-let run_list n =
-  let env = Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~name:"e10-list" () in
+let run_list n ~metrics ~tracer =
+  let env =
+    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer
+      ~name:"e10-list" ()
+  in
   let s = List_set.create env in
   let h = List_set.register s in
   for k = 1 to n do
@@ -41,8 +44,11 @@ let run_list n =
   List_set.destroy s;
   cost
 
-let run_skip n =
-  let env = Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~name:"e10-skip" () in
+let run_skip n ~metrics ~tracer =
+  let env =
+    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer
+      ~name:"e10-skip" ()
+  in
   let s = Skip_set.create env in
   let h = Skip_set.register s in
   for k = 1 to n do
@@ -58,7 +64,8 @@ let run_skip n =
   Skip_set.destroy s;
   cost
 
-let run () =
+let run (cfg : Scenario.config) =
+  let metrics, tracer = Common.obs cfg in
   let table =
     Table.create
       ~title:"E10: contains() cost vs set size (memory accesses per search)"
@@ -66,7 +73,8 @@ let run () =
   in
   List.iter
     (fun n ->
-      let l = run_list n and s = run_skip n in
+      let l = run_list n ~metrics ~tracer
+      and s = run_skip n ~metrics ~tracer in
       Table.add_rowf table "%d|%.0f|%.0f|%.1f" n l s (l /. s))
     [ 16; 64; 256; 1024; 4096 ];
-  table
+  Common.result ~table metrics

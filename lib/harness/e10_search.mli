@@ -1,5 +1,6 @@
 (** E10 — skip-list index payoff: search cost vs. set size. See the implementation header for the experiment's design and the expected shape. *)
 
-val run : unit -> Lfrc_util.Table.t
-(** Execute the experiment and return its table (regenerates the
-    corresponding EXPERIMENTS.md section). *)
+val run : Scenario.config -> Common.result
+(** Execute the experiment under the shared configuration and return its
+    table (regenerates the corresponding EXPERIMENTS.md section) plus the
+    metrics snapshot its environments recorded. *)

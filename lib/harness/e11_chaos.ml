@@ -8,85 +8,34 @@
     heap-visible references, every leak attributable to a crashed
     thread's lost references. A run that exhausts its step budget is a
     livelock (a retry loop that stopped compensating); its replay token
-    is printed so the schedule and fault plan can be reproduced. *)
+    is printed so the schedule and fault plan can be reproduced.
 
-module Sched = Lfrc_sched.Sched
+    The worker workloads themselves live in {!Common} (shared with the
+    CLI's [stats]/[trace] commands). *)
+
 module Strategy = Lfrc_sched.Strategy
 module Table = Lfrc_util.Table
-module Rng = Lfrc_util.Rng
 module Fault_plan = Lfrc_faults.Fault_plan
 module Chaos = Lfrc_faults.Chaos
 
-module Stack = Lfrc_structures.Treiber.Make (Lfrc_core.Lfrc_ops)
-module Queue_ = Lfrc_structures.Msqueue.Make (Lfrc_core.Lfrc_ops)
-module Deque = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
-
-type structure = { s_name : string; body : seed:int -> Lfrc_core.Env.t -> unit }
+type structure = {
+  s_name : string;
+  body :
+    workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit;
+}
 
 let structure_name s = s.s_name
 
-let workers = 3
-let ops_per_worker = 25
-
-(* Workers use the fallible push operations and treat [`Out_of_memory] as
-   a skipped op: graceful degradation is part of what the audit certifies. *)
-
-let stack_body ~seed env =
-  let t = Stack.create env in
-  let tids =
-    List.init workers (fun w ->
-        Sched.spawn (fun () ->
-            let h = Stack.register t in
-            let rng = Rng.create ((seed * 131) + w) in
-            for i = 1 to ops_per_worker do
-              if Rng.int rng 3 < 2 then
-                ignore (Stack.try_push h ((w * 1000) + i))
-              else ignore (Stack.pop h)
-            done;
-            Stack.unregister h))
-  in
-  Sched.join tids
-
-let queue_body ~seed env =
-  let t = Queue_.create env in
-  let tids =
-    List.init workers (fun w ->
-        Sched.spawn (fun () ->
-            let h = Queue_.register t in
-            let rng = Rng.create ((seed * 131) + w) in
-            for i = 1 to ops_per_worker do
-              if Rng.int rng 3 < 2 then
-                ignore (Queue_.try_enqueue h ((w * 1000) + i))
-              else ignore (Queue_.dequeue h)
-            done;
-            Queue_.unregister h))
-  in
-  Sched.join tids
-
-let deque_body ~seed env =
-  let t = Deque.create env in
-  let tids =
-    List.init workers (fun w ->
-        Sched.spawn (fun () ->
-            let h = Deque.register t in
-            let rng = Rng.create ((seed * 131) + w) in
-            for i = 1 to ops_per_worker do
-              match Rng.int rng 4 with
-              | 0 -> ignore (Deque.try_push_left h ((w * 1000) + i))
-              | 1 -> ignore (Deque.try_push_right h ((w * 1000) + i))
-              | 2 -> ignore (Deque.pop_left h)
-              | _ -> ignore (Deque.pop_right h)
-            done;
-            Deque.unregister h))
-  in
-  Sched.join tids
+(* The matrix stays tractable at 3 workers x 25 ops: 3 structures x 5
+   fault kinds x 3 seeds already means 45 full simulations. The config's
+   knobs only shrink these. *)
+let default_workers = 3
+let default_ops_per_worker = 25
 
 let structures =
-  [
-    { s_name = "treiber"; body = stack_body };
-    { s_name = "msqueue"; body = queue_body };
-    { s_name = "snark-fixed"; body = deque_body };
-  ]
+  List.map
+    (fun (s_name, body) -> { s_name; body })
+    Common.workloads
 
 (* Queue creation allocates before the fault hooks see a chance to have
    any effect on workers, so a creation-time OOM is a legitimate outcome
@@ -129,7 +78,7 @@ let fault_kinds =
           {
             Fault_plan.default with
             seed;
-            crash = Some (1 + (seed mod workers), 5 + (seed * 7 mod 120));
+            crash = Some (1 + (seed mod default_workers), 5 + (seed * 7 mod 120));
           });
     };
     {
@@ -143,18 +92,33 @@ let fault_kinds =
             dcas_fail_prob = 0.03;
             alloc_fail_prob = 0.05;
             max_spurious = 40;
-            crash = Some (1 + (seed mod workers), 10 + (seed * 13 mod 100));
+            crash = Some (1 + (seed mod default_workers), 10 + (seed * 13 mod 100));
           });
     };
   ]
 
-let run_one ~structure ~fault ~seed =
+(* A config-supplied fault spec collapses the fault axis to that one
+   plan (re-seeded per run so the seed column still varies). *)
+let fault_kinds_for (cfg : Scenario.config) =
+  match cfg.Scenario.fault with
+  | None -> fault_kinds
+  | Some spec ->
+      [
+        {
+          f_name = "custom";
+          spec_for = (fun ~seed -> { spec with Fault_plan.seed });
+        };
+      ]
+
+let run_one ?(workers = default_workers)
+    ?(ops_per_worker = default_ops_per_worker) ?metrics ~structure ~fault ~seed
+    () =
   let spec = fault.spec_for ~seed in
-  Chaos.run ~max_steps:400_000
+  Chaos.run ?metrics ~max_steps:400_000
     ~strategy:(Strategy.Random seed)
     ~spec
     (fun env ->
-      match structure.body ~seed env with
+      match structure.body ~workers ~ops_per_worker ~seed env with
       | () -> ()
       | exception Lfrc_simmem.Heap.Simulated_oom ->
           (* Constructor-time OOM: nothing was built; that is graceful. *)
@@ -162,7 +126,12 @@ let run_one ~structure ~fault ~seed =
 
 let seeds = [ 1; 2; 3 ]
 
-let run () =
+let run (cfg : Scenario.config) =
+  let workers = max 1 (min cfg.Scenario.threads default_workers) in
+  let ops_per_worker =
+    max 1 (min cfg.Scenario.ops_per_thread default_ops_per_worker)
+  in
+  let metrics, _tracer = Common.obs cfg in
   let table =
     Table.create ~title:"E11: chaos matrix (faults injected per kind)"
       ~columns:
@@ -190,7 +159,10 @@ let run () =
           and bad = ref 0 in
           List.iter
             (fun seed ->
-              let r = run_one ~structure ~fault ~seed in
+              let r =
+                run_one ~workers ~ops_per_worker ~metrics ~structure ~fault
+                  ~seed ()
+              in
               injected := !injected + r.Chaos.injected;
               (match r.Chaos.status with
               | Chaos.Completed _ -> incr completed
@@ -209,10 +181,10 @@ let run () =
             seeds;
           Table.add_rowf table "%s|%s|%d|%d|%d|%d|%d|%d" structure.s_name
             fault.f_name runs !completed !audit_ok !leaked_max !injected !bad)
-        fault_kinds)
+        (fault_kinds_for cfg))
     structures;
   List.iter
     (fun r ->
       Format.printf "@.chaos failure:@.%a@." Chaos.pp r)
     !failures;
-  table
+  Common.result ~table metrics

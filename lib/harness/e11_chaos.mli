@@ -4,7 +4,9 @@
     {!Lfrc_faults.Fault_plan} (no faults / spurious CAS+DCAS / allocator
     OOM / thread crash / all mixed) and judges it with the post-mortem
     {!Lfrc_faults.Audit}. Any livelock, unexpected raise, or audit finding
-    is counted in the [bad] column and its replay token printed. *)
+    is counted in the [bad] column and its replay token printed. When the
+    config carries a fault override, the fault axis collapses to that one
+    spec (re-seeded per run). *)
 
 type structure
 type fault_kind
@@ -15,8 +17,17 @@ val structure_name : structure -> string
 val fault_name : fault_kind -> string
 
 val run_one :
-  structure:structure -> fault:fault_kind -> seed:int -> Lfrc_faults.Chaos.report
+  ?workers:int ->
+  ?ops_per_worker:int ->
+  ?metrics:Lfrc_obs.Metrics.t ->
+  structure:structure ->
+  fault:fault_kind ->
+  seed:int ->
+  unit ->
+  Lfrc_faults.Chaos.report
 (** One cell of the matrix, for ad-hoc exploration (the [chaos] CLI
-    command); prints nothing. *)
+    command); prints nothing. [workers] defaults to 3, [ops_per_worker]
+    to 25; [metrics] is passed through to {!Lfrc_faults.Chaos.run}
+    (defaulting to a fresh registry private to the run). *)
 
-val run : unit -> Lfrc_util.Table.t
+val run : Scenario.config -> Common.result

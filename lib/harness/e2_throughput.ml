@@ -12,16 +12,15 @@ module Sched = Lfrc_sched.Sched
 module Table = Lfrc_util.Table
 module Opmix = Lfrc_workload.Opmix
 
-let ops_per_thread = 1_500
-
-let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed =
+let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads
+    ~ops_per_thread ~seed ~metrics ~tracer =
   let steps = ref 0 and dcas_fail = ref 0.0 and gc_pauses = ref 0 in
   let body () =
     let heap = Lfrc_simmem.Heap.create ~name:"e2" () in
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
-        heap
+        ~metrics ~tracer heap
     in
     if gc then Lfrc_simmem.Gc_trace.reset_history heap;
     let d = D.create env in
@@ -56,7 +55,16 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed =
   steps := outcome.Sched.steps;
   (!steps, !dcas_fail, !gc_pauses)
 
-let run () =
+(* Thread counts: powers of two up to the configured ceiling, plus the
+   ceiling itself when it is not one. Default 8 -> [1;2;4;8]. *)
+let thread_counts ceiling =
+  let rec pows acc t = if t > ceiling then List.rev acc else pows (t :: acc) (t * 2) in
+  let counts = pows [] 1 in
+  if List.mem ceiling counts then counts else counts @ [ ceiling ]
+
+let run (cfg : Scenario.config) =
+  let ops_per_thread = cfg.Scenario.ops_per_thread in
+  let metrics, tracer = Common.obs cfg in
   let table =
     Table.create ~title:"E2: deque contention (simulated steps per op)"
       ~columns:[ "impl"; "threads"; "steps/op"; "dcas fail %"; "gc runs" ]
@@ -65,11 +73,14 @@ let run () =
     (fun (label, impl, gc) ->
       List.iter
         (fun threads ->
-          let steps, fail, gcs = run_one impl ~gc ~threads ~seed:11 in
+          let steps, fail, gcs =
+            run_one impl ~gc ~threads ~ops_per_thread ~seed:cfg.Scenario.seed
+              ~metrics ~tracer
+          in
           let total_ops = threads * ops_per_thread in
           Table.add_rowf table "%s|%d|%.1f|%.2f|%d" label threads
             (Float.of_int steps /. Float.of_int total_ops)
             fail gcs)
-        [ 1; 2; 4; 8 ])
+        (thread_counts cfg.Scenario.threads))
     (Common.deque_impls ());
-  table
+  Common.result ~table metrics

@@ -17,22 +17,21 @@ module Opmix = Lfrc_workload.Opmix
 module Treiber_lfrc = Lfrc_structures.Treiber.Make (Lfrc_core.Lfrc_ops)
 module Treiber_leak = Lfrc_structures.Treiber.Make (Lfrc_core.Gc_ops)
 
-let threads = 4
-let ops_per_thread = 2_000
-
-type metrics = {
+type row = {
   steps_per_op : float;
   residual : int; (* live minus still-reachable stack content *)
   bounded_residual : string; (* scheme-reported garbage high-water mark *)
 }
 
 (* Run the mixed workload on stack [ops] inside a simulation; returns the
-   metrics. [residual_of] runs after the simulation, quiescently. *)
-let drive ~name ~make ~residual_note ~seed =
+   row. [residual_of] runs after the simulation, quiescently. *)
+let drive ~name ~make ~residual_note ~threads ~ops_per_thread ~seed ~metrics
+    ~tracer =
   let result = ref None in
   let body () =
     let env =
-      Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+      Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics
+        ~tracer
         (Heap.create ~name ())
     in
     let push, pop, live_reachable, finish = make env in
@@ -75,7 +74,14 @@ let drain_count pop =
   let rec go n = match pop () with None -> n | Some _ -> go (n + 1) in
   go 0
 
-let run () =
+let run (cfg : Scenario.config) =
+  (* Four threads saturate the single-stack contention picture; the
+     config's ceiling only lowers it. Seeds 21..25 at the default base. *)
+  let threads = max 1 (min cfg.Scenario.threads 4) in
+  let ops_per_thread = cfg.Scenario.ops_per_thread in
+  let seed0 = cfg.Scenario.seed + 10 in
+  let metrics, tracer = Common.obs cfg in
+  let drive = drive ~threads ~ops_per_thread ~metrics ~tracer in
   let table =
     Table.create
       ~title:
@@ -89,7 +95,7 @@ let run () =
   in
   (* LFRC *)
   add "lfrc"
-    (drive ~name:"e4-lfrc" ~seed:21
+    (drive ~name:"e4-lfrc" ~seed:seed0
        ~make:(fun env ->
          let s = Treiber_lfrc.create env in
          let handles = Array.init threads (fun _ -> Treiber_lfrc.register s) in
@@ -101,7 +107,7 @@ let run () =
        ~residual_note:(fun () -> "0 by construction"));
   (* Hazard pointers *)
   add "hazard"
-    (drive ~name:"e4-hp" ~seed:22
+    (drive ~name:"e4-hp" ~seed:(seed0 + 1)
        ~make:(fun env ->
          let s = Lfrc_reclaim.Hp_stack.create env in
          let handles =
@@ -115,7 +121,7 @@ let run () =
        ~residual_note:(fun () -> "scan threshold 64"));
   (* Epoch *)
   add "epoch"
-    (drive ~name:"e4-ebr" ~seed:23
+    (drive ~name:"e4-ebr" ~seed:(seed0 + 2)
        ~make:(fun env ->
          let s = Lfrc_reclaim.Ebr_stack.create env in
          let handles =
@@ -129,7 +135,7 @@ let run () =
        ~residual_note:(fun () -> "last 2 epochs"));
   (* Valois free-list *)
   add "valois"
-    (drive ~name:"e4-valois" ~seed:24
+    (drive ~name:"e4-valois" ~seed:(seed0 + 3)
        ~make:(fun env ->
          let s = Lfrc_reclaim.Valois_stack.create env in
          let h = Lfrc_reclaim.Valois_stack.register s in
@@ -140,7 +146,7 @@ let run () =
        ~residual_note:(fun () -> "free-list, never returned"));
   (* No reclamation *)
   add "leak"
-    (drive ~name:"e4-leak" ~seed:25
+    (drive ~name:"e4-leak" ~seed:(seed0 + 4)
        ~make:(fun env ->
          let s = Treiber_leak.create env in
          let handles = Array.init threads (fun _ -> Treiber_leak.register s) in
@@ -150,4 +156,4 @@ let run () =
            (fun () -> drain_count (fun () -> Treiber_leak.pop h0)),
            fun () -> () ))
        ~residual_note:(fun () -> "unbounded"));
-  table
+  Common.result ~table metrics

@@ -19,20 +19,19 @@ module Cell = Lfrc_simmem.Cell
 module Dcas = Lfrc_atomics.Dcas
 module Table = Lfrc_util.Table
 
-let wall_iters = 200_000
-
-let wall_row table impl =
+let wall_row table impl ~iters ~metrics ~tracer =
   let d = Dcas.create impl in
+  Dcas.attach_obs d ~metrics ~tracer;
   let c0 = Cell.make 1 and c1 = Cell.make 2 in
   let ns =
-    Common.time_per_op_ns ~iters:wall_iters (fun () ->
+    Common.time_per_op_ns ~iters (fun () ->
         ignore (Dcas.dcas d c0 c1 ~old0:1 ~old1:2 ~new0:1 ~new1:2))
   in
   Table.add_rowf table "%s|1|%.1f|-|-" (Dcas.impl_name d) ns
 
-let contended_row table impl ~threads ~seed =
-  let per_thread = 2_000 in
+let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer =
   let d = Dcas.create impl in
+  Dcas.attach_obs d ~metrics ~tracer;
   let steps = ref 0 in
   let body () =
     let c0 = Cell.make 0 and c1 = Cell.make 0 in
@@ -68,17 +67,22 @@ let contended_row table impl ~threads ~seed =
     (Float.of_int c.dcas_attempts /. Float.of_int total_ops)
     (100.0 *. Float.of_int c.dcas_failures /. Float.of_int c.dcas_attempts)
 
-let run () =
+let run (cfg : Scenario.config) =
+  let metrics, tracer = Common.obs cfg in
+  let seed = cfg.Scenario.seed + 20 in
   let table =
     Table.create ~title:"E5: DCAS substrates (wall ns/op at 1 thread; sim steps/op contended)"
       ~columns:[ "substrate"; "threads"; "ns or steps /op"; "attempts/op"; "fail %" ]
   in
-  List.iter (fun impl -> wall_row table impl)
+  List.iter
+    (fun impl -> wall_row table impl ~iters:cfg.Scenario.iters ~metrics ~tracer)
     [ Dcas.Atomic_step; Dcas.Striped_lock; Dcas.Software_mcas ];
   List.iter
     (fun impl ->
       List.iter
-        (fun threads -> contended_row table impl ~threads ~seed:31)
-        [ 2; 4; 8 ])
+        (fun threads ->
+          contended_row table impl ~threads
+            ~per_thread:cfg.Scenario.ops_per_thread ~seed ~metrics ~tracer)
+        (List.filter (fun t -> t <= max 2 cfg.Scenario.threads) [ 2; 4; 8 ]))
     [ Dcas.Atomic_step; Dcas.Software_mcas ];
-  table
+  Common.result ~table metrics

@@ -66,14 +66,15 @@ let scenario env ~rings ~ring_size ~chains ~chain_len ~tails =
   Lfrc.store_alloc env ~dst:root anchor;
   root
 
-let run () =
+let run (cfg : Scenario.config) =
+  let metrics, tracer = Common.obs cfg in
   let table =
     Table.create ~title:"E7: cyclic garbage and the backup tracer"
       ~columns:
         [ "structure"; "objects"; "lfrc freed"; "leaked"; "tracer freed"; "tracer us" ]
   in
   let case label ~rings ~ring_size ~chains ~chain_len ~tails =
-    let env = Common.fresh_env ~name:"e7" () in
+    let env = Common.fresh_env ~metrics ~tracer ~name:"e7" () in
     let heap = Env.heap env in
     let root = scenario env ~rings ~ring_size ~chains ~chain_len ~tails in
     let before = Heap.live_count heap in
@@ -94,4 +95,4 @@ let run () =
     ~tails:0;
   case "100 rings w/ 20-node tails" ~rings:100 ~ring_size:5 ~chains:0
     ~chain_len:0 ~tails:20;
-  table
+  Common.result ~table metrics

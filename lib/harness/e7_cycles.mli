@@ -1,5 +1,6 @@
 (** E7 — cyclic garbage: what counting leaks and the backup tracer reclaims. See the implementation header for the experiment's design and the expected shape. *)
 
-val run : unit -> Lfrc_util.Table.t
-(** Execute the experiment and return its table (regenerates the
-    corresponding EXPERIMENTS.md section). *)
+val run : Scenario.config -> Common.result
+(** Execute the experiment under the shared configuration and return its
+    table (regenerates the corresponding EXPERIMENTS.md section) plus the
+    metrics snapshot its environments recorded. *)

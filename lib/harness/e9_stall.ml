@@ -13,11 +13,11 @@ module Sched = Lfrc_sched.Sched
 module Table = Lfrc_util.Table
 module Opmix = Lfrc_workload.Opmix
 
-let threads = 4
 let step_budget = 150_000
 let stall_period = 3_000
 
-let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~strategy =
+let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed
+    ~metrics ~tracer ~strategy =
   let completed = Atomic.make 0 in
   let last_progress = ref 0 in
   let max_gap = ref 0 in
@@ -31,7 +31,7 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~strategy =
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
-        heap
+        ~metrics ~tracer heap
     in
     let d = D.create env in
     let tids =
@@ -39,13 +39,12 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~strategy =
           Sched.spawn (fun () ->
               let h = D.register d in
               let stream =
-                Opmix.stream Opmix.balanced_deque ~seed:41 ~thread:thr
-                  1_000_000
+                Opmix.stream Opmix.balanced_deque ~seed ~thread:thr 1_000_000
               in
               (* endless: the step budget ends the run *)
               Array.iteri
                 (fun i op ->
-                  let v = Common.value_stream ~seed:41 ~thread:thr i in
+                  let v = Common.value_stream ~seed ~thread:thr i in
                   (match op with
                   | Opmix.Push_left -> D.push_left h v
                   | Opmix.Push_right -> D.push_right h v
@@ -63,7 +62,13 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~strategy =
   max_gap := max !max_gap (step_budget - !last_progress);
   (Atomic.get completed, !max_gap)
 
-let run () =
+let run (cfg : Scenario.config) =
+  let threads = max 1 (min cfg.Scenario.threads 4) in
+  let seed = cfg.Scenario.seed + 30 in
+  let metrics, tracer = Common.obs cfg in
+  let run_one impl ~gc ~strategy =
+    run_one impl ~gc ~threads ~seed ~metrics ~tracer ~strategy
+  in
   let table =
     Table.create
       ~title:
@@ -77,16 +82,16 @@ let run () =
   List.iter
     (fun (label, impl, gc) ->
       let fair, gap_fair =
-        run_one impl ~gc ~strategy:(Lfrc_sched.Strategy.Random 41)
+        run_one impl ~gc ~strategy:(Lfrc_sched.Strategy.Random seed)
       in
       let stalled, gap_stalled =
         run_one impl ~gc
           ~strategy:
             (Lfrc_sched.Strategy.Handicap
-               { seed = 41; victim = 1; period = stall_period })
+               { seed; victim = 1; period = stall_period })
       in
       Table.add_rowf table "%s|%d|%d|%.1f|%d|%d" label fair stalled
         (100.0 *. Float.of_int stalled /. Float.of_int fair)
         gap_fair gap_stalled)
     (Common.deque_impls ());
-  table
+  Common.result ~table metrics

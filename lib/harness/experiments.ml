@@ -1,7 +1,7 @@
 type experiment = {
   id : string;
   title : string;
-  run : unit -> Lfrc_util.Table.t;
+  run : Scenario.config -> Common.result;
 }
 
 let all =
@@ -67,10 +67,32 @@ let find id =
   let id = String.uppercase_ascii id in
   List.find_opt (fun e -> e.id = id) all
 
-let run_and_print e =
-  Printf.printf "\n[%s] %s\n%!" e.id e.title;
-  let t = e.run () in
-  Lfrc_util.Table.print t;
+let print_result ~id ~csv (r : Common.result) =
+  if csv then print_string (Lfrc_util.Table.csv r.Common.table)
+  else Lfrc_util.Table.print r.Common.table;
+  if not (Lfrc_obs.Metrics.is_empty r.Common.metrics) then
+    Printf.printf "\n[%s metrics]\n%s\n" id
+      (Lfrc_obs.Metrics.to_json r.Common.metrics)
+
+let run_and_print ?(config = Scenario.default_config) ?(csv = false) e =
+  if csv then Printf.printf "# %s: %s\n" e.id e.title
+  else Printf.printf "\n[%s] %s\n%!" e.id e.title;
+  let r = e.run config in
+  print_result ~id:e.id ~csv r;
   print_newline ()
 
-let run_all () = List.iter run_and_print all
+let run_all ?config () = List.iter (fun e -> run_and_print ?config e) all
+
+let run_ids ?config ?csv ids =
+  let selected =
+    List.filter_map
+      (fun id ->
+        match find id with
+        | Some e -> Some e
+        | None ->
+            Printf.eprintf "unknown experiment: %s\n" id;
+            None)
+      ids
+  in
+  List.iter (fun e -> run_and_print ?config ?csv e) selected;
+  List.length selected = List.length ids

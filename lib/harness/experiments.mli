@@ -1,10 +1,15 @@
 (** The experiment registry: every table in EXPERIMENTS.md is regenerated
-    by one entry here. Used by [bin/lfrc_cli.exe] and [bench/main.exe]. *)
+    by one entry here. Used by [bin/lfrc_cli.exe] and [bench/main.exe].
+
+    Every experiment runs under a shared {!Scenario.config}; alongside its
+    table it returns the {!Lfrc_obs.Metrics} snapshot gathered from the
+    environments it created, and the printers emit that snapshot as a
+    [\[Ek metrics\]] JSON block after the table. *)
 
 type experiment = {
-  id : string;  (** "E1" .. "E8" *)
+  id : string;  (** "E1" .. "E11" *)
   title : string;
-  run : unit -> Lfrc_util.Table.t;
+  run : Scenario.config -> Common.result;
 }
 
 val all : experiment list
@@ -12,5 +17,13 @@ val all : experiment list
 val find : string -> experiment option
 (** Case-insensitive lookup by id. *)
 
-val run_and_print : experiment -> unit
-val run_all : unit -> unit
+val run_and_print : ?config:Scenario.config -> ?csv:bool -> experiment -> unit
+(** Run one experiment and print its table (aligned, or CSV), followed by
+    the metrics JSON block when the snapshot is non-empty. [config]
+    defaults to {!Scenario.default_config}. *)
+
+val run_all : ?config:Scenario.config -> unit -> unit
+
+val run_ids : ?config:Scenario.config -> ?csv:bool -> string list -> bool
+(** Resolve each id with {!find} (reporting unknown ids on stderr), run
+    and print the rest; [false] when any id was unknown. *)

@@ -2,6 +2,32 @@ module History = Lfrc_linearize.History
 module Spec = Lfrc_structures.Spec
 module Sched = Lfrc_sched.Sched
 
+(* The shared experiment configuration. Every experiment's [run] takes one
+   of these instead of hard-coding its own knobs; each experiment maps the
+   shared fields onto its workload (clamping where its matrix would
+   otherwise explode — E11 documents its clamp). *)
+type config = {
+  threads : int;  (* worker-thread ceiling for multi-threaded experiments *)
+  ops_per_thread : int;  (* per-worker operation count *)
+  iters : int;  (* single-threaded timing-loop iterations (E1, E5) *)
+  seed : int;  (* base seed: schedules, op mixes, value streams *)
+  fault : Lfrc_faults.Fault_plan.spec option;
+      (* override E11's built-in fault matrix with one spec *)
+  metrics : bool;  (* collect a metrics snapshot alongside the table *)
+  trace_capacity : int;  (* tracer ring size; 0 = tracing off *)
+}
+
+let default_config =
+  {
+    threads = 8;
+    ops_per_thread = 1_500;
+    iters = 200_000;
+    seed = 11;
+    fault = None;
+    metrics = true;
+    trace_capacity = 0;
+  }
+
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right
 
 type res = Done | Popped of int option

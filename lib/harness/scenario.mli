@@ -4,7 +4,35 @@
     specification with the linearizability checker.
 
     This is the engine behind the Snark bug hunt (EXPERIMENTS.md A4) and
-    the concurrency test suites. *)
+    the concurrency test suites.
+
+    It also hosts {!config}, the shared experiment configuration record
+    that every {!Experiments} entry takes in place of per-experiment
+    ad-hoc parameters. *)
+
+type config = {
+  threads : int;
+      (** worker-thread ceiling for multi-threaded experiments; each
+          experiment clamps it to what its matrix tolerates *)
+  ops_per_thread : int;  (** per-worker operation count *)
+  iters : int;
+      (** single-threaded timing-loop iterations (E1's rows, E5's
+          wall-clock rows) *)
+  seed : int;
+      (** base seed; experiments derive their historical per-table seeds
+          from it (E2 uses it directly, E4 adds 10.., E5 adds 20, E9 adds
+          30), so the default reproduces the historical schedules *)
+  fault : Lfrc_faults.Fault_plan.spec option;
+      (** when set, E11 runs this single fault spec instead of its
+          built-in matrix (other experiments ignore it) *)
+  metrics : bool;
+      (** collect DCAS/LFRC/heap series into the result's snapshot *)
+  trace_capacity : int;  (** tracer ring size; 0 disables tracing *)
+}
+
+val default_config : config
+(** threads 8, 1500 ops/thread, 200k iters, seed 11, no fault override,
+    metrics on, tracing off. *)
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right
 

@@ -25,9 +25,13 @@ type t = {
   local_frames_lock : Mutex.t;
   env_gc_threshold : int;
   mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
+  env_metrics : Lfrc_obs.Metrics.t;
+  env_tracer : Lfrc_obs.Tracer.t;
 }
 
-let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0) heap =
+let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
+    ?(metrics = Lfrc_obs.Metrics.disabled) ?(tracer = Lfrc_obs.Tracer.disabled)
+    heap =
   let impl =
     match dcas_impl with
     | Some i -> i
@@ -35,9 +39,22 @@ let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0) heap =
         if Lfrc_sched.Sched.active () then Lfrc_atomics.Dcas.Atomic_step
         else Lfrc_atomics.Dcas.Striped_lock
   in
+  let d = Lfrc_atomics.Dcas.create impl in
+  Lfrc_atomics.Dcas.attach_obs d ~metrics ~tracer;
+  if Lfrc_obs.Metrics.enabled metrics || Lfrc_obs.Tracer.enabled tracer then
+    Lfrc_simmem.Heap.set_observer heap
+      (Some
+         (function
+         | Lfrc_simmem.Heap.Obs_alloc { live; _ } ->
+             Lfrc_obs.Metrics.incr metrics "heap.allocs";
+             Lfrc_obs.Metrics.set_gauge metrics "heap.live" live
+         | Lfrc_simmem.Heap.Obs_free { p; live } ->
+             Lfrc_obs.Metrics.incr metrics "heap.frees";
+             Lfrc_obs.Metrics.set_gauge metrics "heap.live" live;
+             Lfrc_obs.Tracer.emit tracer ~arg:p Free "free"));
   {
     env_heap = heap;
-    env_dcas = Lfrc_atomics.Dcas.create impl;
+    env_dcas = d;
     env_policy = policy;
     pending = Queue.create ();
     pending_lock = Mutex.create ();
@@ -48,12 +65,16 @@ let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0) heap =
     local_frames_lock = Mutex.create ();
     env_gc_threshold = gc_threshold;
     env_incremental = None;
+    env_metrics = metrics;
+    env_tracer = tracer;
   }
 
 let heap t = t.env_heap
 let dcas t = t.env_dcas
 let policy t = t.env_policy
 let gc_threshold t = t.env_gc_threshold
+let metrics t = t.env_metrics
+let tracer t = t.env_tracer
 
 let set_incremental t ~collector ~budget =
   t.env_incremental <- Some (collector, budget)
@@ -63,7 +84,10 @@ let incremental t = t.env_incremental
 let defer t p =
   Mutex.lock t.pending_lock;
   Queue.add p t.pending;
-  Mutex.unlock t.pending_lock
+  let depth = Queue.length t.pending in
+  Mutex.unlock t.pending_lock;
+  Lfrc_obs.Metrics.incr t.env_metrics "lfrc.deferred";
+  Lfrc_obs.Metrics.set_gauge t.env_metrics "lfrc.deferred_depth" depth
 
 let drain_deferred t ~max =
   Mutex.lock t.pending_lock;
@@ -72,7 +96,10 @@ let drain_deferred t ~max =
     else go (n + 1) (Queue.pop t.pending :: acc)
   in
   let out = go 0 [] in
+  let depth = Queue.length t.pending in
   Mutex.unlock t.pending_lock;
+  if out <> [] then
+    Lfrc_obs.Metrics.set_gauge t.env_metrics "lfrc.deferred_depth" depth;
   out
 
 let deferred_pending t =

@@ -25,17 +25,31 @@ val create :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:policy ->
   ?gc_threshold:int ->
+  ?metrics:Lfrc_obs.Metrics.t ->
+  ?tracer:Lfrc_obs.Tracer.t ->
   Lfrc_simmem.Heap.t ->
   t
 (** Defaults: [dcas_impl] is [Atomic_step] when called under the simulator
     and [Striped_lock] otherwise; [policy] is [Iterative]; [gc_threshold]
     (live-object count that triggers a tracing collection in GC-dependent
-    mode; 0 disables) is 0. *)
+    mode; 0 disables) is 0.
+
+    [metrics] and [tracer] default to the disabled singletons — the no-op
+    observability implementations, chosen here once so every instrumented
+    hot path below pays a single branch when observability is off.
+    Passing enabled instances wires the whole environment: the DCAS
+    substrate ({!Lfrc_atomics.Dcas.attach_obs}), the heap's alloc/free
+    observer ({!Lfrc_simmem.Heap.set_observer}), the deferred-destroy
+    queue, and {!Lfrc}'s operations all report into them. Sharing one
+    registry across several environments aggregates their series. *)
 
 val heap : t -> Lfrc_simmem.Heap.t
 val dcas : t -> Lfrc_atomics.Dcas.t
 val policy : t -> policy
 val gc_threshold : t -> int
+
+val metrics : t -> Lfrc_obs.Metrics.t
+val tracer : t -> Lfrc_obs.Tracer.t
 
 val set_incremental : t -> collector:Lfrc_simmem.Gc_incr.t -> budget:int -> unit
 (** Attach an incremental collector for GC-dependent mode: {!Gc_ops} will

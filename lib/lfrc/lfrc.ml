@@ -2,10 +2,30 @@ module Heap = Lfrc_simmem.Heap
 module Cell = Lfrc_simmem.Cell
 module Layout = Lfrc_simmem.Layout
 module Dcas = Lfrc_atomics.Dcas
+module Metrics = Lfrc_obs.Metrics
+module Tracer = Lfrc_obs.Tracer
 
 type ptr = Heap.ptr
 
 let null = Heap.null
+
+(* Observability shims. Every public operation counts itself under an
+   [lfrc.*] series and, when tracing, opens a span that closes even on the
+   exceptional (OOM) paths. With observability off each shim is a single
+   branch — the policy {!Env.create} documents. *)
+
+let retry env counter =
+  Metrics.incr (Env.metrics env) counter;
+  Tracer.emit (Env.tracer env) Retry counter
+
+let span env name f =
+  Metrics.incr (Env.metrics env) name;
+  let tr = Env.tracer env in
+  if not (Tracer.enabled tr) then f ()
+  else begin
+    Tracer.emit tr Begin name;
+    Fun.protect ~finally:(fun () -> Tracer.emit tr End name) f
+  end
 
 (* add_to_rc (Figure 2, lines 16..20). The caller holds a counted
    reference, so the object cannot be freed while the loop runs. *)
@@ -14,19 +34,29 @@ let add_to_rc env p v =
   let d = Env.dcas env in
   let rec go () =
     let oldrc = Dcas.read d rc in
-    if Dcas.cas d rc oldrc (oldrc + v) then oldrc else go ()
+    if Dcas.cas d rc oldrc (oldrc + v) then oldrc
+    else begin
+      retry env "lfrc.rc_retry";
+      go ()
+    end
   in
   go ()
 
-let alloc env layout = Heap.alloc (Env.heap env) layout
+let alloc env layout =
+  Metrics.incr (Env.metrics env) "lfrc.alloc";
+  Heap.alloc (Env.heap env) layout
 
 (* Allocation with graceful OOM: a simulated allocation failure surfaces as
    a result before any count or cell is touched, so the caller can abort
    its operation with the heap intact. *)
 let try_alloc env layout =
+  Metrics.incr (Env.metrics env) "lfrc.alloc";
   match Heap.alloc (Env.heap env) layout with
   | p -> Ok p
-  | exception Heap.Simulated_oom -> Error `Out_of_memory
+  | exception Heap.Simulated_oom ->
+      Metrics.incr (Env.metrics env) "lfrc.alloc_oom";
+      Tracer.emit (Env.tracer env) Fault "oom";
+      Error `Out_of_memory
 
 (* Destroying the last pointer to an object frees it and destroys the
    pointers it contains. Three policies; all call [release_one] to drop a
@@ -34,7 +64,11 @@ let try_alloc env layout =
 
 let release_one env p = add_to_rc env p (-1) = 1
 
-let free_obj env p = Heap.free (Env.heap env) p
+(* [counter] separates eager frees (destroy paths) from deferred-queue
+   frees, the paper-§7 distinction the metrics surface. *)
+let free_obj env counter p =
+  Metrics.incr (Env.metrics env) counter;
+  Heap.free (Env.heap env) p
 
 let ptr_slot_contents env p =
   let heap = Env.heap env in
@@ -54,7 +88,7 @@ let rec destroy_recursive env p =
     Env.begin_destroy env p;
     if release_one env p then begin
       List.iter (destroy_recursive env) (ptr_slot_contents env p);
-      free_obj env p
+      free_obj env "lfrc.frees" p
     end;
     Env.end_destroy env p
   end
@@ -82,7 +116,7 @@ let destroy_iterative env p =
                   else Env.end_destroy env child
                 end)
               (ptr_slot_contents env q);
-            free_obj env q;
+            free_obj env "lfrc.frees" q;
             Env.end_destroy env q
       done
     end
@@ -109,7 +143,7 @@ let pump_deferred env ~budget =
             if child <> null && release_one env child then
               defer_dead env child)
           (ptr_slot_contents env q);
-        free_obj env q;
+        free_obj env "lfrc.deferred_frees" q;
         Env.end_destroy env q
   done;
   !freed
@@ -117,6 +151,7 @@ let pump_deferred env ~budget =
 let flush env = pump_deferred env ~budget:(-1)
 
 let destroy env p =
+  Metrics.incr (Env.metrics env) "lfrc.destroy";
   match Env.policy env with
   | Env.Recursive -> destroy_recursive env p
   | Env.Iterative -> destroy_iterative env p
@@ -130,6 +165,7 @@ let destroy env p =
 
 (* LFRCLoad (Figure 2, lines 1..12). *)
 let load env ~src ~dest =
+  span env "lfrc.load" @@ fun () ->
   let heap = Env.heap env in
   let d = Env.dcas env in
   let olddest = !dest in
@@ -144,7 +180,10 @@ let load env ~src ~dest =
          under us if the pointer still exists. *)
       if Dcas.dcas d src rc ~old0:a ~old1:r ~new0:a ~new1:(r + 1) then
         dest := a
-      else go ()
+      else begin
+        retry env "lfrc.load_retry";
+        go ()
+      end
     end
   in
   go ();
@@ -152,26 +191,37 @@ let load env ~src ~dest =
 
 (* LFRCStore (Figure 2, lines 21..28). *)
 let store env ~dst v =
+  span env "lfrc.store" @@ fun () ->
   if v <> null then ignore (add_to_rc env v 1);
   let d = Env.dcas env in
   let rec go () =
     let oldval = Dcas.read d dst in
-    if Dcas.cas d dst oldval v then destroy env oldval else go ()
+    if Dcas.cas d dst oldval v then destroy env oldval
+    else begin
+      retry env "lfrc.store_retry";
+      go ()
+    end
   in
   go ()
 
 (* LFRCStoreAlloc (paper Figure 1, line 35): consume the allocation's
    count instead of raising it. *)
 let store_alloc env ~dst v =
+  span env "lfrc.store_alloc" @@ fun () ->
   let d = Env.dcas env in
   let rec go () =
     let oldval = Dcas.read d dst in
-    if Dcas.cas d dst oldval v then destroy env oldval else go ()
+    if Dcas.cas d dst oldval v then destroy env oldval
+    else begin
+      retry env "lfrc.store_retry";
+      go ()
+    end
   in
   go ()
 
 (* LFRCCopy (Figure 2, lines 29..32). *)
 let copy env ~dest w =
+  span env "lfrc.copy" @@ fun () ->
   if w <> null then ignore (add_to_rc env w 1);
   let old = !dest in
   dest := w;
@@ -179,6 +229,7 @@ let copy env ~dest w =
 
 (* LFRCDCAS (Figure 2, lines 33..39). *)
 let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
+  span env "lfrc.dcas" @@ fun () ->
   if new0 <> null then ignore (add_to_rc env new0 1);
   if new1 <> null then ignore (add_to_rc env new1 1);
   if Dcas.dcas (Env.dcas env) c0 c1 ~old0 ~old1 ~new0 ~new1 then begin
@@ -194,6 +245,7 @@ let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
 
 (* LFRCCAS: the paper's "obvious simplification" of LFRCDCAS. *)
 let cas env c ~old_ptr ~new_ptr =
+  span env "lfrc.cas" @@ fun () ->
   if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
   if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
     destroy env old_ptr;
@@ -207,6 +259,7 @@ let cas env c ~old_ptr ~new_ptr =
 (* Extension: DCAS over one pointer cell and one plain-value cell.
    Reference counting applies to the pointer side only. *)
 let dcas_ptr_val env ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
+  span env "lfrc.dcas_ptr_val" @@ fun () ->
   if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
   if
     Dcas.dcas (Env.dcas env) ptr_cell val_cell ~old0:old_ptr ~old1:old_val

@@ -1,0 +1,187 @@
+module Sched = Lfrc_sched.Sched
+
+type kind = Begin | End | Retry | Free | Fault | Instant
+
+type event = { step : int; tid : int; kind : kind; name : string; arg : int }
+
+type ring = {
+  lock : Mutex.t;
+  cap : int;
+  buf : event array;
+  mutable total : int;  (* events ever emitted; buf index = total mod cap *)
+}
+
+type t = Disabled | On of ring
+
+let dummy = { step = 0; tid = 0; kind = Instant; name = ""; arg = 0 }
+
+let create ~capacity =
+  if capacity <= 0 then Disabled
+  else
+    On
+      {
+        lock = Mutex.create ();
+        cap = capacity;
+        buf = Array.make capacity dummy;
+        total = 0;
+      }
+
+let disabled = Disabled
+
+let enabled = function Disabled -> false | On _ -> true
+
+let emit t ?(arg = 0) kind name =
+  match t with
+  | Disabled -> ()
+  | On r ->
+      let ev =
+        { step = Sched.steps_so_far (); tid = Sched.tid (); kind; name; arg }
+      in
+      Mutex.lock r.lock;
+      r.buf.(r.total mod r.cap) <- ev;
+      r.total <- r.total + 1;
+      Mutex.unlock r.lock
+
+let events = function
+  | Disabled -> []
+  | On r ->
+      Mutex.lock r.lock;
+      let n = min r.total r.cap in
+      let start = r.total - n in
+      let out = List.init n (fun i -> r.buf.((start + i) mod r.cap)) in
+      Mutex.unlock r.lock;
+      out
+
+let recorded = function Disabled -> 0 | On r -> r.total
+
+let dropped = function Disabled -> 0 | On r -> max 0 (r.total - r.cap)
+
+let clear = function
+  | Disabled -> ()
+  | On r ->
+      Mutex.lock r.lock;
+      r.total <- 0;
+      Mutex.unlock r.lock
+
+let kind_name = function
+  | Begin -> "begin"
+  | End -> "end"
+  | Retry -> "retry"
+  | Free -> "free"
+  | Fault -> "fault"
+  | Instant -> "instant"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Spans are re-paired at export into Chrome "X" (complete) records: a ring
+   that overwrote a span's Begin would otherwise emit an unmatched "E",
+   which chrome://tracing renders as garbage. Instant events map to "i". *)
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let record fields =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%s" k v))
+      fields;
+    Buffer.add_char buf '}'
+  in
+  let quoted s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let common ev =
+    [
+      ("pid", "1");
+      ("tid", string_of_int ev.tid);
+      ("args", Printf.sprintf "{\"arg\":%d}" ev.arg);
+    ]
+  in
+  let instant ev cat =
+    record
+      ([
+         ("name", quoted ev.name);
+         ("cat", quoted cat);
+         ("ph", "\"i\"");
+         ("s", "\"t\"");
+         ("ts", string_of_int ev.step);
+       ]
+      @ common ev)
+  in
+  let stacks : (int, (string * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let stack tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks tid s;
+        s
+  in
+  List.iter
+    (fun ev ->
+      match ev.kind with
+      | Begin -> (
+          let s = stack ev.tid in
+          s := (ev.name, ev.step, ev.arg) :: !s)
+      | End -> (
+          let s = stack ev.tid in
+          match !s with
+          | (name, t0, arg) :: rest when name = ev.name ->
+              s := rest;
+              record
+                ([
+                   ("name", quoted name);
+                   ("cat", quoted "op");
+                   ("ph", "\"X\"");
+                   ("ts", string_of_int t0);
+                   ("dur", string_of_int (max 0 (ev.step - t0)));
+                 ]
+                @ common { ev with arg })
+          | _ ->
+              (* Begin fell off the ring: keep the evidence as a point. *)
+              instant ev "op-end")
+      | Retry -> instant ev "retry"
+      | Free -> instant ev "free"
+      | Fault -> instant ev "fault"
+      | Instant -> instant ev "instant")
+    (events t);
+  (* Spans still open when the trace was cut: render as points too. *)
+  Hashtbl.iter
+    (fun tid s ->
+      List.iter
+        (fun (name, step, arg) ->
+          instant { step; tid; kind = Begin; name; arg } "op-open")
+        !s)
+    stacks;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_timeline t =
+  let buf = Buffer.create 1024 in
+  let d = dropped t in
+  if d > 0 then
+    Buffer.add_string buf (Printf.sprintf "... %d earlier events dropped\n" d);
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf
+        (Printf.sprintf "%8d  t%-3d %-8s %-24s %d\n" ev.step ev.tid
+           (kind_name ev.kind) ev.name ev.arg))
+    (events t);
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_timeline t)

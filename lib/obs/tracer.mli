@@ -1,0 +1,63 @@
+(** Bounded event tracing keyed to the deterministic scheduler's step
+    numbers.
+
+    Instrumented layers emit begin/end spans for LFRC operations, instant
+    events for retries, frees and injected faults, and the ring keeps the
+    last [capacity] of them. Under {!Lfrc_sched.Sched.run} the timestamp
+    of an event is the simulation step at which it happened — the exact
+    interleaving clock — so a trace is a replayable account of {e which}
+    retry happened {e when}. Outside a simulation steps are 0 and events
+    still order by arrival.
+
+    Export as Chrome [chrome://tracing] / Perfetto JSON
+    ({!to_chrome_json}) or as a compact text timeline ({!to_timeline}). *)
+
+type kind =
+  | Begin  (** an instrumented operation starts (span open) *)
+  | End  (** the matching span closes *)
+  | Retry  (** a CAS/DCAS attempt failed and the loop will re-run *)
+  | Free  (** an object went back to the allocator *)
+  | Fault  (** an injected fault fired (spurious failure, OOM, crash) *)
+  | Instant  (** anything else worth a point mark *)
+
+type event = { step : int; tid : int; kind : kind; name : string; arg : int }
+
+type t
+
+val create : capacity:int -> t
+(** A fresh enabled tracer holding at most [capacity] events (older
+    events are overwritten); [capacity <= 0] returns {!disabled}. *)
+
+val disabled : t
+(** The shared no-op tracer: {!emit} is a single branch. *)
+
+val enabled : t -> bool
+
+val emit : t -> ?arg:int -> kind -> string -> unit
+(** Record one event stamped with the current scheduler step and
+    simulated thread id. No-op on the disabled tracer. *)
+
+val events : t -> event list
+(** Retained events, oldest first (at most [capacity]). *)
+
+val recorded : t -> int
+(** Total events ever emitted, including overwritten ones. *)
+
+val dropped : t -> int
+(** [recorded - retained]: how many fell off the ring. *)
+
+val clear : t -> unit
+
+val kind_name : kind -> string
+
+val to_chrome_json : t -> string
+(** The Chrome trace-event format: [{"traceEvents": [...]}] with [B]/[E]
+    phase records for spans and [i] (instant) records for point events;
+    [ts] is the simulation step. Loads directly in [chrome://tracing] and
+    Perfetto. *)
+
+val to_timeline : t -> string
+(** One line per event: [step  tid  kind  name  arg]. *)
+
+val pp : Format.formatter -> t -> unit
+(** The text timeline, for embedding in reports. *)

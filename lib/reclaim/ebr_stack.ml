@@ -21,7 +21,7 @@ let create env =
     env;
     heap;
     top = Heap.root heap ~name:"ebr-stack-top" ();
-    ebr = Epoch.create heap;
+    ebr = Epoch.create ~metrics:(Lfrc_core.Env.metrics env) heap;
   }
 
 let register t = { t; slot = Epoch.register t.ebr }
@@ -79,3 +79,15 @@ let destroy t =
   unregister h;
   Epoch.flush t.ebr;
   Heap.release_root t.heap t.top
+
+include Lfrc_structures.Container_intf.With_env (struct
+  let name = name
+
+  type nonrec t = t
+  type nonrec handle = handle
+
+  let create = create
+  let register = register
+  let unregister = unregister
+  let destroy = destroy
+end)

@@ -1,6 +1,7 @@
 module Heap = Lfrc_simmem.Heap
 module Cell = Lfrc_simmem.Cell
 module Sched = Lfrc_sched.Sched
+module Metrics = Lfrc_obs.Metrics
 
 type slot_state = {
   active : Cell.t; (* 0 = quiescent, 1 = pinned *)
@@ -20,11 +21,13 @@ type t = {
   mutable orphans : (int * Heap.ptr) list;
   freed : int Atomic.t;
   max_limbo : int Atomic.t;
+  metrics : Metrics.t;
 }
 
 type slot = int
 
-let create ?(slots = 64) ?(advance_every = 16) heap =
+let create ?(slots = 64) ?(advance_every = 16) ?(metrics = Metrics.disabled)
+    heap =
   {
     heap;
     global = Cell.make 2; (* start at 2 so epoch-2 is never negative *)
@@ -43,6 +46,7 @@ let create ?(slots = 64) ?(advance_every = 16) heap =
     orphans = [];
     freed = Atomic.make 0;
     max_limbo = Atomic.make 0;
+    metrics;
   }
 
 let register t =
@@ -85,7 +89,9 @@ let try_advance t =
          Cell.get sl.active = 0 || Cell.get sl.epoch = e))
       t.slots
   in
-  ok && Cell.cas t.global e (e + 1)
+  let advanced = ok && Cell.cas t.global e (e + 1) in
+  if advanced then Metrics.incr t.metrics "epoch.advances";
+  advanced
 
 (* Free this slot's limbo objects retired at least two epochs ago. *)
 let reap t s =
@@ -97,7 +103,8 @@ let reap t s =
     (fun (g, p) ->
       if g < safe_before then begin
         Heap.free t.heap p;
-        Atomic.incr t.freed
+        Atomic.incr t.freed;
+        Metrics.incr t.metrics "epoch.freed"
       end
       else begin
         keep := (g, p) :: !keep;
@@ -105,7 +112,8 @@ let reap t s =
       end)
     sl.limbo;
   sl.limbo <- !keep;
-  sl.limbo_len <- !kept
+  sl.limbo_len <- !kept;
+  Metrics.set_gauge t.metrics "epoch.limbo_depth" !kept
 
 let bump_max t n =
   let rec go () =
@@ -121,6 +129,8 @@ let retire t s p =
   sl.limbo <- (e, p) :: sl.limbo;
   sl.limbo_len <- sl.limbo_len + 1;
   bump_max t sl.limbo_len;
+  Metrics.incr t.metrics "epoch.retires";
+  Metrics.set_gauge t.metrics "epoch.limbo_depth" sl.limbo_len;
   sl.retire_count <- sl.retire_count + 1;
   if sl.retire_count mod t.advance_every = 0 then ignore (try_advance t);
   reap t s
@@ -152,7 +162,8 @@ let flush t =
     (fun (g, p) ->
       if g < safe_before then begin
         Heap.free t.heap p;
-        Atomic.incr t.freed
+        Atomic.incr t.freed;
+        Metrics.incr t.metrics "epoch.freed"
       end
       else begin
         Mutex.lock t.lock;

@@ -12,9 +12,11 @@
 type t
 type slot
 
-val create : ?slots:int -> ?advance_every:int -> Lfrc_simmem.Heap.t -> t
+val create : ?slots:int -> ?advance_every:int ->
+  ?metrics:Lfrc_obs.Metrics.t -> Lfrc_simmem.Heap.t -> t
 (** [advance_every] (default 16): attempt an epoch advance every that many
-    retires per slot. *)
+    retires per slot. [metrics] (default disabled) receives the [epoch.*]
+    series: retires, advances, freed counts and the limbo-depth gauge. *)
 
 val register : t -> slot
 val unregister : t -> slot -> unit

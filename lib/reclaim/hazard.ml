@@ -1,6 +1,7 @@
 module Heap = Lfrc_simmem.Heap
 module Cell = Lfrc_simmem.Cell
 module Sched = Lfrc_sched.Sched
+module Metrics = Lfrc_obs.Metrics
 
 type slot_state = {
   hazards : Cell.t array;
@@ -18,11 +19,13 @@ type t = {
   mutable orphans : Heap.ptr list;
   freed : int Atomic.t;
   max_retired : int Atomic.t;
+  metrics : Metrics.t;
 }
 
 type slot = int
 
-let create ?(slots = 64) ?(hazards_per_slot = 2) ?(scan_threshold = 64) heap =
+let create ?(slots = 64) ?(hazards_per_slot = 2) ?(scan_threshold = 64)
+    ?(metrics = Metrics.disabled) heap =
   {
     heap;
     slots =
@@ -39,6 +42,7 @@ let create ?(slots = 64) ?(hazards_per_slot = 2) ?(scan_threshold = 64) heap =
     orphans = [];
     freed = Atomic.make 0;
     max_retired = Atomic.make 0;
+    metrics;
   }
 
 let register t =
@@ -78,6 +82,7 @@ let clear t s =
 
 (* Scan: free every retired object no hazard protects. *)
 let scan t s =
+  Metrics.incr t.metrics "hazard.scans";
   let protected_set = Hashtbl.create 64 in
   Array.iter
     (fun sl ->
@@ -103,7 +108,8 @@ let scan t s =
       end
       else begin
         Heap.free t.heap p;
-        Atomic.incr t.freed
+        Atomic.incr t.freed;
+        Metrics.incr t.metrics "hazard.freed"
       end)
     (sl.retired @ adopted);
   sl.retired <- !keep;
@@ -121,6 +127,8 @@ let retire t s p =
   sl.retired <- p :: sl.retired;
   sl.retired_len <- sl.retired_len + 1;
   bump_max t sl.retired_len;
+  Metrics.incr t.metrics "hazard.retires";
+  Metrics.set_gauge t.metrics "hazard.retired_depth" sl.retired_len;
   if sl.retired_len >= t.scan_threshold then scan t s
 
 let unregister t s =

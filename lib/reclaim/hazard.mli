@@ -13,9 +13,10 @@ type t
 type slot
 
 val create : ?slots:int -> ?hazards_per_slot:int -> ?scan_threshold:int ->
-  Lfrc_simmem.Heap.t -> t
+  ?metrics:Lfrc_obs.Metrics.t -> Lfrc_simmem.Heap.t -> t
 (** Defaults: 64 thread slots, 2 hazard pointers each, scan at 64 retired
-    objects. *)
+    objects. [metrics] (default disabled) receives the [hazard.*] series:
+    retires, scans, freed counts and the retired-list depth gauge. *)
 
 val register : t -> slot
 val unregister : t -> slot -> unit

@@ -21,7 +21,7 @@ let create env =
     env;
     heap;
     top = Heap.root heap ~name:"hp-stack-top" ();
-    hp = Hazard.create heap;
+    hp = Hazard.create ~metrics:(Lfrc_core.Env.metrics env) heap;
   }
 
 let register t = { t; slot = Hazard.register t.hp }
@@ -73,3 +73,15 @@ let destroy t =
   drain ();
   unregister h;
   Heap.release_root t.heap t.top
+
+include Lfrc_structures.Container_intf.With_env (struct
+  let name = name
+
+  type nonrec t = t
+  type nonrec handle = handle
+
+  let create = create
+  let register = register
+  let unregister = unregister
+  let destroy = destroy
+end)

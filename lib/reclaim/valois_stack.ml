@@ -1,6 +1,7 @@
 module Heap = Lfrc_simmem.Heap
 module Cell = Lfrc_simmem.Cell
 module Dcas = Lfrc_atomics.Dcas
+module Metrics = Lfrc_obs.Metrics
 
 let name = "treiber-valois"
 
@@ -48,7 +49,9 @@ let park t p =
   Mutex.lock t.flist_lock;
   t.flist <- p :: t.flist;
   t.flist_len <- t.flist_len + 1;
-  Mutex.unlock t.flist_lock
+  let len = t.flist_len in
+  Mutex.unlock t.flist_lock;
+  Metrics.set_gauge (Lfrc_core.Env.metrics t.env) "valois.freelist_len" len
 
 (* Release one count; a node dying releases its next pointer in turn and
    parks on the free-list (never Heap.free: type-stable memory). *)
@@ -102,9 +105,13 @@ let alloc_node t =
         Some p
     | [] -> None
   in
+  let len = t.flist_len in
   Mutex.unlock t.flist_lock;
   match reused with
   | Some p ->
+      let m = Lfrc_core.Env.metrics t.env in
+      Metrics.incr m "valois.recycled";
+      Metrics.set_gauge m "valois.freelist_len" len;
       ignore (add_to_rc t p 1);
       Dcas.write (d t) (Heap.ptr_cell t.heap p 0) null;
       Dcas.write (d t) (Heap.val_cell t.heap p 0) 0;
@@ -165,6 +172,18 @@ let destroy t =
   let rec drain () = if pop t <> None then drain () in
   drain ();
   Heap.release_root t.heap t.top
+
+include Lfrc_structures.Container_intf.With_env (struct
+  let name = name
+
+  type nonrec t = t
+  type nonrec handle = handle
+
+  let create = create
+  let register = register
+  let unregister = unregister
+  let destroy = destroy
+end)
 
 type counters = { freelist_len : int; recycled : int }
 

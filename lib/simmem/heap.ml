@@ -34,7 +34,12 @@ type t = {
   peak : int Atomic.t;
   live_cells : int Atomic.t;
   mutable alloc_hook : (unit -> bool) option;
+  mutable observer : (obs_event -> unit) option;
 }
+
+and obs_event =
+  | Obs_alloc of { p : ptr; live : int }
+  | Obs_free of { p : ptr; live : int }
 
 let create ?(name = "heap") () =
   {
@@ -52,11 +57,17 @@ let create ?(name = "heap") () =
     peak = Atomic.make 0;
     live_cells = Atomic.make 0;
     alloc_hook = None;
+    observer = None;
   }
 
 let name t = t.heap_name
 
 let set_alloc_hook t h = t.alloc_hook <- h
+
+let set_observer t f = t.observer <- f
+
+(* Observers run outside the heap lock (they may read heap state). *)
+let notify t ev = match t.observer with Some f -> f ev | None -> ()
 
 let get_obj t p op =
   if p <= 0 || p > Atomic.get t.n_objs then
@@ -147,7 +158,9 @@ let alloc t l =
   Atomic.incr t.live;
   ignore (Atomic.fetch_and_add t.live_cells (Layout.n_cells l));
   bump_peak t;
+  let live_now = Atomic.get t.live in
   Mutex.unlock t.lock;
+  notify t (Obs_alloc { p = o.id; live = live_now });
   o.id
 
 let free t p =
@@ -168,7 +181,9 @@ let free t p =
   Atomic.incr t.frees;
   Atomic.decr t.live;
   ignore (Atomic.fetch_and_add t.live_cells (-Layout.n_cells o.obj_layout));
-  Mutex.unlock t.lock
+  let live_now = Atomic.get t.live in
+  Mutex.unlock t.lock;
+  notify t (Obs_free { p; live = live_now })
 
 let rc_cell t p =
   let o = get_obj t p "rc_cell" in

@@ -50,6 +50,19 @@ val set_alloc_hook : t -> (unit -> bool) option -> unit
     [true] makes that allocation raise {!Simulated_oom} without mutating
     the heap. [None] (the default) disables injection. *)
 
+type obs_event =
+  | Obs_alloc of { p : ptr; live : int }
+  | Obs_free of { p : ptr; live : int }
+      (** [live] is the live-object count just after the event — the
+          allocation high-water mark is its running maximum. *)
+
+val set_observer : t -> (obs_event -> unit) option -> unit
+(** Observability hook fired after every successful {!alloc} and {!free},
+    outside the heap lock (the observer may read heap state). One
+    observer per heap; {!Lfrc_core.Env.create} installs the metrics /
+    tracing observer when observability is enabled. Unrelated to
+    {!set_alloc_hook}, which injects faults rather than observing. *)
+
 val is_live : t -> ptr -> bool
 val layout : t -> ptr -> Layout.t
 val generation : t -> ptr -> int

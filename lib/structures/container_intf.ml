@@ -1,0 +1,134 @@
+(** The unified container signature family.
+
+    Every concurrent structure in the repository — stacks, queues, deques,
+    sets, whichever reclamation scheme backs them — shares one lifecycle:
+    build over an environment, register per thread, operate through the
+    handle, unregister, destroy. {!CONTAINER} captures exactly that core;
+    {!STACK}, {!QUEUE}, {!DEQUE} and {!SET} extend it with their
+    operations, so the test suite, linearizability checker, experiment
+    harness and CLI can treat any structure uniformly and generically.
+
+    Two conventions are uniform across the family:
+
+    - every fallible (allocating) mutation has a [try_*] variant returning
+      [(_, [ `Out_of_memory ]) result]: when the allocator fails the
+      operation backs out with the structure and all reference counts
+      untouched, instead of raising mid-update (the graceful-OOM
+      discipline experiment E7 measures);
+    - {!CONTAINER.with_env} brackets the whole lifecycle — create,
+      register, run, unregister, destroy — with the teardown guaranteed
+      even when the body raises, so one-shot uses (tests, examples, CLI
+      probes) cannot leak roots. Implementations derive it with
+      {!With_env}. *)
+
+(** The lifecycle core every container shares, without the derived
+    [with_env] — what {!With_env} consumes. *)
+module type CORE = sig
+  val name : string
+
+  type t
+  type handle
+  (** Per-thread access handle (carries the thread's pointer-op context). *)
+
+  val create : Lfrc_core.Env.t -> t
+
+  val register : t -> handle
+  (** Call once per (simulated or real) thread. *)
+
+  val unregister : handle -> unit
+
+  val destroy : t -> unit
+  (** Drain and release everything, including the structure's own roots.
+      Must only be called after all threads have finished accessing the
+      structure. *)
+end
+
+module type CONTAINER = sig
+  include CORE
+
+  val with_env : Lfrc_core.Env.t -> (handle -> 'a) -> 'a
+  (** [with_env env f] creates the structure, registers a handle, runs
+      [f handle], then unregisters and destroys — teardown running (in
+      that order) even when [f] raises. Single-threaded convenience; for
+      multi-threaded use, call {!CORE.register} per thread yourself. *)
+end
+
+(** Concurrent LIFO. *)
+module type STACK = sig
+  include CONTAINER
+
+  val push : handle -> int -> unit
+
+  val try_push : handle -> int -> (unit, [ `Out_of_memory ]) result
+  (** Like [push], but when the allocator fails the operation backs out
+      with the structure and all reference counts untouched, instead of
+      raising mid-update. *)
+
+  val pop : handle -> int option
+end
+
+(** Concurrent FIFO. *)
+module type QUEUE = sig
+  include CONTAINER
+
+  val enqueue : handle -> int -> unit
+
+  val try_enqueue : handle -> int -> (unit, [ `Out_of_memory ]) result
+  (** Like [enqueue], but when the allocator fails the operation backs out
+      with the structure and all reference counts untouched, instead of
+      raising mid-update. *)
+
+  val dequeue : handle -> int option
+end
+
+(** Concurrent double-ended queue — the paper's Snark shape. *)
+module type DEQUE = sig
+  include CONTAINER
+
+  val push_left : handle -> int -> unit
+  val push_right : handle -> int -> unit
+
+  val try_push_left : handle -> int -> (unit, [ `Out_of_memory ]) result
+  val try_push_right : handle -> int -> (unit, [ `Out_of_memory ]) result
+  (** Like the push operations, but when the allocator fails they back out
+      with the deque and all reference counts untouched, instead of
+      raising mid-update. *)
+
+  val pop_left : handle -> int option
+  val pop_right : handle -> int option
+end
+
+(** Concurrent set of integers. *)
+module type SET = sig
+  include CONTAINER
+
+  val insert : handle -> int -> bool
+  (** False if the value was already present. *)
+
+  val try_insert : handle -> int -> (bool, [ `Out_of_memory ]) result
+  (** Like [insert], but an allocator failure backs out instead of
+      raising. *)
+
+  val remove : handle -> int -> bool
+  (** False if the value was absent. *)
+
+  val contains : handle -> int -> bool
+
+  val to_list : handle -> int list
+  (** Snapshot traversal (ascending); only meaningful quiescently. *)
+end
+
+(** Derive {!CONTAINER.with_env} from the lifecycle core. Implementations
+    end with [include With_env (struct ... end)] over their own
+    operations. *)
+module With_env (C : CORE) : sig
+  val with_env : Lfrc_core.Env.t -> (C.handle -> 'a) -> 'a
+end = struct
+  let with_env env f =
+    let t = C.create env in
+    Fun.protect
+      ~finally:(fun () -> C.destroy t)
+      (fun () ->
+        let h = C.register t in
+        Fun.protect ~finally:(fun () -> C.unregister h) (fun () -> f h))
+end

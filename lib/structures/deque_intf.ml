@@ -1,36 +1,4 @@
-(** Common signature for double-ended queue implementations, so the test
-    suite, linearizability checker and experiment harness can treat the
-    published Snark, the corrected Snark, and the lock-based baseline
-    uniformly. *)
+(** Compatibility alias: the deque signature now lives in the unified
+    {!Container_intf} family. *)
 
-module type DEQUE = sig
-  val name : string
-
-  type t
-  type handle
-  (** Per-thread access handle (carries the thread's pointer-op context). *)
-
-  val create : Lfrc_core.Env.t -> t
-
-  val register : t -> handle
-  (** Call once per (simulated or real) thread. *)
-
-  val unregister : handle -> unit
-
-  val push_left : handle -> int -> unit
-  val push_right : handle -> int -> unit
-
-  val try_push_left : handle -> int -> (unit, [ `Out_of_memory ]) result
-  val try_push_right : handle -> int -> (unit, [ `Out_of_memory ]) result
-  (** Like the push operations, but when the allocator fails they back out
-      with the deque and all reference counts untouched, instead of
-      raising mid-update. *)
-
-  val pop_left : handle -> int option
-  val pop_right : handle -> int option
-
-  val destroy : t -> unit
-  (** Drain and release everything, including the structure's own object —
-      the paper's Snark destructor (Figure 1 lines 40..44). Must only be
-      called after all threads have finished accessing the deque. *)
-end
+module type DEQUE = Container_intf.DEQUE

@@ -79,26 +79,35 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
     List.iter (O.retire ctx) [ tm; prev; cur; nxt ];
     r
 
-  let insert h key =
+  let try_insert h key =
     with_op h (fun ctx t ~tm ~prev ~cur ~nxt ->
         let nd = O.declare ctx in
         let rec attempt () =
-          if search ctx t key ~tm ~prev ~cur ~nxt then false
+          if search ctx t key ~tm ~prev ~cur ~nxt then Ok false
+          else if O.get nd = null && not (O.try_alloc ctx node_layout nd)
+          then
+            (* Allocation is the only fallible step and precedes any write
+               to the list, so an OOM backs out with nothing to undo. *)
+            Error `Out_of_memory
           else begin
-            if O.get nd = null then O.alloc ctx node_layout nd;
             O.write_val ctx (Heap.val_cell t.heap (O.get nd) key_slot) key;
             O.store ctx (next_cell t (O.get nd)) (O.get cur);
             if
               O.cas ctx
                 (next_cell t (O.get prev))
                 ~old_ptr:(O.get cur) ~new_ptr:(O.get nd)
-            then true
+            then Ok true
             else attempt ()
           end
         in
         let r = attempt () in
         O.retire ctx nd;
         r)
+
+  let insert h key =
+    match try_insert h key with
+    | Ok r -> r
+    | Error `Out_of_memory -> raise Heap.Simulated_oom
 
   let remove h key =
     with_op h (fun ctx t ~tm ~prev ~cur ~nxt ->
@@ -149,4 +158,16 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
     Heap.release_root t.heap t.head;
     Heap.release_root t.heap t.tomb;
     O.dispose_ctx ctx
+
+  include Container_intf.With_env (struct
+    let name = name
+
+    type nonrec t = t
+    type nonrec handle = handle
+
+    let create = create
+    let register = register
+    let unregister = unregister
+    let destroy = destroy
+  end)
 end

@@ -21,28 +21,6 @@
     [contains] at its last load. Values must be strictly increasing along
     the list; duplicates are rejected. *)
 
-module Make (O : Lfrc_core.Ops_intf.OPS) : sig
-  val name : string
-
-  type t
-  type handle
-
-  val create : Lfrc_core.Env.t -> t
-  val register : t -> handle
-  val unregister : handle -> unit
-
-  val insert : handle -> int -> bool
-  (** False if the value was already present. *)
-
-  val remove : handle -> int -> bool
-  (** False if the value was absent. *)
-
-  val contains : handle -> int -> bool
-
-  val to_list : handle -> int list
-  (** Snapshot traversal (ascending); only meaningful quiescently. *)
-
-  val destroy : t -> unit
-end
+module Make (O : Lfrc_core.Ops_intf.OPS) : Container_intf.SET
 
 val node_layout : Lfrc_simmem.Layout.t

@@ -130,3 +130,15 @@ let destroy t =
   Heap.release_root t.heap t.lock;
   Heap.release_root t.heap t.head;
   Heap.release_root t.heap t.tail
+
+include Container_intf.With_env (struct
+  let name = name
+
+  type nonrec t = t
+  type nonrec handle = handle
+
+  let create = create
+  let register = register
+  let unregister = unregister
+  let destroy = destroy
+end)

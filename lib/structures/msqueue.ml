@@ -132,4 +132,16 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
     O.store ctx t.root null;
     Heap.release_root t.heap t.root;
     O.dispose_ctx ctx
+
+  include Container_intf.With_env (struct
+    let name = name
+
+    type nonrec t = t
+    type nonrec handle = handle
+
+    let create = create
+    let register = register
+    let unregister = unregister
+    let destroy = destroy
+  end)
 end

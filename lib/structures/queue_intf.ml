@@ -1,21 +1,4 @@
-(** Common signature for queue implementations (concurrent FIFO). *)
+(** Compatibility alias: the queue signature now lives in the unified
+    {!Container_intf} family. *)
 
-module type QUEUE = sig
-  val name : string
-
-  type t
-  type handle
-
-  val create : Lfrc_core.Env.t -> t
-  val register : t -> handle
-  val unregister : handle -> unit
-  val enqueue : handle -> int -> unit
-
-  val try_enqueue : handle -> int -> (unit, [ `Out_of_memory ]) result
-  (** Like [enqueue], but when the allocator fails the operation backs out
-      with the structure and all reference counts untouched, instead of
-      raising mid-update. *)
-
-  val dequeue : handle -> int option
-  val destroy : t -> unit
-end
+module type QUEUE = Container_intf.QUEUE

@@ -227,7 +227,9 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
 
   (* Link one index node for [node] at level [lvl] (0-based), above
      [below] (the level underneath's index node, null for level 0). The
-     new index node is returned through [below] for the next storey. *)
+     new index node is returned through [below] for the next storey.
+     False when the allocator fails — the caller abandons the rest of the
+     tower (upper levels are best-effort shortcuts). *)
   let link_index ctx t ls ~key ~node ~lvl ~below =
     let rec attempt () =
       (* refresh this level's predecessor, descending from the level
@@ -246,20 +248,26 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
          as the CAS expectation keeps the level sorted — a re-read could
          see a racing smaller-key insert *)
       let idx = O.declare ctx in
-      O.alloc ctx index_layout idx;
-      O.store ctx (iright t (O.get idx)) (O.get ls.icur);
-      O.store ctx (idown t (O.get idx)) (O.get below);
-      O.store ctx (inode t (O.get idx)) node;
-      let installed =
-        O.cas ctx link ~old_ptr:(O.get ls.icur) ~new_ptr:(O.get idx)
-      in
-      if installed then begin
-        O.copy ctx below (O.get idx);
-        O.retire ctx idx
+      if not (O.try_alloc ctx index_layout idx) then begin
+        O.retire ctx idx;
+        false
       end
       else begin
-        O.retire ctx idx;
-        attempt ()
+        O.store ctx (iright t (O.get idx)) (O.get ls.icur);
+        O.store ctx (idown t (O.get idx)) (O.get below);
+        O.store ctx (inode t (O.get idx)) node;
+        let installed =
+          O.cas ctx link ~old_ptr:(O.get ls.icur) ~new_ptr:(O.get idx)
+        in
+        if installed then begin
+          O.copy ctx below (O.get idx);
+          O.retire ctx idx;
+          true
+        end
+        else begin
+          O.retire ctx idx;
+          attempt ()
+        end
       end
     in
     attempt ()
@@ -293,50 +301,63 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
       sweep t.heads.(l)
     done
 
-  let insert h key =
+  let try_insert h key =
     with_locals h (fun ctx t ls ->
         let rec attempt () =
           if
             search ctx t key ~tm:ls.tm ~preds:ls.preds ~start:ls.start
               ~from:ls.from ~prev:ls.prev ~cur:ls.cur ~nxt:ls.nxt
               ~icur:ls.icur ~probe:ls.probe ~tmp:ls.tmp
-          then false
+          then Ok false
           else begin
             let nd = O.declare ctx in
-            O.alloc ctx data_layout nd;
-            O.write_val ctx (Heap.val_cell t.heap (O.get nd) data_key) key;
-            O.store ctx (dnext t (O.get nd)) (O.get ls.cur);
-            let node = O.get nd in
-            let installed =
-              O.cas ctx (prev_cell t ~prev:ls.prev) ~old_ptr:(O.get ls.cur)
-                ~new_ptr:node
-            in
-            if not installed then begin
+            if not (O.try_alloc ctx data_layout nd) then begin
+              (* Nothing written yet: back out with the set untouched. *)
               O.retire ctx nd;
-              attempt ()
+              Error `Out_of_memory
             end
             else begin
-              (* linearized; build the index tower best-effort *)
-              let height = random_level h.rng in
-              let below = O.declare ctx in
-              (try
-                 for l = 0 to height - 2 do
-                   if is_dead ctx t ~tm:ls.tm ~probe:ls.probe node then
-                     raise Exit;
-                   link_index ctx t ls ~key ~node ~lvl:l ~below
-                 done
-               with Exit -> ());
-              (* close the link-vs-remove race: if the node died, make
-                 sure no index entry survives *)
-              if is_dead ctx t ~tm:ls.tm ~probe:ls.probe node then
-                unlink_index ctx t ls ~node;
-              O.retire ctx below;
-              O.retire ctx nd;
-              true
+              O.write_val ctx (Heap.val_cell t.heap (O.get nd) data_key) key;
+              O.store ctx (dnext t (O.get nd)) (O.get ls.cur);
+              let node = O.get nd in
+              let installed =
+                O.cas ctx (prev_cell t ~prev:ls.prev) ~old_ptr:(O.get ls.cur)
+                  ~new_ptr:node
+              in
+              if not installed then begin
+                O.retire ctx nd;
+                attempt ()
+              end
+              else begin
+                (* linearized; build the index tower best-effort — an
+                   allocator failure mid-tower just leaves it shorter *)
+                let height = random_level h.rng in
+                let below = O.declare ctx in
+                (try
+                   for l = 0 to height - 2 do
+                     if is_dead ctx t ~tm:ls.tm ~probe:ls.probe node then
+                       raise Exit;
+                     if not (link_index ctx t ls ~key ~node ~lvl:l ~below)
+                     then raise Exit
+                   done
+                 with Exit -> ());
+                (* close the link-vs-remove race: if the node died, make
+                   sure no index entry survives *)
+                if is_dead ctx t ~tm:ls.tm ~probe:ls.probe node then
+                  unlink_index ctx t ls ~node;
+                O.retire ctx below;
+                O.retire ctx nd;
+                Ok true
+              end
             end
           end
         in
         attempt ())
+
+  let insert h key =
+    match try_insert h key with
+    | Ok r -> r
+    | Error `Out_of_memory -> raise Heap.Simulated_oom
 
   let remove h key =
     with_locals h (fun ctx t ls ->
@@ -427,4 +448,24 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
     Heap.release_root t.heap t.data_head;
     Heap.release_root t.heap t.tomb;
     O.dispose_ctx ctx
+
+  include Container_intf.With_env (struct
+    let name = name
+
+    type nonrec t = t
+    type nonrec handle = handle
+
+    let create = create
+    let register t = register t
+    let unregister = unregister
+    let destroy = destroy
+  end)
+end
+
+module As_set (O : Lfrc_core.Ops_intf.OPS) : Container_intf.SET = struct
+  include Make (O)
+
+  (* The uniform signature has no room for the seed: eta-expand to the
+     deterministic default stream. *)
+  let register t = register t
 end

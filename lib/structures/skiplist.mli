@@ -29,10 +29,21 @@ module Make (O : Lfrc_core.Ops_intf.OPS) : sig
   type handle
 
   val create : Lfrc_core.Env.t -> t
+
   val register : ?seed:int -> t -> handle
+  (** [seed] fixes the handle's deterministic level-choice stream. *)
+
   val unregister : handle -> unit
 
   val insert : handle -> int -> bool
+
+  val try_insert : handle -> int -> (bool, [ `Out_of_memory ]) result
+  (** Like [insert], but a data-node allocation failure backs out with
+      the set untouched. An allocator failure while building the index
+      tower is not an error: the element is already linearized into the
+      bottom level, so the tower is simply left shorter (upper levels are
+      best-effort shortcuts). *)
+
   val remove : handle -> int -> bool
   val contains : handle -> int -> bool
 
@@ -44,4 +55,10 @@ module Make (O : Lfrc_core.Ops_intf.OPS) : sig
       quiescent use, for tests of the level distribution. *)
 
   val destroy : t -> unit
+
+  val with_env : Lfrc_core.Env.t -> (handle -> 'a) -> 'a
 end
+
+module As_set (O : Lfrc_core.Ops_intf.OPS) : Container_intf.SET
+(** {!Make} with the seeded [register] eta-expanded away: the skip list
+    as a drop-in for anything generic over {!Container_intf.SET}. *)

@@ -151,4 +151,16 @@ module Make (O : Lfrc_core.Ops_intf.OPS) = struct
   let pop_left h = pop h left_side
 
   let destroy t = destroy_with ~pop_left t
+
+  include Container_intf.With_env (struct
+    let name = name
+
+    type nonrec t = t
+    type nonrec handle = handle
+
+    let create = create
+    let register = register
+    let unregister = unregister
+    let destroy = destroy
+  end)
 end

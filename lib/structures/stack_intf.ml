@@ -1,21 +1,4 @@
-(** Common signature for stack implementations (concurrent LIFO). *)
+(** Compatibility alias: the stack signature now lives in the unified
+    {!Container_intf} family. *)
 
-module type STACK = sig
-  val name : string
-
-  type t
-  type handle
-
-  val create : Lfrc_core.Env.t -> t
-  val register : t -> handle
-  val unregister : handle -> unit
-  val push : handle -> int -> unit
-
-  val try_push : handle -> int -> (unit, [ `Out_of_memory ]) result
-  (** Like [push], but when the allocator fails the operation backs out
-      with the structure and all reference counts untouched, instead of
-      raising mid-update. *)
-
-  val pop : handle -> int option
-  val destroy : t -> unit
-end
+module type STACK = Container_intf.STACK

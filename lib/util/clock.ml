@@ -8,3 +8,14 @@ let time_ns f =
 
 let ns_per_op ~total_ns ~ops =
   if ops = 0 then 0.0 else Float.of_int total_ns /. Float.of_int ops
+
+let time_per_op_ns ~iters f =
+  for _ = 1 to min 1000 (iters / 10) do
+    f ()
+  done;
+  let t0 = now_ns () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let t1 = now_ns () in
+  Float.of_int (t1 - t0) /. Float.of_int iters

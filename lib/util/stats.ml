@@ -49,6 +49,40 @@ let summarize xs =
     max = sorted.(Array.length sorted - 1);
   }
 
+let quantile xs q =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile sorted q
+
+let merge a b =
+  if a.n = 0 then b
+  else if b.n = 0 then a
+  else begin
+    let na = Float.of_int a.n and nb = Float.of_int b.n in
+    let n = na +. nb in
+    let mean = ((na *. a.mean) +. (nb *. b.mean)) /. n in
+    (* Pooled sum of squared deviations about the combined mean. *)
+    let ss s k m =
+      ((Float.of_int k -. 1.0) *. s *. s)
+      +. (Float.of_int k *. ((m -. mean) ** 2.))
+    in
+    let stddev =
+      if a.n + b.n < 2 then 0.0
+      else sqrt ((ss a.stddev a.n a.mean +. ss b.stddev b.n b.mean) /. (n -. 1.0))
+    in
+    let weighted qa qb = ((na *. qa) +. (nb *. qb)) /. n in
+    {
+      n = a.n + b.n;
+      mean;
+      stddev;
+      min = Float.min a.min b.min;
+      p50 = weighted a.p50 b.p50;
+      p90 = weighted a.p90 b.p90;
+      p99 = weighted a.p99 b.p99;
+      max = Float.max a.max b.max;
+    }
+  end
+
 let pp_summary ppf s =
   Format.fprintf ppf
     "n=%d mean=%.3g sd=%.3g min=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g" s.n

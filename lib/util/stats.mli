@@ -22,6 +22,17 @@ val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [\[0,1\]]; [sorted] must be sorted
     ascending. Linear interpolation between ranks. *)
 
+val quantile : float array -> float -> float
+(** [quantile xs q] is {!percentile} over an unsorted non-empty sample:
+    sorts a private copy first. *)
+
+val merge : summary -> summary -> summary
+(** Combine the summaries of two {e disjoint} samples, as when aggregating
+    per-environment metrics. [n], [mean], [stddev], [min] and [max] are
+    exact (pooled variance); the quantiles are the size-weighted average
+    of the inputs' quantiles — an approximation, since the raw samples are
+    gone. A summary with [n = 0] is an identity element. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 
 (** Fixed-width histogram used for pause-time distributions (E8). *)

@@ -172,7 +172,7 @@ let test_chaos_matrix_spurious_and_oom () =
         (fun fault ->
           List.iter
             (fun seed ->
-              let r = E11.run_one ~structure ~fault ~seed in
+              let r = E11.run_one ~structure ~fault ~seed () in
               let label =
                 Printf.sprintf "%s/%s seed=%d"
                   (E11.structure_name structure)
@@ -198,7 +198,7 @@ let test_chaos_matrix_crash_and_mixed () =
         (fun fault ->
           List.iter
             (fun seed ->
-              let r = E11.run_one ~structure ~fault ~seed in
+              let r = E11.run_one ~structure ~fault ~seed () in
               let label =
                 Printf.sprintf "%s/%s seed=%d"
                   (E11.structure_name structure)
@@ -217,8 +217,8 @@ let test_chaos_matrix_crash_and_mixed () =
 let test_replay_is_deterministic () =
   let structure = List.hd E11.structures in
   let fault = List.hd (chosen_faults [ "mixed" ]) in
-  let r1 = E11.run_one ~structure ~fault ~seed:5 in
-  let r2 = E11.run_one ~structure ~fault ~seed:5 in
+  let r1 = E11.run_one ~structure ~fault ~seed:5 () in
+  let r2 = E11.run_one ~structure ~fault ~seed:5 () in
   checkb "same repro token" true (r1.Chaos.repro = r2.Chaos.repro);
   checki "same injected count" r1.Chaos.injected r2.Chaos.injected;
   (match (r1.Chaos.status, r2.Chaos.status) with

@@ -79,6 +79,7 @@ let test_scenario_detects_bad_impl () =
     let pop_left h = ignore (Fixed.pop_left h); None
     let pop_right = Fixed.pop_right
     let destroy = Fixed.destroy
+    let with_env = Fixed.with_env
   end in
   let o =
     Scenario.run
@@ -123,9 +124,11 @@ let test_e7_runs_quickly () =
   match Experiments.find "E7" with
   | None -> Alcotest.fail "E7 missing"
   | Some e ->
-      let table = e.Experiments.run () in
-      let rendered = Lfrc_util.Table.render table in
-      checkb "produced rows" true (String.length rendered > 100)
+      let r = e.Experiments.run Scenario.default_config in
+      let rendered = Lfrc_util.Table.render r.Lfrc_harness.Common.table in
+      checkb "produced rows" true (String.length rendered > 100);
+      checkb "metrics recorded" false
+        (Lfrc_obs.Metrics.is_empty r.Lfrc_harness.Common.metrics)
 
 let () =
   Alcotest.run "harness"
