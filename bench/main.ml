@@ -166,12 +166,91 @@ let run_micro () =
       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
     results
 
+(* --- machine-readable pass: ops/sec per structure workload plus one
+   timed run of every experiment, written as a single JSON file so CI and
+   cross-PR comparisons can diff performance without parsing tables. --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_json file =
+  let module Clock = Lfrc_util.Clock in
+  let module Metrics = Lfrc_obs.Metrics in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\n  \"workloads\": [";
+  let workers = 4 and ops_per_worker = 2_000 and seed = 11 in
+  List.iteri
+    (fun i (name, workload) ->
+      let metrics = Metrics.create () in
+      let heap = Heap.create ~name:("bench-json-" ^ name) () in
+      let env =
+        Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics heap
+      in
+      let (), wall_ns =
+        Clock.time_ns (fun () ->
+            ignore
+              (Lfrc_sched.Sched.run ~max_steps:400_000_000
+                 (Lfrc_sched.Strategy.Random seed)
+                 (fun () -> workload ~workers ~ops_per_worker ~seed env)))
+      in
+      let ops = workers * ops_per_worker in
+      let ops_per_sec = float_of_int ops /. (float_of_int wall_ns /. 1e9) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s\n    {\"structure\": \"%s\", \"workers\": %d, \"ops\": %d, \
+            \"wall_ns\": %d, \"ops_per_sec\": %.1f, \"metrics\": %s}"
+           (if i > 0 then "," else "")
+           (json_escape name) workers ops wall_ns ops_per_sec
+           (Metrics.to_json (Metrics.snapshot metrics)));
+      Printf.printf "workload %-12s %8.0f ops/sec (simulated, %d ops)\n%!"
+        name ops_per_sec ops)
+    Lfrc_harness.Common.workloads;
+  Buffer.add_string buf "\n  ],\n  \"experiments\": [";
+  List.iteri
+    (fun i (e : Lfrc_harness.Experiments.experiment) ->
+      let result, wall_ns =
+        Clock.time_ns (fun () ->
+            e.Lfrc_harness.Experiments.run
+              Lfrc_harness.Scenario.default_config)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s\n    {\"id\": \"%s\", \"title\": \"%s\", \"wall_ms\": %.1f, \
+            \"metrics\": %s}"
+           (if i > 0 then "," else "")
+           (json_escape e.Lfrc_harness.Experiments.id)
+           (json_escape e.Lfrc_harness.Experiments.title)
+           (float_of_int wall_ns /. 1e6)
+           (Metrics.to_json result.Lfrc_harness.Common.metrics));
+      Printf.printf "experiment %-4s %8.1f ms  (%s)\n%!"
+        e.Lfrc_harness.Experiments.id
+        (float_of_int wall_ns /. 1e6)
+        e.Lfrc_harness.Experiments.title)
+    Lfrc_harness.Experiments.all;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "wrote %s\n" file
+
 (* --- entry point --- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
+  | [ "--json" ] -> run_json "BENCH_pr3.json"
+  | [ "--json"; file ] -> run_json file
   | [] ->
       Lfrc_harness.Experiments.run_all ();
       run_micro ()

@@ -306,10 +306,63 @@ let chaos_cmd =
        ~doc:"Fault-injection runs (spurious CAS/DCAS, OOM, crashes) with post-mortem heap audit")
     Term.(const run $ structure $ fault $ seeds $ verbose)
 
+let analyze_cmd =
+  let module Checker = Lfrc_analysis.Checker in
+  let module Report = Lfrc_analysis.Report in
+  let structure =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "structure" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Analyze only this structure (one of: %s)."
+               (String.concat ", " Lfrc_structures.Catalog.names)))
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let max_paths =
+    Arg.(
+      value
+      & opt int Checker.default_limits.Checker.max_paths
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:"Explored control-flow paths per action before giving up.")
+  in
+  let max_decisions =
+    Arg.(
+      value
+      & opt int Checker.default_limits.Checker.max_decisions
+      & info [ "max-decisions" ] ~docv:"N"
+          ~doc:"Oracle decisions per path before the path is cut off.")
+  in
+  let run structure json max_paths max_decisions =
+    let limits = { Checker.max_paths; max_decisions } in
+    let report =
+      match structure with
+      | None -> Ok (Checker.analyze_all ~limits ())
+      | Some name -> Checker.analyze_structure ~limits name
+    in
+    match report with
+    | Error msg -> `Error (false, msg)
+    | Ok report ->
+        if json then print_endline (Report.to_json report)
+        else print_string (Report.to_string report);
+        if Report.errors report > 0 then exit 1 else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically check the shipped structures against the LFRC pointer \
+          discipline (Table 1): enumerate each operation's control-flow \
+          paths symbolically and verify every local pointer is retired, \
+          no retired local is reused, and no raw pointer outlives its \
+          counted reference. Exits 1 on any violation.")
+    Term.(ret (const run $ structure $ json $ max_paths $ max_decisions))
+
 let main =
   Cmd.group
     (Cmd.info "lfrc_cli" ~version:"1.0.0"
        ~doc:"Lock-free reference counting (PODC 2001) reproduction toolkit")
-    [ experiments_cmd; stats_cmd; trace_cmd; check_cmd; chaos_cmd ]
+    [ experiments_cmd; stats_cmd; trace_cmd; check_cmd; chaos_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval main)

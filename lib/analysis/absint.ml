@@ -1,0 +1,206 @@
+(** Path-sensitive abstract interpretation of one recorded {!Ir.path}
+    over an ownership domain.
+
+    The domain tracks, per local pointer variable, whether it currently
+    holds a counted reference:
+
+    - [LNull] — holds null; retiring it is a no-op, so it owes nothing.
+    - [LOwned p] — holds a counted reference to object [p]: some [load],
+      [copy], [alloc] or successful [try_alloc] charged a reference count
+      on its behalf, and a [retire] (or an ownership-consuming
+      [store_alloc]/[set_null]/overwrite) must balance it.
+    - [LRetired] — retired; the variable is dead and must not be touched
+      again.
+
+    Raw pointers ([get] results) are *borrows*: they are only safe while
+    some live local still owns the object, because the count that keeps
+    the object alive belongs to that local. Every op that consumes a raw
+    pointer is checked against the set of current owners.
+
+    Each rule discharges one obligation of the paper's transformation
+    discipline (Section 3 / Table 1); see DESIGN.md §10 for the mapping.
+    Checks that need a completed execution (the leak check) only run on
+    {!Ir.Completed} paths; per-op checks run on every recorded prefix. *)
+
+type cls =
+  | Leak  (** a local declared in this operation was never retired *)
+  | Double_destroy  (** a local was retired twice *)
+  | Use_after_retire  (** a retired local was used again *)
+  | Escaping_get
+      (** a raw [get] result was used after its owning local(s) died *)
+  | Unowned_store
+      (** a pointer was stored to the heap without a counted reference
+          backing it *)
+  | Lfrc_bypass  (** the code called {!Lfrc} directly, bypassing OPS *)
+
+let cls_name = function
+  | Leak -> "leak"
+  | Double_destroy -> "double-destroy"
+  | Use_after_retire -> "use-after-retire"
+  | Escaping_get -> "escaping-get"
+  | Unowned_store -> "unowned-store"
+  | Lfrc_bypass -> "lfrc-bypass"
+
+let cls_obligation = function
+  | Leak ->
+      "every local must be destroyed before scope exit (paper step 6)"
+  | Double_destroy ->
+      "each counted reference is destroyed exactly once (Section 2 \
+       invariant: rc >= live pointers)"
+  | Use_after_retire ->
+      "a destroyed local no longer holds a counted reference and must not \
+       be read (Table 1: loads/copies require a live destination)"
+  | Escaping_get ->
+      "a raw pointer is only valid while a counted local keeps its target \
+       alive (Section 2.1 compliance: no uncounted pointers)"
+  | Unowned_store ->
+      "a stored pointer must carry a counted reference \
+       (LFRCStore/LFRCStoreAlloc increment-before-publish)"
+  | Lfrc_bypass ->
+      "all pointer operations must go through the sanctioned operation \
+       set (Section 2.1 LFRC compliance)"
+
+type violation = {
+  cls : cls;
+  op_index : int;  (** index into the path's op list; -1 = end of path *)
+  key : string;
+      (** stable grouping key: class + op shape with locals renumbered in
+          first-seen order, so the same defect found on many paths
+          aggregates into one finding *)
+  message : string;
+}
+
+type lstate = LNull | LOwned of int | LRetired
+
+let check (path : Ir.path) : violation list =
+  let viols = ref [] in
+  let states : (int, lstate) Hashtbl.t = Hashtbl.create 16 in
+  let declared_here : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Normalized local names for grouping keys: locals are numbered in
+     first-appearance order within this path, so the same source-level
+     variable gets the same name on every path of the action. *)
+  let norm : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let nname l =
+    let n =
+      match Hashtbl.find_opt norm l with
+      | Some n -> n
+      | None ->
+          let n = Hashtbl.length norm in
+          Hashtbl.add norm l n;
+          n
+    in
+    Printf.sprintf "L%d" n
+  in
+  let state l =
+    match Hashtbl.find_opt states l with Some s -> s | None -> LNull
+  in
+  let set l s = Hashtbl.replace states l s in
+  let flag cls ~i ~key message =
+    viols := { cls; op_index = i; key = cls_name cls ^ ":" ^ key; message }
+             :: !viols
+  in
+  (* Is some live local currently holding a counted reference to [p]? *)
+  let owned p =
+    Hashtbl.fold (fun _ s acc -> acc || s = LOwned p) states false
+  in
+  (* A raw pointer operand must be backed by a live owner. [what] names
+     the consuming op for the report. *)
+  let operand ~i ~what ~store p =
+    if p <> 0 && not (owned p) then
+      if store then
+        flag Unowned_store ~i ~key:what
+          (Printf.sprintf
+             "%s publishes #%d, but no live local holds a counted \
+              reference to it"
+             what p)
+      else
+        flag Escaping_get ~i ~key:what
+          (Printf.sprintf
+             "%s uses raw pointer #%d after every local owning it was \
+              retired or overwritten"
+             what p)
+  in
+  (* Any use of a retired local. *)
+  let touch ~i ~what l =
+    match state l with
+    | LRetired ->
+        flag Use_after_retire ~i ~key:(what ^ ":" ^ nname l)
+          (Printf.sprintf "%s touches local %s after its retire" what
+             (nname l))
+    | _ -> ()
+  in
+  let assign l p = set l (if p = 0 then LNull else LOwned p) in
+  List.iteri
+    (fun i (op : Ir.op) ->
+      match op with
+      | Branch _ -> ()
+      | Declare { local } ->
+          ignore (nname local);
+          Hashtbl.replace declared_here local ();
+          set local LNull
+      | Retire { local } -> (
+          match state local with
+          | LRetired ->
+              flag Double_destroy ~i ~key:(nname local)
+                (Printf.sprintf "local %s retired twice" (nname local))
+          | _ -> set local LRetired)
+      | Get { local; ptr = _ } -> touch ~i ~what:"get" local
+      | Load { cell = _; local; ptr } ->
+          touch ~i ~what:"load" local;
+          assign local ptr
+      | Copy { local; ptr } ->
+          (* Order matters: the source raw pointer must be owned *before*
+             this local takes it over. *)
+          operand ~i ~what:"copy" ~store:false ptr;
+          touch ~i ~what:"copy" local;
+          assign local ptr
+      | Store { cell = _; ptr } -> operand ~i ~what:"store" ~store:true ptr
+      | Store_alloc { cell = _; local } ->
+          touch ~i ~what:"store_alloc" local;
+          (* Ownership transfers to the heap cell; the local is cleared. *)
+          set local LNull
+      | Set_null { local } ->
+          touch ~i ~what:"set_null" local;
+          set local LNull
+      | Cas { cell = _; old_ptr; new_ptr; ok = _ } ->
+          operand ~i ~what:"cas(old)" ~store:false old_ptr;
+          operand ~i ~what:"cas(new)" ~store:false new_ptr
+      | Dcas { old0; old1; new0; new1; _ } ->
+          operand ~i ~what:"dcas(old0)" ~store:false old0;
+          operand ~i ~what:"dcas(old1)" ~store:false old1;
+          operand ~i ~what:"dcas(new0)" ~store:false new0;
+          operand ~i ~what:"dcas(new1)" ~store:false new1
+      | Dcas_ptr_val { old_ptr; new_ptr; _ } ->
+          operand ~i ~what:"dcas_ptr_val(old)" ~store:false old_ptr;
+          operand ~i ~what:"dcas_ptr_val(new)" ~store:false new_ptr
+      | Alloc { local; ptr; layout = _ } ->
+          touch ~i ~what:"alloc" local;
+          assign local ptr
+      | Try_alloc { local; ptr; ok } ->
+          touch ~i ~what:"try_alloc" local;
+          if ok then assign local ptr
+      | Read_val _ | Write_val _ | Cas_val _ -> ())
+    path.ops;
+  (* Leak check: only meaningful on paths that ran to completion — an
+     abandoned (infeasible / budget-cut) prefix legitimately leaves locals
+     live. Locals declared *outside* the recorded window (a structure's
+     long-lived env-locals) are exempt: their retire belongs to a later
+     operation. *)
+  (match path.status with
+  | Ir.Completed ->
+      Hashtbl.iter
+        (fun local () ->
+          match state local with
+          | LRetired -> ()
+          | LNull | LOwned _ ->
+              flag Leak ~i:(-1) ~key:(nname local)
+                (Printf.sprintf
+                   "local %s still live at operation exit (never retired)"
+                   (nname local)))
+        declared_here
+  | Ir.Bypass op ->
+      flag Lfrc_bypass ~i:(-1) ~key:op
+        (Printf.sprintf
+           "direct call to Lfrc.%s bypasses the OPS functor argument" op)
+  | Ir.Infeasible _ | Ir.Decision_limit -> ());
+  List.rev !viols

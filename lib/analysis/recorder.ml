@@ -1,0 +1,164 @@
+(** Path oracle and trace collector behind {!Record_ops}.
+
+    One recorder drives every symbolic execution of one structure action.
+    The enumerator runs the action repeatedly; before each run it installs
+    a *forced prefix* of decision choices with {!start_path}, and the
+    recorder answers each nondeterministic question (what does this load
+    observe? does this CAS succeed?) from that prefix, falling back to
+    choice 0 — the terminating default — once the prefix is exhausted.
+    Defaults are chosen so that every retry loop in LFRC client code
+    finishes: CAS/DCAS succeed, allocations succeed, loads observe null
+    (ending traversals). Exploring a different arm of any branch therefore
+    always costs one forced choice, which is what makes the enumeration
+    bounded and systematic.
+
+    Loads offer up to four choices — null, a fresh object, the same object
+    as the previous non-null load, the same object as the path's first
+    non-null load — so pointer-equality branches ([head == tail], tombstone
+    comparisons) are reachable even though fresh objects are all distinct.
+    [read_val] draws from a small pool of "interesting" constants harvested
+    from the values the action itself wrote ([write_val], [cas_val],
+    [dcas_ptr_val] operands), concolic-style, so sentinel-value branches
+    (e.g. the corrected Snark's [claimed] marker) become reachable on later
+    paths. The pool is append-only within one action, keeping decision
+    indices stable across paths.
+
+    Outside {!start_path}/{!finish_path} the recorder is *muted*: every
+    decision silently takes its default and no ops are recorded. Structure
+    setup (create/register) runs muted, so the enumeration covers exactly
+    one focal operation at a time. *)
+
+exception Path_limit
+(** The current path exceeded the decision or op budget; the enumerator
+    marks the action truncated and abandons the path. *)
+
+type t = {
+  max_decisions : int;
+  max_ops : int;
+  mutable recording : bool;
+  mutable forced : int array;
+  mutable n_decisions : int;
+  mutable n_ops : int;
+  mutable ops : Ir.op list; (* reversed *)
+  mutable decisions : (Ir.dkind * int * int) list; (* reversed *)
+  mutable next_local : int;
+  mutable first_nonnull : int;
+  mutable last_nonnull : int;
+  mutable pool : int list; (* interesting read_val candidates, append-only *)
+}
+
+let max_pool = 6
+
+(* The "big" constant: distinct from 0 and, in practice, from every key a
+   catalog action uses, so ordered-search branches on k >= key are
+   reachable without knowing the key. *)
+let big_value = 1_000_000
+
+let create ?(max_decisions = 48) ?(max_ops = 20_000) () =
+  {
+    max_decisions;
+    max_ops;
+    recording = false;
+    forced = [||];
+    n_decisions = 0;
+    n_ops = 0;
+    ops = [];
+    decisions = [];
+    next_local = 0;
+    first_nonnull = 0;
+    last_nonnull = 0;
+    pool = [];
+  }
+
+let fresh_local t =
+  let id = t.next_local in
+  t.next_local <- id + 1;
+  id
+
+let emit t op =
+  if t.recording then begin
+    t.n_ops <- t.n_ops + 1;
+    if t.n_ops > t.max_ops then raise Path_limit;
+    t.ops <- op :: t.ops
+  end
+
+(* One oracle decision with [arity] alternatives; 0 is the default. *)
+let decide t kind arity =
+  if not t.recording then 0
+  else begin
+    if t.n_decisions >= t.max_decisions then raise Path_limit;
+    let i = t.n_decisions in
+    let choice =
+      if i < Array.length t.forced then min t.forced.(i) (arity - 1) else 0
+    in
+    t.n_decisions <- i + 1;
+    t.decisions <- (kind, arity, choice) :: t.decisions;
+    emit t (Ir.Branch { index = i; kind; arity; choice });
+    choice
+  end
+
+(* Boolean decisions; the default (choice 0) is [true] — success — so that
+   retry loops terminate under the default oracle. *)
+let choose_bool t kind = decide t kind 2 = 0
+
+(* What a load observes; [fresh] materializes a new symbolic object. *)
+let choose_load t ~fresh =
+  let repeats =
+    (if t.last_nonnull <> 0 then [ t.last_nonnull ] else [])
+    @
+    if t.first_nonnull <> 0 && t.first_nonnull <> t.last_nonnull then
+      [ t.first_nonnull ]
+    else []
+  in
+  let arity = 2 + List.length repeats in
+  let p =
+    match decide t Ir.KLoad arity with
+    | 0 -> 0
+    | 1 -> fresh ()
+    | c -> List.nth repeats (c - 2)
+  in
+  if p <> 0 then begin
+    if t.first_nonnull = 0 then t.first_nonnull <- p;
+    t.last_nonnull <- p
+  end;
+  p
+
+(* What a read_val observes: 0, the big constant, or a pooled value the
+   action itself has written on some path. *)
+let choose_val t =
+  let cands = 0 :: big_value :: t.pool in
+  List.nth cands (decide t Ir.KVal (List.length cands))
+
+let add_pool t v =
+  if
+    t.recording && v <> 0 && v <> big_value
+    && (not (List.mem v t.pool))
+    && List.length t.pool < max_pool
+  then t.pool <- t.pool @ [ v ]
+
+let reset_pool t = t.pool <- []
+
+let start_path t ~forced =
+  t.recording <- true;
+  t.forced <- forced;
+  t.n_decisions <- 0;
+  t.n_ops <- 0;
+  t.ops <- [];
+  t.decisions <- [];
+  t.first_nonnull <- 0;
+  t.last_nonnull <- 0
+
+let finish_path t status : Ir.path =
+  t.recording <- false;
+  {
+    Ir.ops = List.rev t.ops;
+    decisions = List.rev t.decisions;
+    status;
+  }
+
+(* Run [f] with recording off (structure setup / teardown): decisions take
+   their defaults, nothing is traced. *)
+let muted t f =
+  let was = t.recording in
+  t.recording <- false;
+  Fun.protect ~finally:(fun () -> t.recording <- was) f

@@ -71,7 +71,8 @@ let set_injector t i = t.injector <- i
 
 let attach_obs t ~metrics ~tracer =
   t.metrics <- metrics;
-  t.tracer <- tracer
+  t.tracer <- tracer;
+  if t.kind = Software_mcas then Mcas.set_metrics metrics
 
 let impl t = t.kind
 

@@ -27,11 +27,12 @@ type t = {
   mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
   env_metrics : Lfrc_obs.Metrics.t;
   env_tracer : Lfrc_obs.Tracer.t;
+  env_symbolic : bool;
 }
 
 let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
     ?(metrics = Lfrc_obs.Metrics.disabled) ?(tracer = Lfrc_obs.Tracer.disabled)
-    heap =
+    ?(symbolic = false) heap =
   let impl =
     match dcas_impl with
     | Some i -> i
@@ -67,10 +68,12 @@ let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
     env_incremental = None;
     env_metrics = metrics;
     env_tracer = tracer;
+    env_symbolic = symbolic;
   }
 
 let heap t = t.env_heap
 let dcas t = t.env_dcas
+let symbolic t = t.env_symbolic
 let policy t = t.env_policy
 let gc_threshold t = t.env_gc_threshold
 let metrics t = t.env_metrics

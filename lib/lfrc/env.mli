@@ -27,6 +27,7 @@ val create :
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?tracer:Lfrc_obs.Tracer.t ->
+  ?symbolic:bool ->
   Lfrc_simmem.Heap.t ->
   t
 (** Defaults: [dcas_impl] is [Atomic_step] when called under the simulator
@@ -41,10 +42,24 @@ val create :
     substrate ({!Lfrc_atomics.Dcas.attach_obs}), the heap's alloc/free
     observer ({!Lfrc_simmem.Heap.set_observer}), the deferred-destroy
     queue, and {!Lfrc}'s operations all report into them. Sharing one
-    registry across several environments aggregates their series. *)
+    registry across several environments aggregates their series.
+
+    [symbolic] marks the environment as belonging to the static analyser
+    ([lib/analysis]): structure code running over it is being *recorded*,
+    not executed, so no real LFRC operation may touch it. Every {!Lfrc}
+    entry point checks the flag and raises {!Lfrc.Symbolic_bypass} — which
+    is how the analyser catches client code that side-steps the
+    {!Ops_intf.OPS} functor argument and calls {!Lfrc} directly (a
+    discipline violation the type checker alone cannot see, because the
+    environment is reachable through the structure record). *)
 
 val heap : t -> Lfrc_simmem.Heap.t
 val dcas : t -> Lfrc_atomics.Dcas.t
+
+val symbolic : t -> bool
+(** Whether this environment is a static-analysis recording environment
+    (created with [~symbolic:true]); see {!create}. *)
+
 val policy : t -> policy
 val gc_threshold : t -> int
 

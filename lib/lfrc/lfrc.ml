@@ -9,6 +9,14 @@ type ptr = Heap.ptr
 
 let null = Heap.null
 
+exception Symbolic_bypass of string
+
+(* Under a symbolic (analysis) environment no real LFRC operation may run:
+   structure code is being recorded through an {!Ops_intf.OPS} instance,
+   and a direct call here means the code bypassed its functor argument.
+   Raising identifies the offending operation to the analyser. *)
+let guard env op = if Env.symbolic env then raise (Symbolic_bypass op)
+
 (* Observability shims. Every public operation counts itself under an
    [lfrc.*] series and, when tracing, opens a span that closes even on the
    exceptional (OOM) paths. With observability off each shim is a single
@@ -30,6 +38,7 @@ let span env name f =
 (* add_to_rc (Figure 2, lines 16..20). The caller holds a counted
    reference, so the object cannot be freed while the loop runs. *)
 let add_to_rc env p v =
+  guard env "add_to_rc";
   let rc = Heap.rc_cell (Env.heap env) p in
   let d = Env.dcas env in
   let rec go () =
@@ -43,6 +52,7 @@ let add_to_rc env p v =
   go ()
 
 let alloc env layout =
+  guard env "alloc";
   Metrics.incr (Env.metrics env) "lfrc.alloc";
   Heap.alloc (Env.heap env) layout
 
@@ -50,6 +60,7 @@ let alloc env layout =
    a result before any count or cell is touched, so the caller can abort
    its operation with the heap intact. *)
 let try_alloc env layout =
+  guard env "try_alloc";
   Metrics.incr (Env.metrics env) "lfrc.alloc";
   match Heap.alloc (Env.heap env) layout with
   | p -> Ok p
@@ -151,6 +162,7 @@ let pump_deferred env ~budget =
 let flush env = pump_deferred env ~budget:(-1)
 
 let destroy env p =
+  guard env "destroy";
   Metrics.incr (Env.metrics env) "lfrc.destroy";
   match Env.policy env with
   | Env.Recursive -> destroy_recursive env p
@@ -165,6 +177,7 @@ let destroy env p =
 
 (* LFRCLoad (Figure 2, lines 1..12). *)
 let load env ~src ~dest =
+  guard env "load";
   span env "lfrc.load" @@ fun () ->
   let heap = Env.heap env in
   let d = Env.dcas env in
@@ -191,6 +204,7 @@ let load env ~src ~dest =
 
 (* LFRCStore (Figure 2, lines 21..28). *)
 let store env ~dst v =
+  guard env "store";
   span env "lfrc.store" @@ fun () ->
   if v <> null then ignore (add_to_rc env v 1);
   let d = Env.dcas env in
@@ -207,6 +221,7 @@ let store env ~dst v =
 (* LFRCStoreAlloc (paper Figure 1, line 35): consume the allocation's
    count instead of raising it. *)
 let store_alloc env ~dst v =
+  guard env "store_alloc";
   span env "lfrc.store_alloc" @@ fun () ->
   let d = Env.dcas env in
   let rec go () =
@@ -221,6 +236,7 @@ let store_alloc env ~dst v =
 
 (* LFRCCopy (Figure 2, lines 29..32). *)
 let copy env ~dest w =
+  guard env "copy";
   span env "lfrc.copy" @@ fun () ->
   if w <> null then ignore (add_to_rc env w 1);
   let old = !dest in
@@ -229,6 +245,7 @@ let copy env ~dest w =
 
 (* LFRCDCAS (Figure 2, lines 33..39). *)
 let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
+  guard env "dcas";
   span env "lfrc.dcas" @@ fun () ->
   if new0 <> null then ignore (add_to_rc env new0 1);
   if new1 <> null then ignore (add_to_rc env new1 1);
@@ -245,6 +262,7 @@ let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
 
 (* LFRCCAS: the paper's "obvious simplification" of LFRCDCAS. *)
 let cas env c ~old_ptr ~new_ptr =
+  guard env "cas";
   span env "lfrc.cas" @@ fun () ->
   if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
   if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
@@ -259,6 +277,7 @@ let cas env c ~old_ptr ~new_ptr =
 (* Extension: DCAS over one pointer cell and one plain-value cell.
    Reference counting applies to the pointer side only. *)
 let dcas_ptr_val env ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
+  guard env "dcas_ptr_val";
   span env "lfrc.dcas_ptr_val" @@ fun () ->
   if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
   if

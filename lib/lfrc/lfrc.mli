@@ -20,6 +20,14 @@
 
 type ptr = Lfrc_simmem.Heap.ptr
 
+exception Symbolic_bypass of string
+(** Raised (with the operation name) by every operation below when called
+    on a symbolic analysis environment ({!Env.create} with
+    [~symbolic:true]): structure code under static analysis must reach its
+    pointer operations only through its {!Ops_intf.OPS} functor argument,
+    and a direct {!Lfrc} call is itself a discipline violation the
+    analyser reports. *)
+
 val alloc : Env.t -> Lfrc_simmem.Layout.t -> ptr
 (** New object with reference count 1 — the count for the reference this
     function returns (the paper's constructor, step 1). *)

@@ -1,0 +1,107 @@
+(** The analyzable catalog: every shipped structure, packaged for the
+    static discipline checker ([lib/analysis]).
+
+    An {!entry} knows how to build one instance of the structure over an
+    arbitrary {!Ops_intf.OPS} module — the checker passes its recording
+    instance — and returns the structure's focal operations as named
+    thunks. The checker runs the builder once (muted, so setup is not
+    analyzed) and then symbolically enumerates the control-flow paths of
+    each action.
+
+    Actions use the [try_*] variants of allocating operations so the
+    analyzer also covers the graceful-OOM back-out paths, and fixed small
+    keys so value-comparison branches are driven by the checker's concolic
+    value pool rather than by data. *)
+
+type ops_module = (module Lfrc_core.Ops_intf.OPS)
+
+type entry = {
+  name : string;
+  actions : ops_module -> Lfrc_core.Env.t -> (string * (unit -> unit)) list;
+      (** Build an instance over the given OPS and environment; return
+          the named operations to analyze. Called exactly once per
+          analysis, outside the recorded window. *)
+}
+
+let treiber =
+  {
+    name = "treiber";
+    actions =
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let module S = Treiber.Make (O) in
+        let h = S.register (S.create env) in
+        [
+          ("try_push", fun () -> ignore (S.try_push h 42));
+          ("pop", fun () -> ignore (S.pop h));
+        ]);
+  }
+
+let msqueue =
+  {
+    name = "msqueue";
+    actions =
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let module S = Msqueue.Make (O) in
+        let h = S.register (S.create env) in
+        [
+          ("try_enqueue", fun () -> ignore (S.try_enqueue h 42));
+          ("dequeue", fun () -> ignore (S.dequeue h));
+        ]);
+  }
+
+let deque_actions (module S : Container_intf.DEQUE) env =
+  let h = S.register (S.create env) in
+  [
+    ("try_push_right", fun () -> ignore (S.try_push_right h 42));
+    ("try_push_left", fun () -> ignore (S.try_push_left h 42));
+    ("pop_right", fun () -> ignore (S.pop_right h));
+    ("pop_left", fun () -> ignore (S.pop_left h));
+  ]
+
+let snark =
+  {
+    name = "snark";
+    actions =
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        deque_actions (module Snark.Make (O)) env);
+  }
+
+let snark_fixed =
+  {
+    name = "snark-fixed";
+    actions =
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        deque_actions (module Snark_fixed.Make (O)) env);
+  }
+
+let set_actions (module S : Container_intf.SET) env =
+  let h = S.register (S.create env) in
+  [
+    ("try_insert", fun () -> ignore (S.try_insert h 7));
+    (* A second key exercises the "already present" comparison arms the
+       concolic pool unlocks once 7 is in play. *)
+    ("try_insert_existing", fun () -> ignore (S.try_insert h 0));
+    ("remove", fun () -> ignore (S.remove h 7));
+    ("contains", fun () -> ignore (S.contains h 7));
+    ("to_list", fun () -> ignore (S.to_list h));
+  ]
+
+let dlist_set =
+  {
+    name = "dlist-set";
+    actions =
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        set_actions (module Dlist_set.Make (O)) env);
+  }
+
+let skiplist =
+  {
+    name = "skiplist";
+    actions =
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        set_actions (module Skiplist.As_set (O)) env);
+  }
+
+let entries = [ treiber; msqueue; snark; snark_fixed; dlist_set; skiplist ]
+let names = List.map (fun e -> e.name) entries
+let find name = List.find_opt (fun e -> e.name = name) entries

@@ -1,0 +1,21 @@
+(** The analyzable catalog: every shipped structure packaged for the
+    static discipline checker (see [lib/analysis]). *)
+
+type ops_module = (module Lfrc_core.Ops_intf.OPS)
+
+type entry = {
+  name : string;
+  actions : ops_module -> Lfrc_core.Env.t -> (string * (unit -> unit)) list;
+      (** Build an instance of the structure over the given OPS module and
+          environment and return its focal operations as named thunks.
+          Called once per analysis, outside the recorded window (setup is
+          not analyzed); each thunk is then re-run once per explored
+          control-flow path. *)
+}
+
+val entries : entry list
+(** All shipped structures: treiber, msqueue, snark, snark-fixed,
+    dlist-set, skiplist. *)
+
+val names : string list
+val find : string -> entry option

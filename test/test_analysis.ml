@@ -1,0 +1,267 @@
+(* Tests for the static LFRC discipline checker: one deliberately broken
+   mini-structure per defect class, each of which the checker must flag
+   with the right class (several only on a non-default path, proving the
+   enumerator actually explores); a bypass fixture that calls Lfrc
+   directly under the symbolic environment; and the clean-pass gate — the
+   checker must report zero violations on every shipped structure. *)
+
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+module Env = Lfrc_core.Env
+module Ir = Lfrc_analysis.Ir
+module Absint = Lfrc_analysis.Absint
+module Report = Lfrc_analysis.Report
+module Checker = Lfrc_analysis.Checker
+module Catalog = Lfrc_structures.Catalog
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let fixture_layout = Layout.make ~name:"fixture" ~n_ptrs:2 ~n_vals:1
+
+(* Small limits keep the suite quick; every fixture's defect is reachable
+   within a handful of decision flips. *)
+let limits = { Checker.max_paths = 60; max_decisions = 24 }
+
+(* Each fixture builds one anchor object during (muted) setup so the
+   action has a real cell to load from, then misbehaves in the action. *)
+
+let classes_of (r : Report.structure_report) =
+  List.concat_map
+    (fun (a : Report.action_report) ->
+      List.map (fun (f : Report.finding) -> f.Report.cls) a.Report.findings)
+    r.Report.actions
+
+let has_class cls r = List.mem cls (classes_of r)
+
+let errors_of (r : Report.structure_report) =
+  Report.errors { Report.structures = [ r ] }
+
+(* --- the five defect classes --- *)
+
+let test_flags_leak () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-leak"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l
+              (* no retire: leaks on every completed path *) );
+        ])
+  in
+  checkb "leak flagged" true (has_class Absint.Leak r);
+  checkb "has errors" true (errors_of r > 0)
+
+let test_flags_double_destroy () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-double-destroy"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              O.retire ctx l;
+              O.retire ctx l );
+        ])
+  in
+  checkb "double-destroy flagged" true (has_class Absint.Double_destroy r)
+
+let test_flags_use_after_retire () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-use-after-retire"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.retire ctx l;
+              O.load ctx cell l;
+              O.retire ctx l );
+        ])
+  in
+  checkb "use-after-retire flagged" true (has_class Absint.Use_after_retire r)
+
+(* The raw pointer escapes only on paths where the load observed a real
+   object — the default (null) path is clean, so catching this proves the
+   enumerator explores non-default oracle choices. *)
+let test_flags_escaping_get () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-escaping-get"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              let p = O.get l in
+              O.retire ctx l;
+              (* p is now a dangling borrow *)
+              ignore (O.cas ctx cell ~old_ptr:p ~new_ptr:Heap.null) );
+        ])
+  in
+  checkb "escaping-get flagged" true (has_class Absint.Escaping_get r)
+
+let test_flags_unowned_store () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-unowned-store"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              let p = O.get l in
+              O.retire ctx l;
+              O.store ctx cell p );
+        ])
+  in
+  checkb "unowned-store flagged" true (has_class Absint.Unowned_store r)
+
+(* --- OPS bypass --- *)
+
+let test_flags_lfrc_bypass () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-bypass"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        ignore ctx;
+        [
+          ( "op",
+            fun () ->
+              ignore (Lfrc_core.Lfrc.alloc env fixture_layout) );
+        ])
+  in
+  checkb "bypass flagged" true (has_class Absint.Lfrc_bypass r)
+
+(* --- a correct fixture stays clean --- *)
+
+let test_clean_fixture_passes () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-clean"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              (if O.get l <> Heap.null then
+                 let m = O.declare ctx in
+                 O.copy ctx m (O.get l);
+                 O.retire ctx m);
+              O.retire ctx l );
+        ])
+  in
+  checki "clean fixture has no errors" 0 (errors_of r)
+
+(* --- the gate: every shipped structure passes --- *)
+
+let test_shipped_structures_clean () =
+  let report =
+    Checker.analyze_all ~limits:{ Checker.max_paths = 150; max_decisions = 40 }
+      ()
+  in
+  List.iter
+    (fun (s : Report.structure_report) ->
+      checki
+        (Printf.sprintf "%s: no errors" s.Report.structure)
+        0
+        (errors_of s);
+      (* every action explored at least one completed path *)
+      List.iter
+        (fun (a : Report.action_report) ->
+          checkb
+            (Printf.sprintf "%s/%s completed paths > 0" s.Report.structure
+               a.Report.action)
+            true (a.Report.completed > 0))
+        s.Report.actions)
+    report.Report.structures;
+  checki "all six structures analyzed" 6
+    (List.length report.Report.structures)
+
+(* --- plumbing: JSON validity-ish and structure selection --- *)
+
+let test_structure_selection () =
+  (match Checker.analyze_structure ~limits "treiber" with
+  | Ok r -> checki "one structure" 1 (List.length r.Report.structures)
+  | Error e -> Alcotest.fail e);
+  match Checker.analyze_structure ~limits "no-such-thing" with
+  | Ok _ -> Alcotest.fail "expected an error for unknown structure"
+  | Error _ -> ()
+
+let test_json_render () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-leak-json"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              ignore (O.try_alloc ctx fixture_layout l) );
+        ])
+  in
+  let t = { Report.structures = [ r ] } in
+  let json = Report.to_json t in
+  checkb "json nonempty" true (String.length json > 0);
+  checkb "json has report tag" true
+    (let sub = "\"report\":\"lfrc-analyze\"" in
+     let n = String.length json and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+     go 0);
+  (* the try_alloc fixture leaks on the success path *)
+  checkb "leak in json fixture" true (has_class Absint.Leak r)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "defect-classes",
+        [
+          Alcotest.test_case "leak" `Quick test_flags_leak;
+          Alcotest.test_case "double-destroy" `Quick test_flags_double_destroy;
+          Alcotest.test_case "use-after-retire" `Quick
+            test_flags_use_after_retire;
+          Alcotest.test_case "escaping-get" `Quick test_flags_escaping_get;
+          Alcotest.test_case "unowned-store" `Quick test_flags_unowned_store;
+          Alcotest.test_case "lfrc-bypass" `Quick test_flags_lfrc_bypass;
+        ] );
+      ( "clean",
+        [
+          Alcotest.test_case "clean fixture passes" `Quick
+            test_clean_fixture_passes;
+          Alcotest.test_case "all shipped structures pass" `Quick
+            test_shipped_structures_clean;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "structure selection" `Quick
+            test_structure_selection;
+          Alcotest.test_case "json render" `Quick test_json_render;
+        ] );
+    ]
