@@ -192,26 +192,45 @@ let run_json file =
   let workers = 4 and ops_per_worker = 2_000 and seed = 11 in
   List.iteri
     (fun i (name, workload) ->
-      let metrics = Metrics.create () in
-      let heap = Heap.create ~name:("bench-json-" ^ name) () in
-      let env =
-        Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics heap
+      (* Two passes over the same deterministic schedule: a profile-free
+         pass supplies wall_ns/ops_per_sec (the profiler costs ~35% and
+         would poison cross-PR comparison against profile-free
+         baselines), then an instrumented pass supplies the profile
+         section and the snapshot's histograms. The counters are
+         identical between passes — recording happens outside the
+         simulated atomics, so it never perturbs the schedule. *)
+      let run ~profile =
+        let metrics = Metrics.create () in
+        let prof =
+          if profile then Lfrc_obs.Profile.create ~metrics ()
+          else Lfrc_obs.Profile.disabled
+        in
+        let heap = Heap.create ~name:("bench-json-" ^ name) () in
+        let env =
+          Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics
+            ~profile:prof heap
+        in
+        let (), wall_ns =
+          Clock.time_ns (fun () ->
+              ignore
+                (Lfrc_sched.Sched.run ~max_steps:400_000_000
+                   (Lfrc_sched.Strategy.Random seed)
+                   (fun () -> workload ~workers ~ops_per_worker ~seed env)))
+        in
+        (wall_ns, metrics, prof)
       in
-      let (), wall_ns =
-        Clock.time_ns (fun () ->
-            ignore
-              (Lfrc_sched.Sched.run ~max_steps:400_000_000
-                 (Lfrc_sched.Strategy.Random seed)
-                 (fun () -> workload ~workers ~ops_per_worker ~seed env)))
-      in
+      let wall_ns, _, _ = run ~profile:false in
+      let _, metrics, profile = run ~profile:true in
       let ops = workers * ops_per_worker in
       let ops_per_sec = float_of_int ops /. (float_of_int wall_ns /. 1e9) in
       Buffer.add_string buf
         (Printf.sprintf
            "%s\n    {\"structure\": \"%s\", \"workers\": %d, \"ops\": %d, \
-            \"wall_ns\": %d, \"ops_per_sec\": %.1f, \"metrics\": %s}"
+            \"wall_ns\": %d, \"ops_per_sec\": %.1f, \"profile\": %s, \
+            \"metrics\": %s}"
            (if i > 0 then "," else "")
            (json_escape name) workers ops wall_ns ops_per_sec
+           (Lfrc_obs.Profile.to_json profile)
            (Metrics.to_json (Metrics.snapshot metrics)));
       Printf.printf "workload %-12s %8.0f ops/sec (simulated, %d ops)\n%!"
         name ops_per_sec ops)
@@ -243,14 +262,164 @@ let run_json file =
       Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "wrote %s\n" file
 
+(* --- regression comparison: diff a fresh --json run against a committed
+   baseline (ops/sec per workload, plus counter drift) and gate on a
+   configurable ops/sec threshold. Wall-clock is the only noisy axis —
+   the counters are deterministic under the simulated scheduler, so they
+   are reported but never gated on. --- *)
+
+let compare_runs ~threshold ~report_only ~current ~baseline =
+  let module J = Lfrc_util.Json in
+  let workloads doc =
+    match Option.bind (J.member "workloads" doc) J.to_list with
+    | Some l -> l
+    | None -> []
+  in
+  let wl_name w = Option.bind (J.member "structure" w) J.to_str in
+  let counters w =
+    Option.map J.obj_fields (J.path [ "metrics"; "counters" ] w)
+    |> Option.value ~default:[]
+  in
+  match (J.parse_file baseline, J.parse_file current) with
+  | Error e, _ ->
+      Printf.eprintf "cannot read baseline %s: %s\n" baseline e;
+      2
+  | _, Error e ->
+      Printf.eprintf "cannot read current run %s: %s\n" current e;
+      2
+  | Ok base_doc, Ok cur_doc ->
+      let base_wls = workloads base_doc in
+      let find_base name =
+        List.find_opt (fun w -> wl_name w = Some name) base_wls
+      in
+      Printf.printf "# bench compare: %s vs baseline %s (threshold %.0f%%)\n"
+        current baseline threshold;
+      Printf.printf "%-14s %12s %12s %9s\n" "structure" "baseline" "current"
+        "delta";
+      let regressions = ref [] in
+      let counter_drift = ref [] in
+      List.iter
+        (fun cur_wl ->
+          match wl_name cur_wl with
+          | None -> ()
+          | Some name -> (
+              let ops w =
+                Option.bind (J.member "ops_per_sec" w) J.to_num
+              in
+              match find_base name with
+              | None ->
+                  Printf.printf "%-14s %12s %12s %9s  (new workload)\n" name
+                    "-"
+                    (match ops cur_wl with
+                    | Some c -> Printf.sprintf "%.0f" c
+                    | None -> "?")
+                    "-"
+              | Some base_wl ->
+                  (match (ops base_wl, ops cur_wl) with
+                  | Some b, Some c when b > 0. ->
+                      let delta = (c -. b) /. b *. 100. in
+                      let flag =
+                        if delta < -.threshold then (
+                          regressions :=
+                            Printf.sprintf "%s ops/sec %+.1f%%" name delta
+                            :: !regressions;
+                          "  <-- REGRESSION")
+                        else ""
+                      in
+                      Printf.printf "%-14s %12.0f %12.0f %+8.1f%%%s\n" name b
+                        c delta flag
+                  | _ ->
+                      Printf.printf "%-14s (ops/sec missing on one side)\n"
+                        name);
+                  let base_counters = counters base_wl in
+                  List.iter
+                    (fun (key, v) ->
+                      match
+                        (J.to_num v,
+                         Option.bind (List.assoc_opt key base_counters)
+                           J.to_num)
+                      with
+                      | Some c, Some b when b > 0. ->
+                          let delta = (c -. b) /. b *. 100. in
+                          if Float.abs delta >= 5. then
+                            counter_drift :=
+                              Printf.sprintf "  %-14s %-24s %12.0f %12.0f %+8.1f%%"
+                                name key b c delta
+                              :: !counter_drift
+                      | Some c, None ->
+                          if c > 0. then
+                            counter_drift :=
+                              Printf.sprintf "  %-14s %-24s %12s %12.0f      new"
+                                name key "-" c
+                              :: !counter_drift
+                      | _ -> ())
+                    (counters cur_wl)))
+        (workloads cur_doc);
+      (match List.rev !counter_drift with
+      | [] -> Printf.printf "counters: all within 5%% of baseline\n"
+      | drift ->
+          Printf.printf "counter drift (|delta| >= 5%% or new):\n";
+          List.iter print_endline drift);
+      if !regressions = [] then (
+        Printf.printf "no ops/sec regression beyond %.0f%%\n" threshold;
+        0)
+      else (
+        List.iter
+          (fun r -> Printf.printf "REGRESSION: %s (threshold %.0f%%)\n" r threshold)
+          (List.rev !regressions);
+        if report_only then (
+          Printf.printf "report-only mode: not failing the run\n";
+          0)
+        else 1)
+
+let run_compare rest =
+  let baseline = ref None
+  and threshold = ref 30.0
+  and report_only = ref false
+  and current = ref "BENCH_pr4.json" in
+  let usage () =
+    prerr_endline
+      "usage: bench --compare BASELINE.json [--current FILE] [--threshold \
+       PCT] [--report-only]";
+    exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | "--threshold" :: v :: tl -> (
+        match float_of_string_opt v with
+        | Some f ->
+            threshold := f;
+            go tl
+        | None -> usage ())
+    | "--report-only" :: tl ->
+        report_only := true;
+        go tl
+    | "--current" :: f :: tl ->
+        current := f;
+        go tl
+    | f :: tl when !baseline = None && String.length f > 0 && f.[0] <> '-' ->
+        baseline := Some f;
+        go tl
+    | _ -> usage ()
+  in
+  go rest;
+  match !baseline with
+  | None -> usage ()
+  | Some baseline ->
+      if not (Sys.file_exists !current) then run_json !current;
+      exit
+        (compare_runs ~threshold:!threshold ~report_only:!report_only
+           ~current:!current ~baseline)
+
 (* --- entry point --- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
-  | [ "--json" ] -> run_json "BENCH_pr3.json"
+  | [ "--json" ] -> run_json "BENCH_pr4.json"
   | [ "--json"; file ] -> run_json file
+  | "--compare" :: rest -> run_compare rest
   | [] ->
       Lfrc_harness.Experiments.run_all ();
       run_micro ()

@@ -49,7 +49,15 @@ let config_term =
             "Fault-plan spec (Lfrc_faults.Fault_plan syntax) overriding \
              E11's built-in fault matrix.")
   in
-  let build threads ops iters seed no_metrics fault =
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attribute DCAS/CAS retries and op latencies to labeled call \
+             sites and print a per-experiment contention table.")
+  in
+  let build threads ops iters seed no_metrics fault profile =
     match
       Option.map
         (fun s ->
@@ -72,10 +80,13 @@ let config_term =
             fault;
             metrics = not no_metrics;
             trace_capacity = 0;
+            profile;
           }
   in
   Term.(
-    ret (const build $ threads $ ops $ iters $ seed $ no_metrics $ fault))
+    ret
+      (const build $ threads $ ops $ iters $ seed $ no_metrics $ fault
+     $ profile))
 
 let experiments_cmd =
   let ids =
@@ -105,11 +116,12 @@ let structure_arg =
         ~doc:(Printf.sprintf "Structure to drive: %s."
                 (String.concat ", " (List.map fst names))))
 
-let run_workload ~workload ~workers ~ops_per_worker ~seed ~metrics ~tracer =
+let run_workload ?lineage ?profile ~workload ~workers ~ops_per_worker ~seed
+    ~metrics ~tracer () =
   let heap = Lfrc_simmem.Heap.create ~name:"cli-workload" () in
   let env =
     Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics
-      ~tracer heap
+      ~tracer ?lineage ?profile heap
   in
   ignore
     (Lfrc_sched.Sched.run ~max_steps:400_000_000
@@ -129,7 +141,7 @@ let stats_cmd =
   let run (name, workload) workers ops seed =
     let metrics = Lfrc_obs.Metrics.create () in
     run_workload ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
-      ~tracer:Lfrc_obs.Tracer.disabled;
+      ~tracer:Lfrc_obs.Tracer.disabled ();
     Printf.printf "# %s: %d threads x %d ops, seed %d\n%s\n" name workers ops
       seed
       (Lfrc_obs.Metrics.to_json (Lfrc_obs.Metrics.snapshot metrics))
@@ -174,7 +186,7 @@ let trace_cmd =
   let run (_, workload) workers ops seed capacity format output =
     let tracer = Lfrc_obs.Tracer.create ~capacity in
     run_workload ~workload ~workers ~ops_per_worker:ops ~seed
-      ~metrics:Lfrc_obs.Metrics.disabled ~tracer;
+      ~metrics:Lfrc_obs.Metrics.disabled ~tracer ();
     let rendered =
       match format with
       | `Chrome -> Lfrc_obs.Tracer.to_chrome_json tracer
@@ -199,6 +211,203 @@ let trace_cmd =
     Term.(
       const run $ structure_arg $ workers $ ops $ seed $ capacity $ format
       $ output)
+
+let profile_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let ops =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule and op-mix seed.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the per-site records (plus the metrics snapshot with \
+                its retry/latency histograms) as JSON.")
+  in
+  let run (name, workload) workers ops seed json =
+    let metrics = Lfrc_obs.Metrics.create () in
+    let profile = Lfrc_obs.Profile.create ~metrics () in
+    run_workload ~profile ~workload ~workers ~ops_per_worker:ops ~seed
+      ~metrics ~tracer:Lfrc_obs.Tracer.disabled ();
+    if json then
+      Printf.printf "{\"workload\":\"%s\",\"profile\":%s,\"metrics\":%s}\n"
+        name
+        (Lfrc_obs.Profile.to_json profile)
+        (Lfrc_obs.Metrics.to_json (Lfrc_obs.Metrics.snapshot metrics))
+    else begin
+      Printf.printf "# %s: %d threads x %d ops, seed %d\n" name workers ops
+        seed;
+      print_string (Lfrc_obs.Profile.table profile)
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a structure workload with the call-site contention profiler \
+          on and print the per-site table (calls, retries, failed DCAS \
+          attempts, scheduler-step latency), sorted by wasted attempts")
+    Term.(const run $ structure_arg $ workers $ ops $ seed $ json)
+
+let forensics_cmd =
+  let workers =
+    Arg.(value & opt int 3 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let ops =
+    Arg.(value & opt int 25 & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule and fault-plan seed.")
+  in
+  let ring =
+    Arg.(
+      value & opt int 64
+      & info [ "ring" ] ~docv:"N"
+          ~doc:"Lifecycle events retained per object (older ones drop).")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"SPEC"
+          ~doc:
+            "Fault-plan spec (Lfrc_faults.Fault_plan syntax) to inject; \
+             $(b,--leaks) defaults to a thread-crash plan when omitted.")
+  in
+  let addr =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:"Print the full lifecycle timeline of this object id.")
+  in
+  let leaks =
+    Arg.(
+      value & flag
+      & info [ "leaks" ]
+          ~doc:
+            "Join the post-mortem audit's leaked objects against the \
+             lineage: name each leaked address and the operation that \
+             dropped its last reference.")
+  in
+  let top =
+    Arg.(
+      value & opt int 0
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Print the N busiest objects (most lifecycle events).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write a chrome://tracing JSON export of the recorded \
+             lifecycles (one track per object) to FILE.")
+  in
+  let run (name, workload) workers ops seed ring fault addr leaks top chrome =
+    let parsed =
+      Option.map
+        (fun s ->
+          match Lfrc_faults.Fault_plan.spec_of_string s with
+          | Some spec -> Ok spec
+          | None -> Error s)
+        fault
+    in
+    match parsed with
+    | Some (Error s) -> `Error (false, Printf.sprintf "bad fault spec %S" s)
+    | None | Some (Ok _) ->
+        let spec =
+          match parsed with
+          | Some (Ok spec) -> spec
+          | _ ->
+              if leaks then
+                (* A worker crash mid-operation is the canonical leak
+                   generator: the dead thread's counted references are
+                   never dropped. *)
+                {
+                  Lfrc_faults.Fault_plan.default with
+                  seed;
+                  crash = Some (1 + (seed mod workers), 15);
+                }
+              else { Lfrc_faults.Fault_plan.default with seed }
+        in
+        let lineage = Lfrc_obs.Lineage.create ~ring () in
+        let r =
+          Lfrc_faults.Chaos.run ~lineage ~max_steps:400_000
+            ~strategy:(Lfrc_sched.Strategy.Random seed) ~spec
+            (fun env ->
+              match workload ~workers ~ops_per_worker:ops ~seed env with
+              | () -> ()
+              | exception Lfrc_simmem.Heap.Simulated_oom -> ())
+        in
+        Format.printf "# %s: %d threads x %d ops, %a@\n%s@\n" name workers ops
+          Lfrc_faults.Chaos.pp_status r.Lfrc_faults.Chaos.status
+          (Lfrc_obs.Lineage.summary lineage);
+        if leaks then begin
+          match r.Lfrc_faults.Chaos.audit with
+          | None ->
+              print_string
+                "run did not complete; no audit to join against\n"
+          | Some a ->
+              print_string
+                (Lfrc_obs.Lineage.leak_report lineage
+                   ~addrs:a.Lfrc_faults.Audit.leaked_ids);
+              let over =
+                List.filter_map
+                  (function
+                    | Lfrc_faults.Audit.Rc_below_refs { id; _ } -> Some id
+                    | _ -> None)
+                  a.Lfrc_faults.Audit.findings
+              in
+              if over <> [] then
+                print_string
+                  (Lfrc_obs.Lineage.double_free_report lineage ~addrs:over)
+        end;
+        Option.iter
+          (fun a -> print_string (Lfrc_obs.Lineage.timeline lineage ~addr:a))
+          addr;
+        let top =
+          if top = 0 && addr = None && not leaks then 5 else top
+        in
+        if top > 0 then begin
+          Printf.printf "busiest objects:\n";
+          List.iter
+            (fun (a, n) ->
+              let tail =
+                match Lfrc_obs.Lineage.last_event lineage ~addr:a with
+                | Some ev ->
+                    Format.asprintf "last: %a" Lfrc_obs.Lineage.pp_event ev
+                | None -> ""
+              in
+              Printf.printf "  addr %-6d %5d events   %s\n" a n tail)
+            (Lfrc_obs.Lineage.top lineage ~n:top)
+        end;
+        Option.iter
+          (fun file ->
+            Out_channel.with_open_text file (fun oc ->
+                Out_channel.output_string oc
+                  (Lfrc_obs.Lineage.to_chrome_json lineage));
+            Printf.printf "lifecycle trace -> %s\n" file)
+          chrome;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "forensics"
+       ~doc:
+         "Run a structure workload with the per-object lifecycle recorder \
+          on and render forensic reports: per-address timelines, the \
+          busiest objects, chrome://tracing lifecycle export, and (with \
+          $(b,--leaks)) the audit-joined report naming the operation that \
+          dropped each leaked object's last reference")
+    Term.(
+      ret
+        (const run $ structure_arg $ workers $ ops $ seed $ ring $ fault
+       $ addr $ leaks $ top $ chrome))
 
 let check_cmd =
   let variant =
@@ -363,6 +572,15 @@ let main =
   Cmd.group
     (Cmd.info "lfrc_cli" ~version:"1.0.0"
        ~doc:"Lock-free reference counting (PODC 2001) reproduction toolkit")
-    [ experiments_cmd; stats_cmd; trace_cmd; check_cmd; chaos_cmd; analyze_cmd ]
+    [
+      experiments_cmd;
+      stats_cmd;
+      trace_cmd;
+      profile_cmd;
+      forensics_cmd;
+      check_cmd;
+      chaos_cmd;
+      analyze_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -2,6 +2,7 @@ module Cell = Lfrc_simmem.Cell
 module Sched = Lfrc_sched.Sched
 module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
+module Profile = Lfrc_obs.Profile
 
 type impl = Atomic_step | Striped_lock | Software_mcas
 
@@ -42,6 +43,7 @@ type t = {
   dcas_streak_max : int Atomic.t;
   mutable metrics : Metrics.t;
   mutable tracer : Tracer.t;
+  mutable profile : Profile.t;
 }
 
 let n_stripes = 64
@@ -65,13 +67,15 @@ let create kind =
     dcas_streak_max = Atomic.make 0;
     metrics = Metrics.disabled;
     tracer = Tracer.disabled;
+    profile = Profile.disabled;
   }
 
 let set_injector t i = t.injector <- i
 
-let attach_obs t ~metrics ~tracer =
+let attach_obs ?(profile = Profile.disabled) t ~metrics ~tracer =
   t.metrics <- metrics;
   t.tracer <- tracer;
+  t.profile <- profile;
   if t.kind = Software_mcas then Mcas.set_metrics metrics
 
 let impl t = t.kind
@@ -138,7 +142,8 @@ let count_cas t ok =
   if not ok then begin
     Atomic.incr t.c_cas_fail;
     Metrics.incr t.metrics "dcas.cas_failures";
-    Tracer.emit t.tracer Retry "cas"
+    Tracer.emit t.tracer Retry "cas";
+    Profile.dcas_retry t.profile
   end;
   bump_streak ~streak:t.cas_streak ~streak_max:t.cas_streak_max ok;
   ok
@@ -192,7 +197,8 @@ let count_dcas t ok =
   if not ok then begin
     Atomic.incr t.c_dcas_fail;
     Metrics.incr t.metrics "dcas.dcas_failures";
-    Tracer.emit t.tracer Retry "dcas"
+    Tracer.emit t.tracer Retry "dcas";
+    Profile.dcas_retry t.profile
   end;
   bump_streak ~streak:t.dcas_streak ~streak_max:t.dcas_streak_max ok;
   ok

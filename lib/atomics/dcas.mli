@@ -87,8 +87,15 @@ val set_injector : t -> injector option -> unit
     With an attached metrics registry, every attempt/failure/spurious
     event also lands in [dcas.*] counters; with an attached tracer, each
     failed attempt emits a [Retry] event and each injected failure a
-    [Fault] event. Detached (the default) the cost is one branch per
-    event. {!Lfrc_core.Env.create} attaches its environment's
-    observability here. *)
+    [Fault] event; with an attached profiler, each failed attempt is
+    charged to the innermost operation frame open on the failing thread
+    ({!Lfrc_obs.Profile.dcas_retry}). Detached (the default) the cost is
+    one branch per event. {!Lfrc_core.Env.create} attaches its
+    environment's observability here. *)
 
-val attach_obs : t -> metrics:Lfrc_obs.Metrics.t -> tracer:Lfrc_obs.Tracer.t -> unit
+val attach_obs :
+  ?profile:Lfrc_obs.Profile.t ->
+  t ->
+  metrics:Lfrc_obs.Metrics.t ->
+  tracer:Lfrc_obs.Tracer.t ->
+  unit

@@ -11,6 +11,7 @@ type report = {
   live : int;
   reachable : int;
   leaked : int;
+  leaked_ids : int list;
   findings : finding list;
 }
 
@@ -77,11 +78,13 @@ let run env =
   let from_globals = reach heap roots_now in
   let anchored = reach heap (roots_now @ Env.anchors env) in
   let live = ref 0 and reachable = ref 0 and leaked = ref 0 in
+  let leaked_ids = ref [] in
   Heap.iter_live heap (fun p ->
       incr live;
       if Hashtbl.mem from_globals p then incr reachable
       else begin
         incr leaked;
+        leaked_ids := p :: !leaked_ids;
         if not (Hashtbl.mem anchored p) then
           add (Unaccounted_leak { id = p; rc = rc_of heap p })
       end);
@@ -90,6 +93,7 @@ let run env =
     live = !live;
     reachable = !reachable;
     leaked = !leaked;
+    leaked_ids = List.rev !leaked_ids;
     findings = List.rev !findings;
   }
 

@@ -30,6 +30,10 @@ type report = {
   live : int;  (** live objects at audit time *)
   reachable : int;  (** of those, reachable from global roots *)
   leaked : int;  (** live - reachable *)
+  leaked_ids : int list;
+      (** the leaked objects themselves, ascending id order — the join key
+          the lineage forensics use to name the operation that dropped
+          each one's last reference ({!Lfrc_obs.Lineage.leak_report}) *)
   findings : finding list;
 }
 

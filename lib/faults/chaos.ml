@@ -19,14 +19,16 @@ type report = {
   env : Env.t;
 }
 
-let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?metrics ~strategy
-    ~spec body =
+let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?metrics
+    ?(lineage = Lfrc_obs.Lineage.disabled)
+    ?(profile = Lfrc_obs.Profile.disabled) ~strategy ~spec body =
   let heap = Heap.create ~name:"chaos" () in
   let metrics =
     match metrics with Some m -> m | None -> Lfrc_obs.Metrics.create ()
   in
   let env =
-    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy ~metrics heap
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy ~metrics
+      ~lineage ~profile heap
   in
   let plan = Fault_plan.make spec in
   Fault_plan.install plan env;

@@ -37,6 +37,8 @@ val run :
   ?max_steps:int ->
   ?policy:Lfrc_core.Env.policy ->
   ?metrics:Lfrc_obs.Metrics.t ->
+  ?lineage:Lfrc_obs.Lineage.t ->
+  ?profile:Lfrc_obs.Profile.t ->
   strategy:Lfrc_sched.Strategy.t ->
   spec:Fault_plan.spec ->
   (Lfrc_core.Env.t -> unit) ->
@@ -47,9 +49,13 @@ val run :
     uninstalled before returning, whatever the outcome. [metrics]
     defaults to a fresh enabled registry private to this run; pass a
     shared one to aggregate across a campaign of runs (the report's
-    snapshot then covers everything recorded so far). *)
+    snapshot then covers everything recorded so far). [lineage] and
+    [profile] (default disabled) are threaded into the run's environment;
+    joining [lineage] against the audit's [leaked_ids] names the
+    operation that dropped each leaked object's last reference. *)
 
 val ok : report -> bool
 (** Completed and the audit found nothing. *)
 
+val pp_status : Format.formatter -> status -> unit
 val pp : Format.formatter -> report -> unit

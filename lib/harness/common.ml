@@ -2,6 +2,7 @@ module Sched = Lfrc_sched.Sched
 module Rng = Lfrc_util.Rng
 module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
+module Profile = Lfrc_obs.Profile
 
 module Snark_gc = Lfrc_structures.Snark.Make (Lfrc_core.Gc_ops)
 module Snark_fixed_lfrc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
@@ -9,6 +10,7 @@ module Snark_fixed_lfrc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
 type result = {
   table : Lfrc_util.Table.t;
   metrics : Metrics.snapshot;
+  profile : Profile.t;
 }
 
 let obs (cfg : Scenario.config) =
@@ -20,13 +22,20 @@ let obs (cfg : Scenario.config) =
       Tracer.create ~capacity:cfg.Scenario.trace_capacity
     else Tracer.disabled
   in
-  (metrics, tracer)
+  let profile =
+    if cfg.Scenario.profile then Profile.create ~metrics ()
+    else Profile.disabled
+  in
+  (metrics, tracer, profile)
 
-let result ~table metrics = { table; metrics = Metrics.snapshot metrics }
+let result ~table ?(profile = Profile.disabled) metrics =
+  { table; metrics = Metrics.snapshot metrics; profile }
 
-let fresh_env ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer ~name () =
+let fresh_env ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer ?lineage
+    ?profile ~name () =
   let heap = Lfrc_simmem.Heap.create ~name () in
-  Lfrc_core.Env.create ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer heap
+  Lfrc_core.Env.create ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer
+    ?lineage ?profile heap
 
 let time_per_op_ns = Lfrc_util.Clock.time_per_op_ns
 

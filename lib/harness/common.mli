@@ -5,15 +5,26 @@ type result = {
   metrics : Lfrc_obs.Metrics.snapshot;
       (** everything the experiment's environments recorded; {!empty} when
           the config disabled metrics *)
+  profile : Lfrc_obs.Profile.t;
+      (** the call-site contention profiler the experiment threaded
+          through its environments; the disabled singleton when the
+          config's [profile] flag is off *)
 }
 (** What every experiment's [run] returns: the EXPERIMENTS.md table plus
     the observability snapshot gathered while producing it. *)
 
-val obs : Scenario.config -> Lfrc_obs.Metrics.t * Lfrc_obs.Tracer.t
-(** The registry and tracer an experiment should thread through every
-    environment it creates: enabled or disabled per the config. *)
+val obs :
+  Scenario.config -> Lfrc_obs.Metrics.t * Lfrc_obs.Tracer.t * Lfrc_obs.Profile.t
+(** The registry, tracer and profiler an experiment should thread through
+    every environment it creates: enabled or disabled per the config. An
+    enabled profiler shares the config's metrics registry, so its per-call
+    bursts land in the snapshot's histograms. *)
 
-val result : table:Lfrc_util.Table.t -> Lfrc_obs.Metrics.t -> result
+val result :
+  table:Lfrc_util.Table.t ->
+  ?profile:Lfrc_obs.Profile.t ->
+  Lfrc_obs.Metrics.t ->
+  result
 (** Pair the finished table with a snapshot of the registry. *)
 
 val fresh_env :
@@ -22,6 +33,8 @@ val fresh_env :
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?tracer:Lfrc_obs.Tracer.t ->
+  ?lineage:Lfrc_obs.Lineage.t ->
+  ?profile:Lfrc_obs.Profile.t ->
   name:string ->
   unit ->
   Lfrc_core.Env.t

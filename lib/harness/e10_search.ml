@@ -24,9 +24,9 @@ let ops_count env =
   let c = Dcas.counters (Lfrc_core.Env.dcas env) in
   c.Dcas.reads + c.Dcas.writes + c.Dcas.cas_attempts + c.Dcas.dcas_attempts
 
-let run_list n ~metrics ~tracer =
+let run_list n ~metrics ~tracer ~profile =
   let env =
-    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer
+    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer ~profile
       ~name:"e10-list" ()
   in
   let s = List_set.create env in
@@ -44,9 +44,9 @@ let run_list n ~metrics ~tracer =
   List_set.destroy s;
   cost
 
-let run_skip n ~metrics ~tracer =
+let run_skip n ~metrics ~tracer ~profile =
   let env =
-    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer
+    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer ~profile
       ~name:"e10-skip" ()
   in
   let s = Skip_set.create env in
@@ -65,7 +65,7 @@ let run_skip n ~metrics ~tracer =
   cost
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer = Common.obs cfg in
+  let metrics, tracer, profile = Common.obs cfg in
   let table =
     Table.create
       ~title:"E10: contains() cost vs set size (memory accesses per search)"
@@ -73,8 +73,8 @@ let run (cfg : Scenario.config) =
   in
   List.iter
     (fun n ->
-      let l = run_list n ~metrics ~tracer
-      and s = run_skip n ~metrics ~tracer in
+      let l = run_list n ~metrics ~tracer ~profile
+      and s = run_skip n ~metrics ~tracer ~profile in
       Table.add_rowf table "%d|%.0f|%.0f|%.1f" n l s (l /. s))
     [ 16; 64; 256; 1024; 4096 ];
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

@@ -131,7 +131,7 @@ let run (cfg : Scenario.config) =
   let ops_per_worker =
     max 1 (min cfg.Scenario.ops_per_thread default_ops_per_worker)
   in
-  let metrics, _tracer = Common.obs cfg in
+  let metrics, _tracer, profile = Common.obs cfg in
   let table =
     Table.create ~title:"E11: chaos matrix (faults injected per kind)"
       ~columns:
@@ -187,4 +187,4 @@ let run (cfg : Scenario.config) =
     (fun r ->
       Format.printf "@.chaos failure:@.%a@." Chaos.pp r)
     !failures;
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

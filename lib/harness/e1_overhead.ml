@@ -17,9 +17,9 @@ let layout = Layout.make ~name:"e1-node" ~n_ptrs:2 ~n_vals:1
 
 let run (cfg : Scenario.config) =
   let iters = cfg.Scenario.iters in
-  let metrics, tracer = Common.obs cfg in
+  let metrics, tracer, profile = Common.obs cfg in
   let env =
-    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer ~name:"e1" ()
+    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer ~profile ~name:"e1" ()
   in
   let heap = Env.heap env in
   let d = Env.dcas env in
@@ -68,4 +68,4 @@ let run (cfg : Scenario.config) =
     (fun () ->
       let p = Lfrc.alloc env layout in
       Lfrc.destroy env p);
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

@@ -13,14 +13,14 @@ module Table = Lfrc_util.Table
 module Opmix = Lfrc_workload.Opmix
 
 let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads
-    ~ops_per_thread ~seed ~metrics ~tracer =
+    ~ops_per_thread ~seed ~metrics ~tracer ~profile =
   let steps = ref 0 and dcas_fail = ref 0.0 and gc_pauses = ref 0 in
   let body () =
     let heap = Lfrc_simmem.Heap.create ~name:"e2" () in
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
-        ~metrics ~tracer heap
+        ~metrics ~tracer ~profile heap
     in
     if gc then Lfrc_simmem.Gc_trace.reset_history heap;
     let d = D.create env in
@@ -64,7 +64,7 @@ let thread_counts ceiling =
 
 let run (cfg : Scenario.config) =
   let ops_per_thread = cfg.Scenario.ops_per_thread in
-  let metrics, tracer = Common.obs cfg in
+  let metrics, tracer, profile = Common.obs cfg in
   let table =
     Table.create ~title:"E2: deque contention (simulated steps per op)"
       ~columns:[ "impl"; "threads"; "steps/op"; "dcas fail %"; "gc runs" ]
@@ -75,7 +75,7 @@ let run (cfg : Scenario.config) =
         (fun threads ->
           let steps, fail, gcs =
             run_one impl ~gc ~threads ~ops_per_thread ~seed:cfg.Scenario.seed
-              ~metrics ~tracer
+              ~metrics ~tracer ~profile
           in
           let total_ops = threads * ops_per_thread in
           Table.add_rowf table "%s|%d|%.1f|%.2f|%d" label threads
@@ -83,4 +83,4 @@ let run (cfg : Scenario.config) =
             fail gcs)
         (thread_counts cfg.Scenario.threads))
     (Common.deque_impls ());
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

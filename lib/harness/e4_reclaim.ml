@@ -26,12 +26,12 @@ type row = {
 (* Run the mixed workload on stack [ops] inside a simulation; returns the
    row. [residual_of] runs after the simulation, quiescently. *)
 let drive ~name ~make ~residual_note ~threads ~ops_per_thread ~seed ~metrics
-    ~tracer =
+    ~tracer ~profile =
   let result = ref None in
   let body () =
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics
-        ~tracer
+        ~tracer ~profile
         (Heap.create ~name ())
     in
     let push, pop, live_reachable, finish = make env in
@@ -80,8 +80,8 @@ let run (cfg : Scenario.config) =
   let threads = max 1 (min cfg.Scenario.threads 4) in
   let ops_per_thread = cfg.Scenario.ops_per_thread in
   let seed0 = cfg.Scenario.seed + 10 in
-  let metrics, tracer = Common.obs cfg in
-  let drive = drive ~threads ~ops_per_thread ~metrics ~tracer in
+  let metrics, tracer, profile = Common.obs cfg in
+  let drive = drive ~threads ~ops_per_thread ~metrics ~tracer ~profile in
   let table =
     Table.create
       ~title:
@@ -156,4 +156,4 @@ let run (cfg : Scenario.config) =
            (fun () -> drain_count (fun () -> Treiber_leak.pop h0)),
            fun () -> () ))
        ~residual_note:(fun () -> "unbounded"));
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

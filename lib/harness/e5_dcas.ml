@@ -19,9 +19,9 @@ module Cell = Lfrc_simmem.Cell
 module Dcas = Lfrc_atomics.Dcas
 module Table = Lfrc_util.Table
 
-let wall_row table impl ~iters ~metrics ~tracer =
+let wall_row table impl ~iters ~metrics ~tracer ~profile =
   let d = Dcas.create impl in
-  Dcas.attach_obs d ~metrics ~tracer;
+  Dcas.attach_obs d ~metrics ~tracer ~profile;
   let c0 = Cell.make 1 and c1 = Cell.make 2 in
   let ns =
     Common.time_per_op_ns ~iters (fun () ->
@@ -29,9 +29,9 @@ let wall_row table impl ~iters ~metrics ~tracer =
   in
   Table.add_rowf table "%s|1|%.1f|-|-" (Dcas.impl_name d) ns
 
-let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer =
+let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer ~profile =
   let d = Dcas.create impl in
-  Dcas.attach_obs d ~metrics ~tracer;
+  Dcas.attach_obs d ~metrics ~tracer ~profile;
   let steps = ref 0 in
   let body () =
     let c0 = Cell.make 0 and c1 = Cell.make 0 in
@@ -68,21 +68,21 @@ let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer =
     (100.0 *. Float.of_int c.dcas_failures /. Float.of_int c.dcas_attempts)
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer = Common.obs cfg in
+  let metrics, tracer, profile = Common.obs cfg in
   let seed = cfg.Scenario.seed + 20 in
   let table =
     Table.create ~title:"E5: DCAS substrates (wall ns/op at 1 thread; sim steps/op contended)"
       ~columns:[ "substrate"; "threads"; "ns or steps /op"; "attempts/op"; "fail %" ]
   in
   List.iter
-    (fun impl -> wall_row table impl ~iters:cfg.Scenario.iters ~metrics ~tracer)
+    (fun impl -> wall_row table impl ~iters:cfg.Scenario.iters ~metrics ~tracer ~profile)
     [ Dcas.Atomic_step; Dcas.Striped_lock; Dcas.Software_mcas ];
   List.iter
     (fun impl ->
       List.iter
         (fun threads ->
           contended_row table impl ~threads
-            ~per_thread:cfg.Scenario.ops_per_thread ~seed ~metrics ~tracer)
+            ~per_thread:cfg.Scenario.ops_per_thread ~seed ~metrics ~tracer ~profile)
         (List.filter (fun t -> t <= max 2 cfg.Scenario.threads) [ 2; 4; 8 ]))
     [ Dcas.Atomic_step; Dcas.Software_mcas ];
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

@@ -37,8 +37,8 @@ let build_chain env n =
 
 let deferred_budget = 64
 
-let run_policy policy n ~metrics ~tracer =
-  let env = Common.fresh_env ~policy ~metrics ~tracer ~name:"e6" () in
+let run_policy policy n ~metrics ~tracer ~profile =
+  let env = Common.fresh_env ~policy ~metrics ~tracer ~profile ~name:"e6" () in
   let heap = Env.heap env in
   let root = build_chain env n in
   assert (Heap.live_count heap = n);
@@ -70,7 +70,7 @@ let run_policy policy n ~metrics ~tracer =
       Ok (!total, !max_slice)
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer = Common.obs cfg in
+  let metrics, tracer, profile = Common.obs cfg in
   let table =
     Table.create ~title:"E6: destroying a chain of N dead objects"
       ~columns:[ "policy"; "N"; "total ms"; "max pause ms"; "note" ]
@@ -87,7 +87,7 @@ let run (cfg : Scenario.config) =
     (fun n ->
       List.iter
         (fun (label, policy) ->
-          match run_policy policy n ~metrics ~tracer with
+          match run_policy policy n ~metrics ~tracer ~profile with
           | Ok (total, max_pause) ->
               Table.add_rowf table "%s|%d|%.3f|%.3f|" label n
                 (Float.of_int total /. 1e6)
@@ -95,4 +95,4 @@ let run (cfg : Scenario.config) =
           | Error note -> Table.add_rowf table "%s|%d|-|-|%s" label n note)
         policies)
     [ 1_000; 10_000; 100_000; 400_000 ];
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

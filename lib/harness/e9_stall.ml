@@ -17,7 +17,7 @@ let step_budget = 150_000
 let stall_period = 3_000
 
 let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed
-    ~metrics ~tracer ~strategy =
+    ~metrics ~tracer ~profile ~strategy =
   let completed = Atomic.make 0 in
   let last_progress = ref 0 in
   let max_gap = ref 0 in
@@ -31,7 +31,7 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
-        ~metrics ~tracer heap
+        ~metrics ~tracer ~profile heap
     in
     let d = D.create env in
     let tids =
@@ -65,9 +65,9 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed
 let run (cfg : Scenario.config) =
   let threads = max 1 (min cfg.Scenario.threads 4) in
   let seed = cfg.Scenario.seed + 30 in
-  let metrics, tracer = Common.obs cfg in
+  let metrics, tracer, profile = Common.obs cfg in
   let run_one impl ~gc ~strategy =
-    run_one impl ~gc ~threads ~seed ~metrics ~tracer ~strategy
+    run_one impl ~gc ~threads ~seed ~metrics ~tracer ~profile ~strategy
   in
   let table =
     Table.create
@@ -94,4 +94,4 @@ let run (cfg : Scenario.config) =
         (100.0 *. Float.of_int stalled /. Float.of_int fair)
         gap_fair gap_stalled)
     (Common.deque_impls ());
-  Common.result ~table metrics
+  Common.result ~table ~profile metrics

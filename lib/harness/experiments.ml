@@ -72,7 +72,10 @@ let print_result ~id ~csv (r : Common.result) =
   else Lfrc_util.Table.print r.Common.table;
   if not (Lfrc_obs.Metrics.is_empty r.Common.metrics) then
     Printf.printf "\n[%s metrics]\n%s\n" id
-      (Lfrc_obs.Metrics.to_json r.Common.metrics)
+      (Lfrc_obs.Metrics.to_json r.Common.metrics);
+  if Lfrc_obs.Profile.enabled r.Common.profile then
+    Printf.printf "\n[%s contention]\n%s" id
+      (Lfrc_obs.Profile.table r.Common.profile)
 
 let run_and_print ?(config = Scenario.default_config) ?(csv = false) e =
   if csv then Printf.printf "# %s: %s\n" e.id e.title

@@ -15,6 +15,7 @@ type config = {
       (* override E11's built-in fault matrix with one spec *)
   metrics : bool;  (* collect a metrics snapshot alongside the table *)
   trace_capacity : int;  (* tracer ring size; 0 = tracing off *)
+  profile : bool;  (* attribute retries/latency to call sites *)
 }
 
 let default_config =
@@ -26,6 +27,7 @@ let default_config =
     fault = None;
     metrics = true;
     trace_capacity = 0;
+    profile = false;
   }
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right

@@ -28,11 +28,15 @@ type config = {
   metrics : bool;
       (** collect DCAS/LFRC/heap series into the result's snapshot *)
   trace_capacity : int;  (** tracer ring size; 0 disables tracing *)
+  profile : bool;
+      (** attribute DCAS/CAS retries and op latencies to labeled call
+          sites ({!Lfrc_obs.Profile}); the result then carries a
+          contention table *)
 }
 
 val default_config : config
 (** threads 8, 1500 ops/thread, 200k iters, seed 11, no fault override,
-    metrics on, tracing off. *)
+    metrics on, tracing off, profiling off. *)
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right
 

@@ -27,12 +27,15 @@ type t = {
   mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
   env_metrics : Lfrc_obs.Metrics.t;
   env_tracer : Lfrc_obs.Tracer.t;
+  env_lineage : Lfrc_obs.Lineage.t;
+  env_profile : Lfrc_obs.Profile.t;
   env_symbolic : bool;
 }
 
 let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
     ?(metrics = Lfrc_obs.Metrics.disabled) ?(tracer = Lfrc_obs.Tracer.disabled)
-    ?(symbolic = false) heap =
+    ?(lineage = Lfrc_obs.Lineage.disabled)
+    ?(profile = Lfrc_obs.Profile.disabled) ?(symbolic = false) heap =
   let impl =
     match dcas_impl with
     | Some i -> i
@@ -41,18 +44,26 @@ let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
         else Lfrc_atomics.Dcas.Striped_lock
   in
   let d = Lfrc_atomics.Dcas.create impl in
-  Lfrc_atomics.Dcas.attach_obs d ~metrics ~tracer;
-  if Lfrc_obs.Metrics.enabled metrics || Lfrc_obs.Tracer.enabled tracer then
+  Lfrc_atomics.Dcas.attach_obs ~profile d ~metrics ~tracer;
+  if
+    Lfrc_obs.Metrics.enabled metrics
+    || Lfrc_obs.Tracer.enabled tracer
+    || Lfrc_obs.Lineage.enabled lineage
+  then
     Lfrc_simmem.Heap.set_observer heap
       (Some
          (function
-         | Lfrc_simmem.Heap.Obs_alloc { live; _ } ->
+         | Lfrc_simmem.Heap.Obs_alloc { p; gen; live } ->
              Lfrc_obs.Metrics.incr metrics "heap.allocs";
-             Lfrc_obs.Metrics.set_gauge metrics "heap.live" live
-         | Lfrc_simmem.Heap.Obs_free { p; live } ->
+             Lfrc_obs.Metrics.set_gauge metrics "heap.live" live;
+             Lfrc_obs.Lineage.record lineage ~addr:p
+               (Lfrc_obs.Lineage.Alloc { gen })
+         | Lfrc_simmem.Heap.Obs_free { p; gen; live } ->
              Lfrc_obs.Metrics.incr metrics "heap.frees";
              Lfrc_obs.Metrics.set_gauge metrics "heap.live" live;
-             Lfrc_obs.Tracer.emit tracer ~arg:p Free "free"));
+             Lfrc_obs.Tracer.emit tracer ~arg:p Free "free";
+             Lfrc_obs.Lineage.record lineage ~addr:p
+               (Lfrc_obs.Lineage.Free { gen })));
   {
     env_heap = heap;
     env_dcas = d;
@@ -68,6 +79,8 @@ let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
     env_incremental = None;
     env_metrics = metrics;
     env_tracer = tracer;
+    env_lineage = lineage;
+    env_profile = profile;
     env_symbolic = symbolic;
   }
 
@@ -78,6 +91,8 @@ let policy t = t.env_policy
 let gc_threshold t = t.env_gc_threshold
 let metrics t = t.env_metrics
 let tracer t = t.env_tracer
+let lineage t = t.env_lineage
+let profile t = t.env_profile
 
 let set_incremental t ~collector ~budget =
   t.env_incremental <- Some (collector, budget)

@@ -27,6 +27,8 @@ val create :
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?tracer:Lfrc_obs.Tracer.t ->
+  ?lineage:Lfrc_obs.Lineage.t ->
+  ?profile:Lfrc_obs.Profile.t ->
   ?symbolic:bool ->
   Lfrc_simmem.Heap.t ->
   t
@@ -35,7 +37,8 @@ val create :
     (live-object count that triggers a tracing collection in GC-dependent
     mode; 0 disables) is 0.
 
-    [metrics] and [tracer] default to the disabled singletons — the no-op
+    [metrics], [tracer], [lineage] and [profile] default to the disabled
+    singletons — the no-op
     observability implementations, chosen here once so every instrumented
     hot path below pays a single branch when observability is off.
     Passing enabled instances wires the whole environment: the DCAS
@@ -65,6 +68,16 @@ val gc_threshold : t -> int
 
 val metrics : t -> Lfrc_obs.Metrics.t
 val tracer : t -> Lfrc_obs.Tracer.t
+
+val lineage : t -> Lfrc_obs.Lineage.t
+(** The per-object lifecycle recorder ({!Lfrc_obs.Lineage}); the heap
+    observer feeds it alloc/free events and {!Lfrc} feeds it count
+    transitions, retires and deferrals. *)
+
+val profile : t -> Lfrc_obs.Profile.t
+(** The call-site contention profiler ({!Lfrc_obs.Profile}); {!Lfrc}'s
+    spans open/close frames on it and the DCAS substrate charges failed
+    attempts to the innermost frame. *)
 
 val set_incremental : t -> collector:Lfrc_simmem.Gc_incr.t -> budget:int -> unit
 (** Attach an incremental collector for GC-dependent mode: {!Gc_ops} will

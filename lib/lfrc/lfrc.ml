@@ -4,6 +4,8 @@ module Layout = Lfrc_simmem.Layout
 module Dcas = Lfrc_atomics.Dcas
 module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
+module Lineage = Lfrc_obs.Lineage
+module Profile = Lfrc_obs.Profile
 
 type ptr = Heap.ptr
 
@@ -18,21 +20,36 @@ exception Symbolic_bypass of string
 let guard env op = if Env.symbolic env then raise (Symbolic_bypass op)
 
 (* Observability shims. Every public operation counts itself under an
-   [lfrc.*] series and, when tracing, opens a span that closes even on the
-   exceptional (OOM) paths. With observability off each shim is a single
+   [lfrc.*] series and, when tracing/profiling/lineage is on, opens a span
+   that closes even on the exceptional (OOM) paths. The span name doubles
+   as the profiler call site and the lineage originating-op context, so a
+   count transition or a failed DCAS underneath always knows which
+   operation it belongs to. With observability off each shim is a single
    branch — the policy {!Env.create} documents. *)
 
 let retry env counter =
   Metrics.incr (Env.metrics env) counter;
-  Tracer.emit (Env.tracer env) Retry counter
+  Tracer.emit (Env.tracer env) Retry counter;
+  Profile.op_retry (Env.profile env)
 
 let span env name f =
   Metrics.incr (Env.metrics env) name;
-  let tr = Env.tracer env in
-  if not (Tracer.enabled tr) then f ()
+  let tr = Env.tracer env
+  and pr = Env.profile env
+  and ln = Env.lineage env in
+  if
+    not (Tracer.enabled tr || Profile.enabled pr || Lineage.enabled ln)
+  then f ()
   else begin
     Tracer.emit tr Begin name;
-    Fun.protect ~finally:(fun () -> Tracer.emit tr End name) f
+    Profile.op_begin pr name;
+    Lineage.op_begin ln name;
+    Fun.protect
+      ~finally:(fun () ->
+        Lineage.op_end ln;
+        Profile.op_end pr;
+        Tracer.emit tr End name)
+      f
   end
 
 (* add_to_rc (Figure 2, lines 16..20). The caller holds a counted
@@ -41,27 +58,34 @@ let add_to_rc env p v =
   guard env "add_to_rc";
   let rc = Heap.rc_cell (Env.heap env) p in
   let d = Env.dcas env in
-  let rec go () =
+  let rec go burst =
     let oldrc = Dcas.read d rc in
-    if Dcas.cas d rc oldrc (oldrc + v) then oldrc
+    if Dcas.cas d rc oldrc (oldrc + v) then begin
+      (* Contended transitions record their retry burst; the quiet common
+         case stays out of the histogram. *)
+      if burst > 0 then
+        Metrics.observe (Env.metrics env) "lfrc.rc_retry"
+          (float_of_int burst);
+      Lineage.record_rc (Env.lineage env) ~addr:p ~old_rc:oldrc ~delta:v ();
+      oldrc
+    end
     else begin
       retry env "lfrc.rc_retry";
-      go ()
+      go (burst + 1)
     end
   in
-  go ()
+  go 0
 
 let alloc env layout =
   guard env "alloc";
-  Metrics.incr (Env.metrics env) "lfrc.alloc";
-  Heap.alloc (Env.heap env) layout
+  span env "lfrc.alloc" @@ fun () -> Heap.alloc (Env.heap env) layout
 
 (* Allocation with graceful OOM: a simulated allocation failure surfaces as
    a result before any count or cell is touched, so the caller can abort
    its operation with the heap intact. *)
 let try_alloc env layout =
   guard env "try_alloc";
-  Metrics.incr (Env.metrics env) "lfrc.alloc";
+  span env "lfrc.alloc" @@ fun () ->
   match Heap.alloc (Env.heap env) layout with
   | p -> Ok p
   | exception Heap.Simulated_oom ->
@@ -136,7 +160,9 @@ let destroy_iterative env p =
 (* Deferred policy: dead objects go to the environment's queue; each later
    LFRC operation frees a bounded number ([pump]), so no single operation
    pays for a long chain (paper §7, incremental collection). *)
-let defer_dead env p = Env.defer env p
+let defer_dead env p =
+  Lineage.record (Env.lineage env) ~addr:p Lineage.Defer;
+  Env.defer env p
 
 let pump_deferred env ~budget =
   (* Keep draining until the budget is spent: processing a dead object can
@@ -163,7 +189,7 @@ let flush env = pump_deferred env ~budget:(-1)
 
 let destroy env p =
   guard env "destroy";
-  Metrics.incr (Env.metrics env) "lfrc.destroy";
+  span env "lfrc.destroy" @@ fun () ->
   match Env.policy env with
   | Env.Recursive -> destroy_recursive env p
   | Env.Iterative -> destroy_iterative env p
@@ -182,24 +208,33 @@ let load env ~src ~dest =
   let heap = Env.heap env in
   let d = Env.dcas env in
   let olddest = !dest in
-  let rec go () =
+  let rec go burst =
     let a = Dcas.read d src in
-    if a = null then dest := null
+    if a = null then begin
+      dest := null;
+      burst
+    end
     else begin
       let rc = Heap.rc_cell heap a in
       let r = Dcas.read d rc in
       (* Increment the count while atomically checking that [src] still
          points at [a]: the object cannot have been freed and recycled
          under us if the pointer still exists. *)
-      if Dcas.dcas d src rc ~old0:a ~old1:r ~new0:a ~new1:(r + 1) then
-        dest := a
+      if Dcas.dcas d src rc ~old0:a ~old1:r ~new0:a ~new1:(r + 1) then begin
+        Lineage.record_rc (Env.lineage env) ~addr:a ~old_rc:r ~delta:1 ();
+        dest := a;
+        burst
+      end
       else begin
         retry env "lfrc.load_retry";
-        go ()
+        go (burst + 1)
       end
     end
   in
-  go ();
+  let burst = go 0 in
+  (* Every load contributes its burst — zeros included — so the retry
+     histogram is populated even in uncontended runs. *)
+  Metrics.observe (Env.metrics env) "lfrc.load.retries" (float_of_int burst);
   destroy env olddest
 
 (* LFRCStore (Figure 2, lines 21..28). *)
@@ -208,15 +243,19 @@ let store env ~dst v =
   span env "lfrc.store" @@ fun () ->
   if v <> null then ignore (add_to_rc env v 1);
   let d = Env.dcas env in
-  let rec go () =
+  let rec go burst =
     let oldval = Dcas.read d dst in
-    if Dcas.cas d dst oldval v then destroy env oldval
+    if Dcas.cas d dst oldval v then begin
+      Metrics.observe (Env.metrics env) "lfrc.store.retries"
+        (float_of_int burst);
+      destroy env oldval
+    end
     else begin
       retry env "lfrc.store_retry";
-      go ()
+      go (burst + 1)
     end
   in
-  go ()
+  go 0
 
 (* LFRCStoreAlloc (paper Figure 1, line 35): consume the allocation's
    count instead of raising it. *)

@@ -87,8 +87,11 @@ let json_escape s =
 
 (* Spans are re-paired at export into Chrome "X" (complete) records: a ring
    that overwrote a span's Begin would otherwise emit an unmatched "E",
-   which chrome://tracing renders as garbage. Instant events map to "i". *)
-let to_chrome_json t =
+   which chrome://tracing renders as garbage. Instant events map to "i".
+
+   The pairing works over any event list (not just this ring's) so the
+   lineage forensics can reuse it for per-object timelines. *)
+let chrome_json_of_events evs =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   let first = ref true in
@@ -132,6 +135,12 @@ let to_chrome_json t =
         Hashtbl.add stacks tid s;
         s
   in
+  (* An orphaned Begin (its End fell off the ring, or never came) degrades
+     to an "op-open" point — the same degradation an orphaned End gets —
+     instead of silently blocking every outer span from pairing. *)
+  let orphan_begin tid (name, step, arg) =
+    instant { step; tid; kind = Begin; name; arg } "op-open"
+  in
   List.iter
     (fun ev ->
       match ev.kind with
@@ -140,48 +149,60 @@ let to_chrome_json t =
           s := (ev.name, ev.step, ev.arg) :: !s)
       | End -> (
           let s = stack ev.tid in
-          match !s with
-          | (name, t0, arg) :: rest when name = ev.name ->
-              s := rest;
-              record
-                ([
-                   ("name", quoted name);
-                   ("cat", quoted "op");
-                   ("ph", "\"X\"");
-                   ("ts", string_of_int t0);
-                   ("dur", string_of_int (max 0 (ev.step - t0)));
-                 ]
-                @ common { ev with arg })
-          | _ ->
-              (* Begin fell off the ring: keep the evidence as a point. *)
-              instant ev "op-end")
+          let rec close = function
+            | (name, t0, arg) :: rest when name = ev.name ->
+                s := rest;
+                record
+                  ([
+                     ("name", quoted name);
+                     ("cat", quoted "op");
+                     ("ph", "\"X\"");
+                     ("ts", string_of_int t0);
+                     ("dur", string_of_int (max 0 (ev.step - t0)));
+                   ]
+                  @ common { ev with arg })
+            | orphan :: rest ->
+                (* A deeper Begin matches: the intervening Begin lost its
+                   End to the ring. Degrade it and keep pairing. *)
+                s := rest;
+                orphan_begin ev.tid orphan;
+                close rest
+            | [] ->
+                (* Begin fell off the ring: keep the evidence as a point. *)
+                instant ev "op-end"
+          in
+          if List.exists (fun (name, _, _) -> name = ev.name) !s then
+            close !s
+          else instant ev "op-end")
       | Retry -> instant ev "retry"
       | Free -> instant ev "free"
       | Fault -> instant ev "fault"
       | Instant -> instant ev "instant")
-    (events t);
+    evs;
   (* Spans still open when the trace was cut: render as points too. *)
   Hashtbl.iter
-    (fun tid s ->
-      List.iter
-        (fun (name, step, arg) ->
-          instant { step; tid; kind = Begin; name; arg } "op-open")
-        !s)
+    (fun tid s -> List.iter (orphan_begin tid) !s)
     stacks;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
-let to_timeline t =
+let to_chrome_json t = chrome_json_of_events (events t)
+
+let timeline_of_events ?(dropped = 0) evs =
   let buf = Buffer.create 1024 in
-  let d = dropped t in
-  if d > 0 then
-    Buffer.add_string buf (Printf.sprintf "... %d earlier events dropped\n" d);
+  if dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "... %d earlier events dropped\n" dropped);
   List.iter
     (fun ev ->
       Buffer.add_string buf
         (Printf.sprintf "%8d  t%-3d %-8s %-24s %d\n" ev.step ev.tid
            (kind_name ev.kind) ev.name ev.arg))
-    (events t);
+    evs;
+  Buffer.add_string buf
+    (Printf.sprintf "-- %d retained, %d dropped\n" (List.length evs) dropped);
   Buffer.contents buf
+
+let to_timeline t = timeline_of_events ~dropped:(dropped t) (events t)
 
 let pp ppf t = Format.pp_print_string ppf (to_timeline t)

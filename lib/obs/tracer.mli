@@ -50,14 +50,29 @@ val clear : t -> unit
 
 val kind_name : kind -> string
 
+val chrome_json_of_events : event list -> string
+(** The Chrome trace-event format over an arbitrary event list:
+    [{"traceEvents": [...]}] with Begin/End pairs re-paired into ["X"]
+    (complete-span) records and everything else as ["i"] (instant)
+    records; [ts] is the simulation step. Pairing is per-[tid]; an
+    orphaned End (its Begin fell off the ring) degrades to an ["op-end"]
+    instant, and an orphaned Begin (its End was overwritten, or the trace
+    was cut mid-span) degrades to an ["op-open"] instant rather than
+    blocking outer spans from pairing. Loads directly in
+    [chrome://tracing] and Perfetto. The lineage forensics reuse this
+    pairing for per-object timelines. *)
+
 val to_chrome_json : t -> string
-(** The Chrome trace-event format: [{"traceEvents": [...]}] with [B]/[E]
-    phase records for spans and [i] (instant) records for point events;
-    [ts] is the simulation step. Loads directly in [chrome://tracing] and
-    Perfetto. *)
+(** [chrome_json_of_events] over this tracer's retained events. *)
+
+val timeline_of_events : ?dropped:int -> event list -> string
+(** One line per event: [step  tid  kind  name  arg], with a
+    [-- N retained, M dropped] accounting footer (and a leading marker
+    when [dropped > 0]). *)
 
 val to_timeline : t -> string
-(** One line per event: [step  tid  kind  name  arg]. *)
+(** [timeline_of_events] over this tracer's retained events and drop
+    count. *)
 
 val pp : Format.formatter -> t -> unit
 (** The text timeline, for embedding in reports. *)

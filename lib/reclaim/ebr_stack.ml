@@ -21,7 +21,8 @@ let create env =
     env;
     heap;
     top = Heap.root heap ~name:"ebr-stack-top" ();
-    ebr = Epoch.create ~metrics:(Lfrc_core.Env.metrics env) heap;
+    ebr = Epoch.create ~metrics:(Lfrc_core.Env.metrics env)
+        ~lineage:(Lfrc_core.Env.lineage env) heap;
   }
 
 let register t = { t; slot = Epoch.register t.ebr }

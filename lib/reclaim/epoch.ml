@@ -2,6 +2,7 @@ module Heap = Lfrc_simmem.Heap
 module Cell = Lfrc_simmem.Cell
 module Sched = Lfrc_sched.Sched
 module Metrics = Lfrc_obs.Metrics
+module Lineage = Lfrc_obs.Lineage
 
 type slot_state = {
   active : Cell.t; (* 0 = quiescent, 1 = pinned *)
@@ -22,12 +23,13 @@ type t = {
   freed : int Atomic.t;
   max_limbo : int Atomic.t;
   metrics : Metrics.t;
+  lineage : Lineage.t;
 }
 
 type slot = int
 
 let create ?(slots = 64) ?(advance_every = 16) ?(metrics = Metrics.disabled)
-    heap =
+    ?(lineage = Lineage.disabled) heap =
   {
     heap;
     global = Cell.make 2; (* start at 2 so epoch-2 is never negative *)
@@ -47,6 +49,7 @@ let create ?(slots = 64) ?(advance_every = 16) ?(metrics = Metrics.disabled)
     freed = Atomic.make 0;
     max_limbo = Atomic.make 0;
     metrics;
+    lineage;
   }
 
 let register t =
@@ -130,6 +133,7 @@ let retire t s p =
   sl.limbo_len <- sl.limbo_len + 1;
   bump_max t sl.limbo_len;
   Metrics.incr t.metrics "epoch.retires";
+  Lineage.record t.lineage ~addr:p Lineage.Retire;
   Metrics.set_gauge t.metrics "epoch.limbo_depth" sl.limbo_len;
   sl.retire_count <- sl.retire_count + 1;
   if sl.retire_count mod t.advance_every = 0 then ignore (try_advance t);

@@ -13,10 +13,14 @@ type t
 type slot
 
 val create : ?slots:int -> ?advance_every:int ->
-  ?metrics:Lfrc_obs.Metrics.t -> Lfrc_simmem.Heap.t -> t
+  ?metrics:Lfrc_obs.Metrics.t -> ?lineage:Lfrc_obs.Lineage.t ->
+  Lfrc_simmem.Heap.t -> t
 (** [advance_every] (default 16): attempt an epoch advance every that many
     retires per slot. [metrics] (default disabled) receives the [epoch.*]
-    series: retires, advances, freed counts and the limbo-depth gauge. *)
+    series: retires, advances, freed counts and the limbo-depth gauge.
+    [lineage] (default disabled) records a [Retire] event per retired
+    object, so the forensic timelines cover the limbo span between unlink
+    and free. *)
 
 val register : t -> slot
 val unregister : t -> slot -> unit

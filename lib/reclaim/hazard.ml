@@ -2,6 +2,7 @@ module Heap = Lfrc_simmem.Heap
 module Cell = Lfrc_simmem.Cell
 module Sched = Lfrc_sched.Sched
 module Metrics = Lfrc_obs.Metrics
+module Lineage = Lfrc_obs.Lineage
 
 type slot_state = {
   hazards : Cell.t array;
@@ -20,12 +21,13 @@ type t = {
   freed : int Atomic.t;
   max_retired : int Atomic.t;
   metrics : Metrics.t;
+  lineage : Lineage.t;
 }
 
 type slot = int
 
 let create ?(slots = 64) ?(hazards_per_slot = 2) ?(scan_threshold = 64)
-    ?(metrics = Metrics.disabled) heap =
+    ?(metrics = Metrics.disabled) ?(lineage = Lineage.disabled) heap =
   {
     heap;
     slots =
@@ -43,6 +45,7 @@ let create ?(slots = 64) ?(hazards_per_slot = 2) ?(scan_threshold = 64)
     freed = Atomic.make 0;
     max_retired = Atomic.make 0;
     metrics;
+    lineage;
   }
 
 let register t =
@@ -128,6 +131,7 @@ let retire t s p =
   sl.retired_len <- sl.retired_len + 1;
   bump_max t sl.retired_len;
   Metrics.incr t.metrics "hazard.retires";
+  Lineage.record t.lineage ~addr:p Lineage.Retire;
   Metrics.set_gauge t.metrics "hazard.retired_depth" sl.retired_len;
   if sl.retired_len >= t.scan_threshold then scan t s
 

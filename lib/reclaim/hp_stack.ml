@@ -21,7 +21,8 @@ let create env =
     env;
     heap;
     top = Heap.root heap ~name:"hp-stack-top" ();
-    hp = Hazard.create ~metrics:(Lfrc_core.Env.metrics env) heap;
+    hp = Hazard.create ~metrics:(Lfrc_core.Env.metrics env)
+        ~lineage:(Lfrc_core.Env.lineage env) heap;
   }
 
 let register t = { t; slot = Hazard.register t.hp }

@@ -38,8 +38,8 @@ type t = {
 }
 
 and obs_event =
-  | Obs_alloc of { p : ptr; live : int }
-  | Obs_free of { p : ptr; live : int }
+  | Obs_alloc of { p : ptr; gen : int; live : int }
+  | Obs_free of { p : ptr; gen : int; live : int }
 
 let create ?(name = "heap") () =
   {
@@ -160,7 +160,7 @@ let alloc t l =
   bump_peak t;
   let live_now = Atomic.get t.live in
   Mutex.unlock t.lock;
-  notify t (Obs_alloc { p = o.id; live = live_now });
+  notify t (Obs_alloc { p = o.id; gen = o.gen; live = live_now });
   o.id
 
 let free t p =
@@ -183,7 +183,7 @@ let free t p =
   ignore (Atomic.fetch_and_add t.live_cells (-Layout.n_cells o.obj_layout));
   let live_now = Atomic.get t.live in
   Mutex.unlock t.lock;
-  notify t (Obs_free { p; live = live_now })
+  notify t (Obs_free { p; gen = o.gen; live = live_now })
 
 let rc_cell t p =
   let o = get_obj t p "rc_cell" in

@@ -51,10 +51,12 @@ val set_alloc_hook : t -> (unit -> bool) option -> unit
     the heap. [None] (the default) disables injection. *)
 
 type obs_event =
-  | Obs_alloc of { p : ptr; live : int }
-  | Obs_free of { p : ptr; live : int }
+  | Obs_alloc of { p : ptr; gen : int; live : int }
+  | Obs_free of { p : ptr; gen : int; live : int }
       (** [live] is the live-object count just after the event — the
-          allocation high-water mark is its running maximum. *)
+          allocation high-water mark is its running maximum. [gen] is the
+          object's incarnation number ({!generation}), so a lifecycle
+          recorder can tell a recycled address's histories apart. *)
 
 val set_observer : t -> (obs_event -> unit) option -> unit
 (** Observability hook fired after every successful {!alloc} and {!free},

@@ -205,7 +205,31 @@ let test_timeline_lines () =
   let lines =
     String.split_on_char '\n' (String.trim (Tracer.to_timeline t))
   in
-  checki "one line per event" 2 (List.length lines)
+  (* one line per event plus the accounting footer *)
+  checki "event lines + footer" 3 (List.length lines);
+  let footer = List.nth lines 2 in
+  checkb "footer has drop count" true
+    (is_infix ~affix:"2 retained, 0 dropped" footer)
+
+let test_orphaned_begin_degrades () =
+  (* Begin A, Begin B (B's End lost), End A: B must degrade to an
+     "op-open" instant and A must still pair into a complete span. *)
+  let t = Tracer.create ~capacity:16 in
+  Tracer.emit t Tracer.Begin "A";
+  Tracer.emit t Tracer.Begin "B";
+  Tracer.emit t Tracer.End "A";
+  let j = Tracer.to_chrome_json t in
+  let count affix =
+    let n = ref 0 in
+    let la = String.length affix in
+    for i = 0 to String.length j - la do
+      if String.sub j i la = affix then incr n
+    done;
+    !n
+  in
+  checki "A pairs into a complete span" 1 (count "\"ph\":\"X\"");
+  checki "B degrades to an instant" 1 (count "\"ph\":\"i\"");
+  checki "B is marked op-open" 1 (count "\"op-open\"")
 
 (* The traced steps are exercised under the scheduler in test_harness's
    experiment runs; here we only need emit to be harmless outside one. *)
@@ -234,6 +258,8 @@ let () =
           Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
           Alcotest.test_case "disabled" `Quick test_disabled_tracer;
           Alcotest.test_case "chrome json" `Quick test_chrome_json_well_formed;
+          Alcotest.test_case "orphaned begin" `Quick
+            test_orphaned_begin_degrades;
           Alcotest.test_case "timeline" `Quick test_timeline_lines;
         ] );
     ]
