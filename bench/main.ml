@@ -190,8 +190,23 @@ let run_json file =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"workloads\": [";
   let workers = 4 and ops_per_worker = 2_000 and seed = 11 in
+  (* Each workload runs in both rc modes on the same seed: the eager entry
+     keeps its historical name (and, because the eager path is untouched,
+     its exact counters) for cross-PR comparison, and the deferred-rc
+     entry carries a "+deferred-rc" suffix so [--compare] treats it as a
+     new workload family rather than drift on the eager one. *)
+  let entries =
+    List.concat_map
+      (fun (name, workload) ->
+        [ (name, 0, workload);
+          ( name ^ "+deferred-rc",
+            Lfrc_harness.Scenario.deferred_rc_epoch,
+            workload );
+        ])
+      Lfrc_harness.Common.workloads
+  in
   List.iteri
-    (fun i (name, workload) ->
+    (fun i (name, rc_epoch, workload) ->
       (* Two passes over the same deterministic schedule: a profile-free
          pass supplies wall_ns/ops_per_sec (the profiler costs ~35% and
          would poison cross-PR comparison against profile-free
@@ -207,8 +222,8 @@ let run_json file =
         in
         let heap = Heap.create ~name:("bench-json-" ^ name) () in
         let env =
-          Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics
-            ~profile:prof heap
+          Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch
+            ~metrics ~profile:prof heap
         in
         let (), wall_ns =
           Clock.time_ns (fun () ->
@@ -232,10 +247,11 @@ let run_json file =
            (json_escape name) workers ops wall_ns ops_per_sec
            (Lfrc_obs.Profile.to_json profile)
            (Metrics.to_json (Metrics.snapshot metrics)));
-      Printf.printf "workload %-12s %8.0f ops/sec (simulated, %d ops)\n%!"
+      Printf.printf "workload %-22s %8.0f ops/sec (simulated, %d ops)\n%!"
         name ops_per_sec ops)
-    Lfrc_harness.Common.workloads;
+    entries;
   Buffer.add_string buf "\n  ],\n  \"experiments\": [";
+  let e2_eager = ref None in
   List.iteri
     (fun i (e : Lfrc_harness.Experiments.experiment) ->
       let result, wall_ns =
@@ -243,6 +259,8 @@ let run_json file =
             e.Lfrc_harness.Experiments.run
               Lfrc_harness.Scenario.default_config)
       in
+      if e.Lfrc_harness.Experiments.id = "E2" then
+        e2_eager := Some result.Lfrc_harness.Common.metrics;
       Buffer.add_string buf
         (Printf.sprintf
            "%s\n    {\"id\": \"%s\", \"title\": \"%s\", \"wall_ms\": %.1f, \
@@ -257,16 +275,51 @@ let run_json file =
         (float_of_int wall_ns /. 1e6)
         e.Lfrc_harness.Experiments.title)
     Lfrc_harness.Experiments.all;
-  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.add_string buf "\n  ],\n  \"deferred_rc\": ";
+  (* The headline coalescing number: re-run E2 (same seeds, same op
+     streams) with deferred-rc on and put the single-word CAS traffic —
+     the count updates — next to the eager run recorded above. The
+     schedule is deterministic per mode, so the delta is coalescing, not
+     noise. *)
+  (match !e2_eager with
+  | None -> Buffer.add_string buf "null"
+  | Some eager ->
+      let deferred =
+        (List.find
+           (fun (e : Lfrc_harness.Experiments.experiment) ->
+             e.Lfrc_harness.Experiments.id = "E2")
+           Lfrc_harness.Experiments.all)
+          .Lfrc_harness.Experiments.run
+          { Lfrc_harness.Scenario.default_config with deferred_rc = true }
+      in
+      let attempts snap = Metrics.counter_value snap "dcas.cas_attempts" in
+      let e = attempts eager
+      and d = attempts deferred.Lfrc_harness.Common.metrics in
+      let reduction =
+        if e > 0 then 100.0 *. float_of_int (e - d) /. float_of_int e else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"experiment\": \"E2\", \"counter\": \"dcas.cas_attempts\", \
+            \"eager\": %d, \"deferred\": %d, \"reduction_pct\": %.1f}"
+           e d reduction);
+      Printf.printf
+        "deferred-rc: E2 dcas.cas_attempts %d eager -> %d deferred \
+         (%.1f%% fewer)\n%!"
+        e d reduction);
+  Buffer.add_string buf "\n}\n";
   Out_channel.with_open_text file (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "wrote %s\n" file
 
 (* --- regression comparison: diff a fresh --json run against a committed
-   baseline (ops/sec per workload, plus counter drift) and gate on a
-   configurable ops/sec threshold. Wall-clock is the only noisy axis —
-   the counters are deterministic under the simulated scheduler, so they
-   are reported but never gated on. --- *)
+   baseline (ops/sec per workload, plus counter drift) and gate on both.
+   Wall-clock is the noisy axis, so ops/sec only fails beyond a
+   configurable threshold (default 30%); the counters are deterministic
+   under the simulated scheduler, so any drift >= 5% on a matched
+   workload means behavior changed and fails the run too (workloads new
+   in the current file are reported but never gated). [--report-only]
+   downgrades every failure to a report. --- *)
 
 let compare_runs ~threshold ~report_only ~current ~baseline =
   let module J = Lfrc_util.Json in
@@ -355,18 +408,26 @@ let compare_runs ~threshold ~report_only ~current ~baseline =
                       | _ -> ())
                     (counters cur_wl)))
         (workloads cur_doc);
-      (match List.rev !counter_drift with
+      let drift = List.rev !counter_drift in
+      (match drift with
       | [] -> Printf.printf "counters: all within 5%% of baseline\n"
       | drift ->
           Printf.printf "counter drift (|delta| >= 5%% or new):\n";
           List.iter print_endline drift);
-      if !regressions = [] then (
-        Printf.printf "no ops/sec regression beyond %.0f%%\n" threshold;
+      if !regressions = [] && drift = [] then (
+        Printf.printf "no ops/sec regression beyond %.0f%%, no counter drift\n"
+          threshold;
         0)
       else (
         List.iter
           (fun r -> Printf.printf "REGRESSION: %s (threshold %.0f%%)\n" r threshold)
           (List.rev !regressions);
+        if drift <> [] then
+          Printf.printf
+            "COUNTER DRIFT: %d counter(s) moved >= 5%% on matched workloads \
+             (deterministic under the simulator, so this is a behavior \
+             change, not noise)\n"
+            (List.length drift);
         if report_only then (
           Printf.printf "report-only mode: not failing the run\n";
           0)
@@ -376,7 +437,7 @@ let run_compare rest =
   let baseline = ref None
   and threshold = ref 30.0
   and report_only = ref false
-  and current = ref "BENCH_pr4.json" in
+  and current = ref "BENCH_pr5.json" in
   let usage () =
     prerr_endline
       "usage: bench --compare BASELINE.json [--current FILE] [--threshold \
@@ -417,7 +478,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
-  | [ "--json" ] -> run_json "BENCH_pr4.json"
+  | [ "--json" ] -> run_json "BENCH_pr5.json"
   | [ "--json"; file ] -> run_json file
   | "--compare" :: rest -> run_compare rest
   | [] ->

@@ -6,6 +6,21 @@ open Cmdliner
 
 (* --- the shared experiment configuration as a term --- *)
 
+(* Shared by config_term and the workload commands (stats/trace/profile/
+   forensics), so every entry point that builds an environment can opt
+   into coalescing. *)
+let deferred_rc_flag =
+  Arg.(
+    value & flag
+    & info [ "deferred-rc" ]
+        ~doc:
+          "Run LFRC environments in deferred-rc coalescing mode: count \
+           adjustments park in per-thread buffers and are applied as \
+           netted CASes at bounded epochs (and at quiescent points).")
+
+let rc_epoch_of_flag deferred_rc =
+  if deferred_rc then Lfrc_harness.Scenario.deferred_rc_epoch else 0
+
 let config_term =
   let d = Lfrc_harness.Scenario.default_config in
   let threads =
@@ -57,7 +72,7 @@ let config_term =
             "Attribute DCAS/CAS retries and op latencies to labeled call \
              sites and print a per-experiment contention table.")
   in
-  let build threads ops iters seed no_metrics fault profile =
+  let build threads ops iters seed no_metrics fault profile deferred_rc =
     match
       Option.map
         (fun s ->
@@ -81,12 +96,13 @@ let config_term =
             metrics = not no_metrics;
             trace_capacity = 0;
             profile;
+            deferred_rc;
           }
   in
   Term.(
     ret
       (const build $ threads $ ops $ iters $ seed $ no_metrics $ fault
-     $ profile))
+     $ profile $ deferred_rc_flag))
 
 let experiments_cmd =
   let ids =
@@ -116,12 +132,12 @@ let structure_arg =
         ~doc:(Printf.sprintf "Structure to drive: %s."
                 (String.concat ", " (List.map fst names))))
 
-let run_workload ?lineage ?profile ~workload ~workers ~ops_per_worker ~seed
-    ~metrics ~tracer () =
+let run_workload ?lineage ?profile ?(rc_epoch = 0) ~workload ~workers
+    ~ops_per_worker ~seed ~metrics ~tracer () =
   let heap = Lfrc_simmem.Heap.create ~name:"cli-workload" () in
   let env =
-    Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics
-      ~tracer ?lineage ?profile heap
+    Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch
+      ~metrics ~tracer ?lineage ?profile heap
   in
   ignore
     (Lfrc_sched.Sched.run ~max_steps:400_000_000
@@ -138,12 +154,15 @@ let stats_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule and op-mix seed.")
   in
-  let run (name, workload) workers ops seed =
+  let run (name, workload) workers ops seed deferred_rc =
     let metrics = Lfrc_obs.Metrics.create () in
-    run_workload ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
+    run_workload
+      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
       ~tracer:Lfrc_obs.Tracer.disabled ();
-    Printf.printf "# %s: %d threads x %d ops, seed %d\n%s\n" name workers ops
-      seed
+    Printf.printf "# %s: %d threads x %d ops, seed %d%s\n%s\n" name workers
+      ops seed
+      (if deferred_rc then ", deferred-rc" else "")
       (Lfrc_obs.Metrics.to_json (Lfrc_obs.Metrics.snapshot metrics))
   in
   Cmd.v
@@ -152,7 +171,7 @@ let stats_cmd =
          "Run a structure workload under the simulator and print its \
           metrics snapshot as JSON (DCAS traffic, LFRC op/retry counts, \
           heap alloc/free balance)")
-    Term.(const run $ structure_arg $ workers $ ops $ seed)
+    Term.(const run $ structure_arg $ workers $ ops $ seed $ deferred_rc_flag)
 
 let trace_cmd =
   let workers =
@@ -183,9 +202,11 @@ let trace_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run (_, workload) workers ops seed capacity format output =
+  let run (_, workload) workers ops seed capacity format output deferred_rc =
     let tracer = Lfrc_obs.Tracer.create ~capacity in
-    run_workload ~workload ~workers ~ops_per_worker:ops ~seed
+    run_workload
+      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~workload ~workers ~ops_per_worker:ops ~seed
       ~metrics:Lfrc_obs.Metrics.disabled ~tracer ();
     let rendered =
       match format with
@@ -210,7 +231,7 @@ let trace_cmd =
           timeline (chrome://tracing JSON or text)")
     Term.(
       const run $ structure_arg $ workers $ ops $ seed $ capacity $ format
-      $ output)
+      $ output $ deferred_rc_flag)
 
 let profile_cmd =
   let workers =
@@ -229,11 +250,13 @@ let profile_cmd =
           ~doc:"Emit the per-site records (plus the metrics snapshot with \
                 its retry/latency histograms) as JSON.")
   in
-  let run (name, workload) workers ops seed json =
+  let run (name, workload) workers ops seed json deferred_rc =
     let metrics = Lfrc_obs.Metrics.create () in
     let profile = Lfrc_obs.Profile.create ~metrics () in
-    run_workload ~profile ~workload ~workers ~ops_per_worker:ops ~seed
-      ~metrics ~tracer:Lfrc_obs.Tracer.disabled ();
+    run_workload ~profile
+      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
+      ~tracer:Lfrc_obs.Tracer.disabled ();
     if json then
       Printf.printf "{\"workload\":\"%s\",\"profile\":%s,\"metrics\":%s}\n"
         name
@@ -251,7 +274,8 @@ let profile_cmd =
          "Run a structure workload with the call-site contention profiler \
           on and print the per-site table (calls, retries, failed DCAS \
           attempts, scheduler-step latency), sorted by wasted attempts")
-    Term.(const run $ structure_arg $ workers $ ops $ seed $ json)
+    Term.(const run $ structure_arg $ workers $ ops $ seed $ json
+          $ deferred_rc_flag)
 
 let forensics_cmd =
   let workers =
@@ -309,7 +333,8 @@ let forensics_cmd =
             "Write a chrome://tracing JSON export of the recorded \
              lifecycles (one track per object) to FILE.")
   in
-  let run (name, workload) workers ops seed ring fault addr leaks top chrome =
+  let run (name, workload) workers ops seed ring fault addr leaks top chrome
+      deferred_rc =
     let parsed =
       Option.map
         (fun s ->
@@ -338,7 +363,9 @@ let forensics_cmd =
         in
         let lineage = Lfrc_obs.Lineage.create ~ring () in
         let r =
-          Lfrc_faults.Chaos.run ~lineage ~max_steps:400_000
+          Lfrc_faults.Chaos.run ~lineage
+            ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+            ~max_steps:400_000
             ~strategy:(Lfrc_sched.Strategy.Random seed) ~spec
             (fun env ->
               match workload ~workers ~ops_per_worker:ops ~seed env with
@@ -407,7 +434,7 @@ let forensics_cmd =
     Term.(
       ret
         (const run $ structure_arg $ workers $ ops $ seed $ ring $ fault
-       $ addr $ leaks $ top $ chrome))
+       $ addr $ leaks $ top $ chrome $ deferred_rc_flag))
 
 let check_cmd =
   let variant =

@@ -31,6 +31,9 @@ type cls =
   | Unowned_store
       (** a pointer was stored to the heap without a counted reference
           backing it *)
+  | Borrow_across_flush
+      (** a raw [get] borrow was still held at a [flush] after every
+          local owning its target had died *)
   | Lfrc_bypass  (** the code called {!Lfrc} directly, bypassing OPS *)
 
 let cls_name = function
@@ -39,6 +42,7 @@ let cls_name = function
   | Use_after_retire -> "use-after-retire"
   | Escaping_get -> "escaping-get"
   | Unowned_store -> "unowned-store"
+  | Borrow_across_flush -> "borrow-across-flush"
   | Lfrc_bypass -> "lfrc-bypass"
 
 let cls_obligation = function
@@ -56,6 +60,11 @@ let cls_obligation = function
   | Unowned_store ->
       "a stored pointer must carry a counted reference \
        (LFRCStore/LFRCStoreAlloc increment-before-publish)"
+  | Borrow_across_flush ->
+      "a raw pointer must be dropped (or re-owned) before a \
+       quiescent-point flush once its counted owners are gone — under \
+       deferred-rc the flush is where parked decrements land and the \
+       object may be freed"
   | Lfrc_bypass ->
       "all pointer operations must go through the sanctioned operation \
        set (Section 2.1 LFRC compliance)"
@@ -130,6 +139,11 @@ let check (path : Ir.path) : violation list =
     | _ -> ()
   in
   let assign l p = set l (if p = 0 then LNull else LOwned p) in
+  (* Raw pointers handed out by [get], for the flush obligation: once the
+     owners of a borrowed object are all dead, the borrow must not
+     survive a flush (under deferred-rc that is exactly where the parked
+     decrements land and the object may be freed). *)
+  let borrows : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   List.iteri
     (fun i (op : Ir.op) ->
       match op with
@@ -144,7 +158,9 @@ let check (path : Ir.path) : violation list =
               flag Double_destroy ~i ~key:(nname local)
                 (Printf.sprintf "local %s retired twice" (nname local))
           | _ -> set local LRetired)
-      | Get { local; ptr = _ } -> touch ~i ~what:"get" local
+      | Get { local; ptr } ->
+          touch ~i ~what:"get" local;
+          if ptr <> 0 then Hashtbl.replace borrows ptr ()
       | Load { cell = _; local; ptr } ->
           touch ~i ~what:"load" local;
           assign local ptr
@@ -179,6 +195,21 @@ let check (path : Ir.path) : violation list =
       | Try_alloc { local; ptr; ok } ->
           touch ~i ~what:"try_alloc" local;
           if ok then assign local ptr
+      | Flush ->
+          Hashtbl.iter
+            (fun p () ->
+              if not (owned p) then
+                flag Borrow_across_flush ~i ~key:(Printf.sprintf "p%d" p)
+                  (Printf.sprintf
+                     "raw pointer #%d is held across a flush after every \
+                      local owning it was retired or overwritten"
+                     p))
+            borrows;
+          (* Each borrow is charged at most once; surviving owned borrows
+             stay tracked for later flushes. *)
+          Hashtbl.iter
+            (fun p () -> if not (owned p) then Hashtbl.remove borrows p)
+            (Hashtbl.copy borrows)
       | Read_val _ | Write_val _ | Cas_val _ -> ())
     path.ops;
   (* Leak check: only meaningful on paths that ran to completion — an

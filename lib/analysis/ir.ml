@@ -66,6 +66,10 @@ type op =
   | Alloc of { local : int; ptr : ptr; layout : string }
   | Try_alloc of { local : int; ptr : ptr; ok : bool }
       (** [ptr] is 0 when the oracle made the allocation fail. *)
+  | Flush
+      (** a quiescent-point settle of deferred bookkeeping: under
+          deferred-rc every parked delta lands, so a borrowed raw pointer
+          whose owners are all dead may be freed here *)
   | Read_val of { cell : int; v : int }
   | Write_val of { cell : int; v : int }
   | Cas_val of { cell : int; ok : bool }
@@ -117,6 +121,7 @@ let pp_op ppf op =
       Format.fprintf ppf "alloc[%s] -> x%d (= %a)" layout local p ptr
   | Try_alloc { local; ptr; ok } ->
       Format.fprintf ppf "try_alloc -> x%d (= %a) : %b" local p ptr ok
+  | Flush -> Format.fprintf ppf "flush"
   | Read_val { cell; v } -> Format.fprintf ppf "read_val c%d -> %d" cell v
   | Write_val { cell; v } -> Format.fprintf ppf "write_val c%d <- %d" cell v
   | Cas_val { cell; ok } -> Format.fprintf ppf "cas_val c%d : %b" cell ok

@@ -119,6 +119,8 @@ end) : Lfrc_core.Ops_intf.OPS = struct
     if ok then l.v <- p;
     ok
 
+  let flush _ctx = Recorder.emit r Ir.Flush
+
   let read_val _ctx cell =
     let v = Recorder.choose_val r in
     Recorder.emit r (Ir.Read_val { cell = Cell.id cell; v });

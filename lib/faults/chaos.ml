@@ -19,16 +19,16 @@ type report = {
   env : Env.t;
 }
 
-let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?metrics
-    ?(lineage = Lfrc_obs.Lineage.disabled)
+let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?(rc_epoch = 0)
+    ?metrics ?(lineage = Lfrc_obs.Lineage.disabled)
     ?(profile = Lfrc_obs.Profile.disabled) ~strategy ~spec body =
   let heap = Heap.create ~name:"chaos" () in
   let metrics =
     match metrics with Some m -> m | None -> Lfrc_obs.Metrics.create ()
   in
   let env =
-    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy ~metrics
-      ~lineage ~profile heap
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy ~rc_epoch
+      ~metrics ~lineage ~profile heap
   in
   let plan = Fault_plan.make spec in
   Fault_plan.install plan env;
@@ -54,7 +54,16 @@ let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?metrics
             Thread_raised { tid; exn })
   in
   let audit =
-    match status with Completed _ -> Some (Audit.run env) | _ -> None
+    match status with
+    | Completed _ ->
+        (* Deferred-rc parks count deltas that only land at a flush; an
+           audit over unflushed buffers would see phantom leaks (parked
+           -1s) and phantom under-counts (parked +1s). Crashed threads'
+           buffers live in the environment, so this settles their deltas
+           too. *)
+        if Env.rc_deferred env then ignore (Lfrc_core.Lfrc.flush env);
+        Some (Audit.run env)
+    | _ -> None
   in
   {
     spec;

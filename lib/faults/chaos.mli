@@ -36,6 +36,7 @@ type report = {
 val run :
   ?max_steps:int ->
   ?policy:Lfrc_core.Env.policy ->
+  ?rc_epoch:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?lineage:Lfrc_obs.Lineage.t ->
   ?profile:Lfrc_obs.Profile.t ->
@@ -45,7 +46,10 @@ val run :
   report
 (** [run ~strategy ~spec body] executes [body env] as the simulation's
     main thread; [body] typically builds a structure and spawns workers.
-    [max_steps] defaults to 2 million; [policy] to [Iterative]. Hooks are
+    [max_steps] defaults to 2 million; [policy] to [Iterative]; [rc_epoch]
+    (deferred-rc coalescing, see {!Lfrc_core.Env.create}) to 0 — when it
+    is positive, a forced {!Lfrc_core.Lfrc.flush} settles all parked
+    count deltas before the post-mortem audit runs. Hooks are
     uninstalled before returning, whatever the outcome. [metrics]
     defaults to a fresh enabled registry private to this run; pass a
     shared one to aggregate across a campaign of runs (the report's

@@ -31,11 +31,11 @@ let obs (cfg : Scenario.config) =
 let result ~table ?(profile = Profile.disabled) metrics =
   { table; metrics = Metrics.snapshot metrics; profile }
 
-let fresh_env ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer ?lineage
-    ?profile ~name () =
+let fresh_env ?dcas_impl ?policy ?rc_epoch ?gc_threshold ?metrics ?tracer
+    ?lineage ?profile ~name () =
   let heap = Lfrc_simmem.Heap.create ~name () in
-  Lfrc_core.Env.create ?dcas_impl ?policy ?gc_threshold ?metrics ?tracer
-    ?lineage ?profile heap
+  Lfrc_core.Env.create ?dcas_impl ?policy ?rc_epoch ?gc_threshold ?metrics
+    ?tracer ?lineage ?profile heap
 
 let time_per_op_ns = Lfrc_util.Clock.time_per_op_ns
 

@@ -30,6 +30,7 @@ val result :
 val fresh_env :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:Lfrc_core.Env.policy ->
+  ?rc_epoch:int ->
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?tracer:Lfrc_obs.Tracer.t ->

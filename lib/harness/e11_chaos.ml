@@ -111,10 +111,10 @@ let fault_kinds_for (cfg : Scenario.config) =
       ]
 
 let run_one ?(workers = default_workers)
-    ?(ops_per_worker = default_ops_per_worker) ?metrics ~structure ~fault ~seed
-    () =
+    ?(ops_per_worker = default_ops_per_worker) ?(rc_epoch = 0) ?metrics
+    ~structure ~fault ~seed () =
   let spec = fault.spec_for ~seed in
-  Chaos.run ?metrics ~max_steps:400_000
+  Chaos.run ?metrics ~rc_epoch ~max_steps:400_000
     ~strategy:(Strategy.Random seed)
     ~spec
     (fun env ->
@@ -160,8 +160,9 @@ let run (cfg : Scenario.config) =
           List.iter
             (fun seed ->
               let r =
-                run_one ~workers ~ops_per_worker ~metrics ~structure ~fault
-                  ~seed ()
+                run_one ~workers ~ops_per_worker
+                  ~rc_epoch:(Scenario.rc_epoch_of cfg)
+                  ~metrics ~structure ~fault ~seed ()
               in
               injected := !injected + r.Chaos.injected;
               (match r.Chaos.status with

@@ -19,6 +19,7 @@ val fault_name : fault_kind -> string
 val run_one :
   ?workers:int ->
   ?ops_per_worker:int ->
+  ?rc_epoch:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   structure:structure ->
   fault:fault_kind ->
@@ -27,7 +28,8 @@ val run_one :
   Lfrc_faults.Chaos.report
 (** One cell of the matrix, for ad-hoc exploration (the [chaos] CLI
     command); prints nothing. [workers] defaults to 3, [ops_per_worker]
-    to 25; [metrics] is passed through to {!Lfrc_faults.Chaos.run}
-    (defaulting to a fresh registry private to the run). *)
+    to 25; [rc_epoch] (deferred-rc coalescing, 0 = eager) and [metrics]
+    are passed through to {!Lfrc_faults.Chaos.run} (the latter defaulting
+    to a fresh registry private to the run). *)
 
 val run : Scenario.config -> Common.result

@@ -19,7 +19,9 @@ let run (cfg : Scenario.config) =
   let iters = cfg.Scenario.iters in
   let metrics, tracer, profile = Common.obs cfg in
   let env =
-    Common.fresh_env ~dcas_impl:Dcas.Atomic_step ~metrics ~tracer ~profile ~name:"e1" ()
+    Common.fresh_env ~dcas_impl:Dcas.Atomic_step
+      ~rc_epoch:(Scenario.rc_epoch_of cfg) ~metrics ~tracer ~profile ~name:"e1"
+      ()
   in
   let heap = Env.heap env in
   let d = Env.dcas env in
@@ -68,4 +70,7 @@ let run (cfg : Scenario.config) =
     (fun () ->
       let p = Lfrc.alloc env layout in
       Lfrc.destroy env p);
+  (* Settle any deltas still parked by the timing loops so the snapshot's
+     alloc/free balance is truthful in deferred-rc mode. *)
+  if Env.rc_deferred env then ignore (Lfrc.flush env);
   Common.result ~table ~profile metrics

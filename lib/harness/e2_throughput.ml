@@ -12,15 +12,15 @@ module Sched = Lfrc_sched.Sched
 module Table = Lfrc_util.Table
 module Opmix = Lfrc_workload.Opmix
 
-let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads
-    ~ops_per_thread ~seed ~metrics ~tracer ~profile =
+let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~rc_epoch
+    ~threads ~ops_per_thread ~seed ~metrics ~tracer ~profile =
   let steps = ref 0 and dcas_fail = ref 0.0 and gc_pauses = ref 0 in
   let body () =
     let heap = Lfrc_simmem.Heap.create ~name:"e2" () in
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
-        ~metrics ~tracer ~profile heap
+        ~rc_epoch ~metrics ~tracer ~profile heap
     in
     if gc then Lfrc_simmem.Gc_trace.reset_history heap;
     let d = D.create env in
@@ -74,8 +74,10 @@ let run (cfg : Scenario.config) =
       List.iter
         (fun threads ->
           let steps, fail, gcs =
-            run_one impl ~gc ~threads ~ops_per_thread ~seed:cfg.Scenario.seed
-              ~metrics ~tracer ~profile
+            run_one impl ~gc
+              ~rc_epoch:(Scenario.rc_epoch_of cfg)
+              ~threads ~ops_per_thread ~seed:cfg.Scenario.seed ~metrics ~tracer
+              ~profile
           in
           let total_ops = threads * ops_per_thread in
           Table.add_rowf table "%s|%d|%.1f|%.2f|%d" label threads

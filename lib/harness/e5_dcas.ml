@@ -67,6 +67,54 @@ let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer ~profil
     (Float.of_int c.dcas_attempts /. Float.of_int total_ops)
     (100.0 *. Float.of_int c.dcas_failures /. Float.of_int c.dcas_attempts)
 
+(* How much count traffic LFRC itself puts on the substrate: threads
+   overwrite one shared counted cell with freshly allocated nodes, so every
+   operation pays an increment and (eventually) a decrement. The raw rows
+   above cannot show deferred-rc coalescing — there is no count at the
+   substrate level — so this row family runs the same workload in eager
+   mode and with parked-delta coalescing, and reports single-word CAS
+   attempts (the count updates) per op. *)
+let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
+    ~profile =
+  let layout = Lfrc_simmem.Layout.make ~name:"e5-node" ~n_ptrs:1 ~n_vals:1 in
+  let steps = ref 0 and attempts = ref 0 and failures = ref 0 in
+  let body () =
+    let heap = Heap.create ~name:"e5-lfrc" () in
+    let env =
+      Lfrc_core.Env.create ~dcas_impl:Dcas.Atomic_step ~rc_epoch ~metrics
+        ~tracer ~profile heap
+    in
+    let root = Heap.root heap ~name:"e5-root" () in
+    let tids =
+      List.init threads (fun _ ->
+          Sched.spawn (fun () ->
+              for _ = 1 to per_thread do
+                let p = Lfrc_core.Lfrc.alloc env layout in
+                Lfrc_core.Lfrc.store env ~dst:root p;
+                Lfrc_core.Lfrc.destroy env p
+              done))
+    in
+    Sched.join tids;
+    Lfrc_core.Lfrc.store env ~dst:root Heap.null;
+    ignore (Lfrc_core.Lfrc.flush env);
+    Lfrc_simmem.Report.assert_no_leaks heap;
+    let c = Dcas.counters (Lfrc_core.Env.dcas env) in
+    attempts := c.cas_attempts;
+    failures := c.cas_failures
+  in
+  let outcome =
+    Sched.run ~max_steps:200_000_000 (Lfrc_sched.Strategy.Random seed) body
+  in
+  steps := outcome.Sched.steps;
+  let total_ops = threads * per_thread in
+  Table.add_rowf table "%s|%d|%.1f|%.2f|%.1f"
+    (if rc_epoch > 0 then "lfrc-rc deferred" else "lfrc-rc eager")
+    threads
+    (Float.of_int !steps /. Float.of_int total_ops)
+    (Float.of_int !attempts /. Float.of_int total_ops)
+    (if !attempts = 0 then 0.0
+     else 100.0 *. Float.of_int !failures /. Float.of_int !attempts)
+
 let run (cfg : Scenario.config) =
   let metrics, tracer, profile = Common.obs cfg in
   let seed = cfg.Scenario.seed + 20 in
@@ -77,12 +125,27 @@ let run (cfg : Scenario.config) =
   List.iter
     (fun impl -> wall_row table impl ~iters:cfg.Scenario.iters ~metrics ~tracer ~profile)
     [ Dcas.Atomic_step; Dcas.Striped_lock; Dcas.Software_mcas ];
+  let contended_threads =
+    List.filter (fun t -> t <= max 2 cfg.Scenario.threads) [ 2; 4; 8 ]
+  in
   List.iter
     (fun impl ->
       List.iter
         (fun threads ->
           contended_row table impl ~threads
             ~per_thread:cfg.Scenario.ops_per_thread ~seed ~metrics ~tracer ~profile)
-        (List.filter (fun t -> t <= max 2 cfg.Scenario.threads) [ 2; 4; 8 ]))
+        contended_threads)
     [ Dcas.Atomic_step; Dcas.Software_mcas ];
+  (* The coalescing ablation always shows both modes side by side; the
+     per-thread op count is clamped so the ablation stays a footnote next
+     to the substrate comparison this experiment is really about. *)
+  let per_thread = min 500 cfg.Scenario.ops_per_thread in
+  List.iter
+    (fun rc_epoch ->
+      List.iter
+        (fun threads ->
+          lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics
+            ~tracer ~profile)
+        contended_threads)
+    [ 0; Scenario.deferred_rc_epoch ];
   Common.result ~table ~profile metrics

@@ -16,7 +16,15 @@ type config = {
   metrics : bool;  (* collect a metrics snapshot alongside the table *)
   trace_capacity : int;  (* tracer ring size; 0 = tracing off *)
   profile : bool;  (* attribute retries/latency to call sites *)
+  deferred_rc : bool;  (* coalesce rc traffic in per-thread buffers *)
 }
+
+(* Parked-adjustment budget used whenever [deferred_rc] is on: large
+   enough that flushes amortize, small enough that a structure's hot
+   window of dead objects turns over well inside a worker's op script. *)
+let deferred_rc_epoch = 64
+
+let rc_epoch_of cfg = if cfg.deferred_rc then deferred_rc_epoch else 0
 
 let default_config =
   {
@@ -28,6 +36,7 @@ let default_config =
     metrics = true;
     trace_capacity = 0;
     profile = false;
+    deferred_rc = false;
   }
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right

@@ -32,11 +32,23 @@ type config = {
       (** attribute DCAS/CAS retries and op latencies to labeled call
           sites ({!Lfrc_obs.Profile}); the result then carries a
           contention table *)
+  deferred_rc : bool;
+      (** run LFRC environments in deferred-rc coalescing mode
+          ({!Lfrc_core.Env.create} with [rc_epoch = deferred_rc_epoch]):
+          count adjustments park in per-thread buffers and flush as
+          netted CASes (CLI [--deferred-rc]) *)
 }
+
+val deferred_rc_epoch : int
+(** The parked-adjustment budget every harness user applies when
+    [deferred_rc] is on (64). *)
+
+val rc_epoch_of : config -> int
+(** [deferred_rc_epoch] when [deferred_rc] is set, else 0. *)
 
 val default_config : config
 (** threads 8, 1500 ops/thread, 200k iters, seed 11, no fault override,
-    metrics on, tracing off, profiling off. *)
+    metrics on, tracing off, profiling off, eager (non-deferred) rc. *)
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right
 

@@ -23,6 +23,17 @@ type t = {
   mutable local_frames : (int * (unit -> int list)) list;
   mutable local_frame_ctr : int;
   local_frames_lock : Mutex.t;
+  (* Deferred-rc coalescing (PPoPP-2022-style batched count updates):
+     per-thread buffers of parked ±1 count adjustments, keyed by thread id
+     then by address, netted in place. The buffers live in the environment
+     — not in thread-locals — so a crashed thread's parked deltas survive
+     it and a later flush still applies them; until then the parked
+     addresses are republished through [anchors] for the fault auditor. *)
+  env_rc_epoch : int;
+  rc_buffers : (int, (int, int) Hashtbl.t) Hashtbl.t;
+  rc_lock : Mutex.t;
+  mutable rc_park_ops : int;  (* park events since the last drain *)
+  mutable rc_in_flush : bool;
   env_gc_threshold : int;
   mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
   env_metrics : Lfrc_obs.Metrics.t;
@@ -32,7 +43,7 @@ type t = {
   env_symbolic : bool;
 }
 
-let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
+let create ?dcas_impl ?(policy = Iterative) ?(rc_epoch = 0) ?(gc_threshold = 0)
     ?(metrics = Lfrc_obs.Metrics.disabled) ?(tracer = Lfrc_obs.Tracer.disabled)
     ?(lineage = Lfrc_obs.Lineage.disabled)
     ?(profile = Lfrc_obs.Profile.disabled) ?(symbolic = false) heap =
@@ -75,6 +86,11 @@ let create ?dcas_impl ?(policy = Iterative) ?(gc_threshold = 0)
     local_frames = [];
     local_frame_ctr = 0;
     local_frames_lock = Mutex.create ();
+    env_rc_epoch = rc_epoch;
+    rc_buffers = Hashtbl.create 8;
+    rc_lock = Mutex.create ();
+    rc_park_ops = 0;
+    rc_in_flush = false;
     env_gc_threshold = gc_threshold;
     env_incremental = None;
     env_metrics = metrics;
@@ -126,6 +142,91 @@ let deferred_pending t =
   Mutex.unlock t.pending_lock;
   n
 
+(* --- deferred-rc buffers ---
+
+   All buffer operations are mutex-only (no scheduler yield points), so in
+   a simulation each is atomic with respect to interleaving: a parked delta
+   is either fully visible to a concurrent drain/steal or not parked yet,
+   never half-recorded. *)
+
+let rc_epoch t = t.env_rc_epoch
+let rc_deferred t = t.env_rc_epoch > 0
+
+let rc_park t ~addr ~delta =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.rc_lock;
+  let buf =
+    match Hashtbl.find_opt t.rc_buffers tid with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 16 in
+        Hashtbl.add t.rc_buffers tid b;
+        b
+  in
+  let net = (match Hashtbl.find_opt buf addr with Some v -> v | None -> 0) + delta in
+  (* A +1 and a -1 on the same address cancel right here, without ever
+     touching the heap count — the coalescing fast path. *)
+  if net = 0 then Hashtbl.remove buf addr else Hashtbl.replace buf addr net;
+  t.rc_park_ops <- t.rc_park_ops + 1;
+  let parked = t.rc_park_ops in
+  Mutex.unlock t.rc_lock;
+  parked
+
+let rc_drain_all t =
+  Mutex.lock t.rc_lock;
+  let agg = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _tid buf ->
+      Hashtbl.iter
+        (fun addr v ->
+          let prev =
+            match Hashtbl.find_opt agg addr with Some p -> p | None -> 0
+          in
+          Hashtbl.replace agg addr (prev + v))
+        buf)
+    t.rc_buffers;
+  Hashtbl.reset t.rc_buffers;
+  t.rc_park_ops <- 0;
+  Mutex.unlock t.rc_lock;
+  Hashtbl.fold (fun addr v acc -> if v = 0 then acc else (addr, v) :: acc) agg []
+
+let rc_steal t ~addr =
+  Mutex.lock t.rc_lock;
+  let stolen = ref 0 in
+  Hashtbl.iter
+    (fun _tid buf ->
+      match Hashtbl.find_opt buf addr with
+      | Some v ->
+          stolen := !stolen + v;
+          Hashtbl.remove buf addr
+      | None -> ())
+    t.rc_buffers;
+  Mutex.unlock t.rc_lock;
+  !stolen
+
+let rc_parked t =
+  Mutex.lock t.rc_lock;
+  let addrs =
+    Hashtbl.fold
+      (fun _tid buf acc ->
+        Hashtbl.fold (fun addr _ acc -> addr :: acc) buf acc)
+      t.rc_buffers []
+  in
+  Mutex.unlock t.rc_lock;
+  addrs
+
+let rc_try_begin_flush t =
+  Mutex.lock t.rc_lock;
+  let won = not t.rc_in_flush in
+  if won then t.rc_in_flush <- true;
+  Mutex.unlock t.rc_lock;
+  won
+
+let rc_end_flush t =
+  Mutex.lock t.rc_lock;
+  t.rc_in_flush <- false;
+  Mutex.unlock t.rc_lock
+
 let begin_destroy t p =
   let tid = Lfrc_sched.Sched.tid () in
   Mutex.lock t.destroying_lock;
@@ -176,4 +277,8 @@ let anchors t =
   Mutex.lock t.pending_lock;
   let pend = Queue.fold (fun acc p -> p :: acc) [] t.pending in
   Mutex.unlock t.pending_lock;
-  destroying_now t @ pend @ locals
+  (* A parked -1 means a reference died whose count adjustment has not
+     landed; a parked +1 means a published pointer's count is still short.
+     Either way the address is in the middle of an accounting transfer, so
+     it is republished for the auditor exactly like an in-flight destroy. *)
+  destroying_now t @ pend @ rc_parked t @ locals

@@ -24,6 +24,7 @@ type t
 val create :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:policy ->
+  ?rc_epoch:int ->
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?tracer:Lfrc_obs.Tracer.t ->
@@ -36,6 +37,13 @@ val create :
     and [Striped_lock] otherwise; [policy] is [Iterative]; [gc_threshold]
     (live-object count that triggers a tracing collection in GC-dependent
     mode; 0 disables) is 0.
+
+    [rc_epoch > 0] enables deferred-rc coalescing: {!Lfrc}'s increment and
+    decrement sites park ±1 count adjustments in per-thread buffers (see
+    the [rc_*] accessors below) instead of CASing the heap count, and a
+    global flush applies the netted deltas once [rc_epoch] adjustments
+    have been parked (or earlier, at forced flush points). 0 — the
+    default — is the paper's eager Figure-2 behaviour.
 
     [metrics], [tracer], [lineage] and [profile] default to the disabled
     singletons — the no-op
@@ -88,6 +96,47 @@ val set_incremental : t -> collector:Lfrc_simmem.Gc_incr.t -> budget:int -> unit
 
 val incremental : t -> (Lfrc_simmem.Gc_incr.t * int) option
 
+(** {2 Deferred-rc coalescing buffers}
+
+    Raw buffer plumbing for {!Lfrc}'s deferred-rc mode; structure code
+    never calls these. Every operation here is mutex-only — no scheduler
+    yield points — so under the simulator each is atomic with respect to
+    interleaving. *)
+
+val rc_epoch : t -> int
+(** Parked-adjustment budget that triggers an automatic flush; [0] means
+    deferred-rc is off (eager Figure-2 counts). *)
+
+val rc_deferred : t -> bool
+(** [rc_epoch t > 0]. *)
+
+val rc_park : t -> addr:int -> delta:int -> int
+(** Park a ±1 count adjustment for [addr] in the calling thread's buffer,
+    netting it against any adjustment already parked there (a +1 and a -1
+    cancel without ever touching the heap). Returns the number of park
+    operations since the last drain, for the epoch trigger. *)
+
+val rc_drain_all : t -> (int * int) list
+(** Atomically empty {e every} thread's buffer and return the per-address
+    net deltas (zero nets omitted, order unspecified). Resets the park
+    counter. *)
+
+val rc_steal : t -> addr:int -> int
+(** Atomically remove [addr]'s parked deltas from every thread's buffer
+    and return their sum (0 when nothing was parked). Used by the flush
+    to absorb adjustments parked while it runs. *)
+
+val rc_parked : t -> int list
+(** Addresses with a nonzero parked net, across all threads (duplicates
+    possible); folded into {!anchors}. *)
+
+val rc_try_begin_flush : t -> bool
+(** Claim the flush-in-progress flag; [false] means another thread is
+    already flushing and the caller may skip (its parked deltas will be
+    picked up by that flush's re-drain loop). *)
+
+val rc_end_flush : t -> unit
+
 val defer : t -> int -> unit
 (** Enqueue a dead object for deferred freeing. Only valid under the
     [Deferred] policy. *)
@@ -136,5 +185,6 @@ val unregister_locals : t -> local_frame -> unit
 
 val anchors : t -> int list
 (** Everything the auditor may treat as a lost-reference anchor: in-flight
-    destroys, the deferred queue's contents, and all registered locals
-    (with duplicates and nulls possible; the caller filters). *)
+    destroys, the deferred queue's contents, addresses with parked rc
+    deltas, and all registered locals (with duplicates and nulls possible;
+    the caller filters). *)

@@ -53,6 +53,11 @@ let barrier ctx overwritten =
   | Some (gc, _) -> Gc_incr.barrier gc overwritten
   | None -> ()
 
+(* GC-dependent mode has no count bookkeeping to settle; the nearest
+   analogue of a quiescent-point flush is advancing the incremental
+   collector. *)
+let flush ctx = poll ctx
+
 let load ctx cell local = local := Dcas.read (d ctx) cell
 
 let store ctx cell p =

@@ -110,6 +110,131 @@ let ptr_slot_contents env p =
   let n = Heap.n_ptr_slots heap p in
   List.init n (fun i -> Dcas.read (Env.dcas env) (Heap.ptr_cell heap p i))
 
+(* --- deferred-rc coalescing ---
+
+   With [Env.rc_epoch > 0], the ±1 count traffic from store/copy/cas/dcas
+   increments and from every destroy is parked in per-thread buffers
+   ({!Env.rc_park}) instead of CASing the heap count, and a global flush
+   applies the per-address *net* deltas — one CAS per address instead of
+   one per adjustment. [load]'s DCAS stays eager: it is the safety
+   mechanism (increment-while-checking-the-pointer), not an accounting
+   convenience.
+
+   Why coalescing preserves the weak invariant: a parked +1 only ever
+   under-counts (heap rc may be below the true reference count, never
+   above), and a parked -1 leaves the heap rc conservatively high — an
+   object is freed only by the flush, after its net delta lands at zero
+   *and* a same-instant re-check shows no adjustment was parked while the
+   CAS was in flight. Since in deferred mode no eager decrement exists,
+   nothing else can free on a transient zero. DESIGN.md §12 carries the
+   full argument. *)
+
+let flush_rc env =
+  if not (Env.rc_deferred env && Env.rc_try_begin_flush env) then 0
+  else begin
+    let metrics = Env.metrics env in
+    let heap = Env.heap env in
+    let d = Env.dcas env in
+    let ln = Env.lineage env in
+    let freed = ref 0 in
+    Fun.protect ~finally:(fun () -> Env.rc_end_flush env) @@ fun () ->
+    Metrics.incr metrics "lfrc.rc_flush";
+    let todo = ref [] in
+    let push addr v = todo := (addr, v) :: !todo in
+    let rec apply addr v =
+      if addr <> null && v <> 0 then begin
+        let rc = Heap.rc_cell heap addr in
+        let oldrc = Dcas.read d rc in
+        (* Absorb anything parked for this address since the drain, so the
+           CAS below applies the complete net and a success at zero means
+           zero adjustments remain anywhere. *)
+        let v = v + Env.rc_steal env ~addr in
+        if v = 0 then ()
+        else begin
+          Metrics.incr metrics "lfrc.rc_flush_cas";
+          if Dcas.cas d rc oldrc (oldrc + v) then begin
+            Lineage.record_rc ln ~op:"lfrc.flush" ~addr ~old_rc:oldrc ~delta:v
+              ();
+            Lineage.record ln ~op:"lfrc.flush" ~addr (Lineage.Flush { net = v });
+            if oldrc + v = 0 then begin
+              (* No yield since the CAS: this re-check is atomic with it.
+                 A delta parked between the steal above and the CAS (a
+                 late +1 from a racing store) resurrects the object
+                 instead of freeing it. *)
+              let late = Env.rc_steal env ~addr in
+              if late <> 0 then push addr late
+              else begin
+                Env.begin_destroy env addr;
+                let children = ptr_slot_contents env addr in
+                free_obj env "lfrc.frees" addr;
+                incr freed;
+                List.iter
+                  (fun child ->
+                    if child <> null then begin
+                      Lineage.record ln ~op:"lfrc.flush" ~addr:child
+                        Lineage.Defer_dec;
+                      push child (-1)
+                    end)
+                  children;
+                Env.end_destroy env addr
+              end
+            end
+          end
+          else begin
+            retry env "lfrc.rc_retry";
+            apply addr v
+          end
+        end
+      end
+    in
+    let rec rounds () =
+      let batch = Env.rc_drain_all env in
+      if batch <> [] || !todo <> [] then begin
+        let agg = Hashtbl.create 32 in
+        List.iter
+          (fun (addr, v) ->
+            let prev =
+              match Hashtbl.find_opt agg addr with Some p -> p | None -> 0
+            in
+            Hashtbl.replace agg addr (prev + v))
+          (batch @ !todo);
+        todo := [];
+        let work = Hashtbl.fold (fun a v acc -> (a, v) :: acc) agg [] in
+        (* Positive nets land before negative ones so a count only dips to
+           zero once its pending increments are in; address order breaks
+           ties for deterministic replay. *)
+        let work =
+          List.sort
+            (fun (a1, v1) (a2, v2) ->
+              if v1 <> v2 then compare v2 v1 else compare a1 a2)
+            (List.filter (fun (_, v) -> v <> 0) work)
+        in
+        List.iter (fun (addr, v) -> apply addr v) work;
+        rounds ()
+      end
+    in
+    rounds ();
+    !freed
+  end
+
+let defer_rc env p delta =
+  if p <> null then begin
+    let metrics = Env.metrics env in
+    Metrics.incr metrics (if delta > 0 then "lfrc.defer_inc" else "lfrc.defer_dec");
+    Lineage.record (Env.lineage env) ~addr:p
+      (if delta > 0 then Lineage.Defer_inc else Lineage.Defer_dec);
+    let parked = Env.rc_park env ~addr:p ~delta in
+    Metrics.set_gauge metrics "lfrc.rc_parked" parked;
+    if parked >= Env.rc_epoch env then ignore (flush_rc env)
+  end
+
+(* One increment of [p]'s count before a pointer to it is published —
+   eager CAS loop normally, parked when deferred-rc is on. *)
+let rc_incr env p =
+  if p <> null then
+    if Env.rc_deferred env then defer_rc env p 1
+    else ignore (add_to_rc env p 1)
+
 (* From the moment a destroy is committed to dropping a reference until the
    object is freed (or handed to the deferred queue), that reference exists
    only in OCaml locals — invisible to the heap. [Env.begin_destroy]
@@ -185,21 +310,28 @@ let pump_deferred env ~budget =
   done;
   !freed
 
-let flush env = pump_deferred env ~budget:(-1)
+let flush env =
+  let coalesced = if Env.rc_deferred env then flush_rc env else 0 in
+  coalesced + pump_deferred env ~budget:(-1)
 
 let destroy env p =
   guard env "destroy";
   span env "lfrc.destroy" @@ fun () ->
-  match Env.policy env with
-  | Env.Recursive -> destroy_recursive env p
-  | Env.Iterative -> destroy_iterative env p
-  | Env.Deferred { budget_per_op } ->
-      if p <> null then begin
-        Env.begin_destroy env p;
-        if release_one env p then defer_dead env p;
-        Env.end_destroy env p
-      end;
-      ignore (pump_deferred env ~budget:budget_per_op)
+  if Env.rc_deferred env then
+    (* Park the decrement; zero detection (and the free) happens in the
+       flush, which alone may move a heap count downward in this mode. *)
+    defer_rc env p (-1)
+  else
+    match Env.policy env with
+    | Env.Recursive -> destroy_recursive env p
+    | Env.Iterative -> destroy_iterative env p
+    | Env.Deferred { budget_per_op } ->
+        if p <> null then begin
+          Env.begin_destroy env p;
+          if release_one env p then defer_dead env p;
+          Env.end_destroy env p
+        end;
+        ignore (pump_deferred env ~budget:budget_per_op)
 
 (* LFRCLoad (Figure 2, lines 1..12). *)
 let load env ~src ~dest =
@@ -241,7 +373,7 @@ let load env ~src ~dest =
 let store env ~dst v =
   guard env "store";
   span env "lfrc.store" @@ fun () ->
-  if v <> null then ignore (add_to_rc env v 1);
+  rc_incr env v;
   let d = Env.dcas env in
   let rec go burst =
     let oldval = Dcas.read d dst in
@@ -277,7 +409,7 @@ let store_alloc env ~dst v =
 let copy env ~dest w =
   guard env "copy";
   span env "lfrc.copy" @@ fun () ->
-  if w <> null then ignore (add_to_rc env w 1);
+  rc_incr env w;
   let old = !dest in
   dest := w;
   destroy env old
@@ -286,8 +418,8 @@ let copy env ~dest w =
 let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
   guard env "dcas";
   span env "lfrc.dcas" @@ fun () ->
-  if new0 <> null then ignore (add_to_rc env new0 1);
-  if new1 <> null then ignore (add_to_rc env new1 1);
+  rc_incr env new0;
+  rc_incr env new1;
   if Dcas.dcas (Env.dcas env) c0 c1 ~old0 ~old1 ~new0 ~new1 then begin
     destroy env old0;
     destroy env old1;
@@ -303,7 +435,7 @@ let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
 let cas env c ~old_ptr ~new_ptr =
   guard env "cas";
   span env "lfrc.cas" @@ fun () ->
-  if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
+  rc_incr env new_ptr;
   if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
     destroy env old_ptr;
     true
@@ -318,7 +450,7 @@ let cas env c ~old_ptr ~new_ptr =
 let dcas_ptr_val env ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
   guard env "dcas_ptr_val";
   span env "lfrc.dcas_ptr_val" @@ fun () ->
-  if new_ptr <> null then ignore (add_to_rc env new_ptr 1);
+  rc_incr env new_ptr;
   if
     Dcas.dcas (Env.dcas env) ptr_cell val_cell ~old0:old_ptr ~old1:old_val
       ~new0:new_ptr ~new1:new_val

@@ -106,10 +106,14 @@ val pump_deferred : Env.t -> budget:int -> int
     how many were freed. No-op under other policies. *)
 
 val flush : Env.t -> int
-(** Drain the deferred-destroy queue completely
-    ([pump_deferred ~budget:(-1)]); returns how many objects were freed.
-    Surviving threads call this after a peer crashes so that deferred
-    garbage does not masquerade as a leak. *)
+(** Settle all deferred work: apply every parked deferred-rc delta
+    (when the environment was created with [rc_epoch > 0]), freeing the
+    objects whose net count lands at zero, then drain the
+    deferred-destroy queue completely ([pump_deferred ~budget:(-1)]).
+    Returns how many objects were freed. Surviving threads call this
+    after a peer crashes — and the chaos runner forces it before an
+    audit — so parked deltas and deferred garbage do not masquerade as
+    leaks. *)
 
 val with_locals : Env.t -> int -> (ptr ref array -> 'a) -> 'a
 (** [with_locals env n f] runs [f] with [n] null-initialized local pointer

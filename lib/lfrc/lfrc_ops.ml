@@ -21,7 +21,14 @@ let make_ctx env =
   let frame = Env.register_locals env (fun () -> List.map ( ! ) !locals) in
   { ctx_env = env; locals; frame }
 
-let dispose_ctx ctx = Env.unregister_locals ctx.ctx_env ctx.frame
+let dispose_ctx ctx =
+  (* Context disposal is a forced settle point: the thread is done, so its
+     parked deferred-rc deltas must land (and any dead objects free) while
+     its locals registration still anchors them for the auditor. *)
+  if Env.rc_deferred ctx.ctx_env then ignore (Lfrc.flush ctx.ctx_env);
+  Env.unregister_locals ctx.ctx_env ctx.frame
+
+let flush ctx = ignore (Lfrc.flush ctx.ctx_env)
 
 let env ctx = ctx.ctx_env
 

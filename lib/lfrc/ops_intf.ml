@@ -94,6 +94,15 @@ module type OPS = sig
       and every reference count — untouched, so the enclosing structure
       operation can report out-of-memory instead of dying mid-update. *)
 
+  val flush : ctx -> unit
+  (** Settle deferred bookkeeping at a structure-chosen quiescent point:
+      under LFRC this applies parked deferred-rc deltas and drains the
+      deferred-destroy queue ({!Lfrc.flush}); under GC it polls the
+      incremental collector. Never required for correctness — every
+      implementation also flushes at its own forced points (epoch
+      overflow, context disposal, crash audits) — but a structure may call
+      it to bound how much bookkeeping a later operation inherits. *)
+
   (* Value-slot access (not pointer operations; always permitted). *)
 
   val read_val : ctx -> Lfrc_simmem.Cell.t -> int

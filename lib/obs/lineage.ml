@@ -5,6 +5,9 @@ type kind =
   | Rc of { old_rc : int; delta : int }
   | Retire
   | Defer
+  | Defer_inc
+  | Defer_dec
+  | Flush of { net : int }
   | Free of { gen : int }
 
 type event = { step : int; tid : int; kind : kind; op : string }
@@ -137,7 +140,9 @@ let record t ?op ~addr kind =
               e.last_rc <- 1
           | Rc { old_rc; delta } -> e.last_rc <- old_rc + delta
           | Free _ -> e.frees <- e.frees + 1
-          | Retire | Defer -> ());
+          (* Parked deltas do not move the heap count; the paired Rc event
+             emitted when a flush applies them does. *)
+          | Retire | Defer | Defer_inc | Defer_dec | Flush _ -> ());
           push r e { step; tid; kind; op })
 
 let record_rc t ?op ~addr ~old_rc ~delta () =
@@ -225,6 +230,9 @@ let kind_name = function
       Printf.sprintf "rc%+d (%d->%d)" delta old_rc (old_rc + delta)
   | Retire -> "retire"
   | Defer -> "defer"
+  | Defer_inc -> "defer+1"
+  | Defer_dec -> "defer-1"
+  | Flush { net } -> Printf.sprintf "flush net%+d" net
   | Free { gen } -> Printf.sprintf "free#%d" gen
 
 let pp_event ppf ev =
@@ -302,6 +310,30 @@ let tracer_events t ~addr =
             kind = Tracer.Instant;
             name = name "defer";
             arg = 0;
+          }
+      | Defer_inc ->
+          {
+            Tracer.step = ev.step;
+            tid = addr;
+            kind = Tracer.Instant;
+            name = name "defer+1";
+            arg = 1;
+          }
+      | Defer_dec ->
+          {
+            Tracer.step = ev.step;
+            tid = addr;
+            kind = Tracer.Instant;
+            name = name "defer-1";
+            arg = -1;
+          }
+      | Flush { net } ->
+          {
+            Tracer.step = ev.step;
+            tid = addr;
+            kind = Tracer.Instant;
+            name = name (Printf.sprintf "flush net%+d" net);
+            arg = net;
           })
     (events t ~addr)
 

@@ -24,6 +24,14 @@ type kind =
       (** reference count moved from [old_rc] to [old_rc + delta] *)
   | Retire  (** handed to a deferred-reclamation scheme (EBR / HP) *)
   | Defer  (** destruction deferred by the LFRC Deferred policy *)
+  | Defer_inc
+      (** a +1 count adjustment parked in a deferred-rc buffer; the heap
+          count is unchanged until a flush applies the net delta *)
+  | Defer_dec  (** a parked -1 adjustment (see {!Defer_inc}) *)
+  | Flush of { net : int }
+      (** a deferred-rc flush applied this object's parked net delta to
+          the heap count; paired with an {!Rc} event carrying the same
+          delta so count replay stays legal *)
   | Free of { gen : int }  (** returned to the allocator *)
 
 type event = { step : int; tid : int; kind : kind; op : string }

@@ -140,6 +140,53 @@ let test_flags_unowned_store () =
   in
   checkb "unowned-store flagged" true (has_class Absint.Unowned_store r)
 
+(* The borrow itself is never *used* after the owner dies — so
+   escaping-get stays quiet — but it is still held when the flush runs,
+   which under deferred-rc is exactly when the object may be freed. *)
+let test_flags_borrow_across_flush () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-borrow-across-flush"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              let _p = O.get l in
+              O.retire ctx l;
+              (* the borrow's only owner is gone; the flush may free it *)
+              O.flush ctx );
+        ])
+  in
+  checkb "borrow-across-flush flagged" true
+    (has_class Absint.Borrow_across_flush r)
+
+(* A live owner spanning the flush keeps the borrow safe: the parked
+   decrements cannot drop the object's count to zero while [l] owns it. *)
+let test_borrow_with_live_owner_spans_flush () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-borrow-owned-flush"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              let _p = O.get l in
+              O.flush ctx;
+              O.retire ctx l );
+        ])
+  in
+  checki "owned borrow across flush is clean" 0 (errors_of r)
+
 (* --- OPS bypass --- *)
 
 let test_flags_lfrc_bypass () =
@@ -249,12 +296,16 @@ let () =
             test_flags_use_after_retire;
           Alcotest.test_case "escaping-get" `Quick test_flags_escaping_get;
           Alcotest.test_case "unowned-store" `Quick test_flags_unowned_store;
+          Alcotest.test_case "borrow-across-flush" `Quick
+            test_flags_borrow_across_flush;
           Alcotest.test_case "lfrc-bypass" `Quick test_flags_lfrc_bypass;
         ] );
       ( "clean",
         [
           Alcotest.test_case "clean fixture passes" `Quick
             test_clean_fixture_passes;
+          Alcotest.test_case "owned borrow spans flush" `Quick
+            test_borrow_with_live_owner_spans_flush;
           Alcotest.test_case "all shipped structures pass" `Quick
             test_shipped_structures_clean;
         ] );

@@ -1,0 +1,179 @@
+(* Concurrent linearizability of the LFRC set structures (dlist-set and
+   skiplist), closing the coverage gap left by test_lin_stack_queue
+   (stack/queue) and test_structures (deque): randomized scheduling and
+   PCT sweeps, full Wing–Gong checking against a functional set model,
+   in both eager and deferred-rc modes. After the workers join, thread 0
+   probes every key quiescently so lost or resurrected elements make the
+   history non-linearizable. *)
+
+module Heap = Lfrc_simmem.Heap
+module Env = Lfrc_core.Env
+module Sched = Lfrc_sched.Sched
+module Strategy = Lfrc_sched.Strategy
+module History = Lfrc_linearize.History
+module Scenario = Lfrc_harness.Scenario
+module IntSet = Set.Make (Int)
+
+module Dset = Lfrc_structures.Dlist_set.Make (Lfrc_core.Lfrc_ops)
+module Skipset = Lfrc_structures.Skiplist.As_set (Lfrc_core.Lfrc_ops)
+
+module Set_spec = struct
+  type state = IntSet.t
+  type op = Insert of int | Remove of int | Contains of int
+  type res = B of bool
+
+  let init = IntSet.empty
+
+  let apply state = function
+    | Insert v -> (IntSet.add v state, B (not (IntSet.mem v state)))
+    | Remove v -> (IntSet.remove v state, B (IntSet.mem v state))
+    | Contains v -> (state, B (IntSet.mem v state))
+
+  let equal_res (B a) (B b) = a = b
+
+  let pp_op ppf = function
+    | Insert v -> Format.fprintf ppf "insert %d" v
+    | Remove v -> Format.fprintf ppf "remove %d" v
+    | Contains v -> Format.fprintf ppf "contains %d" v
+
+  let pp_res ppf (B b) = Format.fprintf ppf "%b" b
+end
+
+module Set_checker = Lfrc_linearize.Checker.Make (Set_spec)
+
+(* Keys the quiescent probe sweeps after the workers join. *)
+let key_space = [ 1; 2; 3 ]
+
+let run_set_scenario (module S : Lfrc_structures.Container_intf.SET)
+    ~rc_epoch ~preload ~threads strategy =
+  let history = History.create () in
+  let body () =
+    let heap = Heap.create ~name:("lin-" ^ S.name) () in
+    let env =
+      Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch heap
+    in
+    let t = S.create env in
+    let h0 = S.register t in
+    List.iter
+      (fun v ->
+        let r = S.insert h0 v in
+        ignore
+          (History.record history ~thread:0 (Set_spec.Insert v) (fun () ->
+               Set_spec.B r)))
+      preload;
+    let tids =
+      List.mapi
+        (fun i ops ->
+          Sched.spawn (fun () ->
+              let h = S.register t in
+              List.iter
+                (fun op ->
+                  ignore
+                    (History.record history ~thread:(i + 1) op (fun () ->
+                         match op with
+                         | Set_spec.Insert v -> Set_spec.B (S.insert h v)
+                         | Set_spec.Remove v -> Set_spec.B (S.remove h v)
+                         | Set_spec.Contains v -> Set_spec.B (S.contains h v))))
+                ops;
+              S.unregister h))
+        threads
+    in
+    Sched.join tids;
+    (* Quiescent membership probe joins the history: a lost insert or a
+       resurrected remove shows up as an impossible Contains answer. *)
+    List.iter
+      (fun v ->
+        ignore
+          (History.record history ~thread:0 (Set_spec.Contains v) (fun () ->
+               Set_spec.B (S.contains h0 v))))
+      key_space;
+    S.unregister h0;
+    S.destroy t;
+    Lfrc_simmem.Report.assert_no_leaks heap
+  in
+  ignore (Sched.run ~max_steps:1_000_000 strategy body);
+  match Set_checker.check history with
+  | Set_checker.Linearizable _ -> true
+  | Set_checker.Not_linearizable -> false
+
+let scenarios =
+  Set_spec.
+    [
+      ([ 2 ], [ [ Insert 1 ]; [ Remove 2 ]; [ Contains 2 ] ]);
+      ([], [ [ Insert 1; Remove 1 ]; [ Insert 1 ]; [ Contains 1 ] ]);
+      ([ 1; 3 ], [ [ Insert 2; Contains 1 ]; [ Remove 3; Insert 3 ] ]);
+      ([ 1; 2 ], [ [ Remove 1; Remove 2 ]; [ Insert 1 ]; [ Remove 1 ] ]);
+    ]
+
+let modes = [ ("eager", 0); ("deferred", Scenario.deferred_rc_epoch) ]
+
+let impls : (string * (module Lfrc_structures.Container_intf.SET)) list =
+  [ ("dlist-set", (module Dset)); ("skiplist", (module Skipset)) ]
+
+let test_randomized (name, impl) () =
+  List.iter
+    (fun (mode, rc_epoch) ->
+      List.iteri
+        (fun i (preload, threads) ->
+          for seed = 0 to 99 do
+            if
+              not
+                (run_set_scenario impl ~rc_epoch ~preload ~threads
+                   (Strategy.Random seed))
+            then
+              Alcotest.failf "%s/%s scenario %d seed %d not linearizable"
+                name mode i seed
+          done)
+        scenarios)
+    modes
+
+let test_pct (name, impl) () =
+  let preload, threads = List.hd scenarios in
+  List.iter
+    (fun (mode, rc_epoch) ->
+      for seed = 0 to 299 do
+        if
+          not
+            (run_set_scenario impl ~rc_epoch ~preload ~threads
+               (Strategy.Pct { seed; change_points = 3 }))
+        then
+          Alcotest.failf "%s/%s: PCT seed %d not linearizable" name mode seed
+      done)
+    modes
+
+(* Oracle sanity: a fabricated impossible history must be rejected. *)
+let test_oracle_catches_lost_insert () =
+  let history = History.create () in
+  ignore
+    (History.record history ~thread:0 (Set_spec.Insert 5) (fun () ->
+         Set_spec.B true));
+  ignore
+    (History.record history ~thread:1 (Set_spec.Contains 5) (fun () ->
+         Set_spec.B false));
+  ignore
+    (History.record history ~thread:2 (Set_spec.Insert 5) (fun () ->
+         Set_spec.B true));
+  Alcotest.(check bool)
+    "double successful insert without a remove rejected" true
+    (match Set_checker.check history with
+    | Set_checker.Not_linearizable -> true
+    | Set_checker.Linearizable _ -> false)
+
+let () =
+  Alcotest.run "lin-sets"
+    (List.map
+       (fun (name, impl) ->
+         ( name,
+           [
+             Alcotest.test_case "randomized scenarios" `Slow
+               (test_randomized (name, impl));
+             Alcotest.test_case "pct scenarios" `Slow (test_pct (name, impl));
+           ] ))
+       impls
+    @ [
+        ( "oracle",
+          [
+            Alcotest.test_case "catches lost insert" `Quick
+              test_oracle_catches_lost_insert;
+          ] );
+      ])

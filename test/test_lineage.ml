@@ -108,7 +108,9 @@ let test_snark_cycle_figure2 () =
                 checki
                   (Printf.sprintf "addr %d: freed only at rc 0" addr)
                   0 !rc
-            | Lineage.Retire | Lineage.Defer -> ())
+            | Lineage.Retire | Lineage.Defer | Lineage.Defer_inc
+            | Lineage.Defer_dec | Lineage.Flush _ ->
+                ())
           evs;
         (* Every count transition is attributed to an LFRC operation —
            the cycle never touches a count outside the instrumented API. *)
