@@ -250,6 +250,51 @@ let run_json file =
       Printf.printf "workload %-22s %8.0f ops/sec (simulated, %d ops)\n%!"
         name ops_per_sec ops)
     entries;
+  (* Crash-recovery counters: replay E11's crash and multi-crash cells
+     with adoption on, eager and deferred-rc, aggregating into one
+     synthetic workload entry. The adopt_* counters are deterministic
+     under the simulated scheduler, so [--compare] gates recovery-
+     behavior drift exactly like any structural counter. *)
+  let () =
+    let module E11 = Lfrc_harness.E11_chaos in
+    let metrics = Metrics.create () in
+    let faults =
+      List.filter
+        (fun f -> List.mem (E11.fault_name f) [ "crash"; "multi-crash" ])
+        E11.fault_kinds
+    in
+    let runs = ref 0 in
+    let (), wall_ns =
+      Clock.time_ns (fun () ->
+          List.iter
+            (fun structure ->
+              List.iter
+                (fun fault ->
+                  List.iter
+                    (fun seed ->
+                      List.iter
+                        (fun rc_epoch ->
+                          incr runs;
+                          ignore
+                            (E11.run_one ~rc_epoch ~recover:true ~metrics
+                               ~structure ~fault ~seed ()))
+                        [ 0; Lfrc_harness.Scenario.deferred_rc_epoch ])
+                    [ 1; 2; 3 ])
+                faults)
+            E11.structures)
+    in
+    let runs = !runs in
+    let per_sec = float_of_int runs /. (float_of_int wall_ns /. 1e9) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n    {\"structure\": \"chaos-recovery\", \"workers\": 3, \
+          \"ops\": %d, \"wall_ns\": %d, \"ops_per_sec\": %.1f, \
+          \"profile\": null, \"metrics\": %s}"
+         runs wall_ns per_sec
+         (Metrics.to_json (Metrics.snapshot metrics)));
+    Printf.printf "workload %-22s %8.0f runs/sec (recovered chaos, %d runs)\n%!"
+      "chaos-recovery" per_sec runs
+  in
   Buffer.add_string buf "\n  ],\n  \"experiments\": [";
   let e2_eager = ref None in
   List.iteri
@@ -437,7 +482,7 @@ let run_compare rest =
   let baseline = ref None
   and threshold = ref 30.0
   and report_only = ref false
-  and current = ref "BENCH_pr5.json" in
+  and current = ref "BENCH_pr6.json" in
   let usage () =
     prerr_endline
       "usage: bench --compare BASELINE.json [--current FILE] [--threshold \
@@ -478,7 +523,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
-  | [ "--json" ] -> run_json "BENCH_pr5.json"
+  | [ "--json" ] -> run_json "BENCH_pr6.json"
   | [ "--json"; file ] -> run_json file
   | "--compare" :: rest -> run_compare rest
   | [] ->

@@ -357,7 +357,7 @@ let forensics_cmd =
                 {
                   Lfrc_faults.Fault_plan.default with
                   seed;
-                  crash = Some (1 + (seed mod workers), 15);
+                  crashes = [ (1 + (seed mod workers), 15) ];
                 }
               else { Lfrc_faults.Fault_plan.default with seed }
         in
@@ -510,7 +510,17 @@ let chaos_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run's report, not just failures.")
   in
-  let run structure fault seeds verbose =
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Run the crash-recovery adoption pass after each run and audit \
+             strictly: crashed threads' orphaned references are adopted \
+             and the run fails on $(i,any) remaining leak, not just an \
+             unaccounted one.")
+  in
+  let run structure fault seeds verbose recover =
     let structures =
       match structure with Some s -> [ s ] | None -> E11.structures
     in
@@ -521,7 +531,7 @@ let chaos_cmd =
         List.iter
           (fun f ->
             for seed = 1 to seeds do
-              let r = E11.run_one ~structure:s ~fault:f ~seed () in
+              let r = E11.run_one ~recover ~structure:s ~fault:f ~seed () in
               let bad = not (Lfrc_faults.Chaos.ok r) in
               if bad then failed := true;
               if bad || verbose then
@@ -540,7 +550,7 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Fault-injection runs (spurious CAS/DCAS, OOM, crashes) with post-mortem heap audit")
-    Term.(const run $ structure $ fault $ seeds $ verbose)
+    Term.(const run $ structure $ fault $ seeds $ verbose $ recover)
 
 let analyze_cmd =
   let module Checker = Lfrc_analysis.Checker in

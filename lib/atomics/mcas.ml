@@ -185,6 +185,46 @@ let rec help_mcas mref =
             entries
       end
 
+(* Adopt a (crashed) thread's descriptor slot: help whatever operation the
+   slot's current sequence numbers describe to completion, so no cell is
+   left holding a dead thread's descriptor reference. Safe to call at any
+   time — helping is idempotent, and a slot whose operations all finished
+   is a no-op. Returns how many descriptors actually needed helping. *)
+let adopt_slot slot =
+  if slot < 0 || slot >= pool_size then 0
+  else begin
+    let helped = ref 0 in
+    (* The RDCSS descriptor first: completing it either promotes the cell
+       to the owning MCAS reference (finished by the help below) or
+       restores the old value — never leaves the intermediate state. *)
+    let rd = rpool.(slot) in
+    let rseq = Atomic.get rd.r_seq in
+    if rseq > 0 then begin
+      let rref = mk_ref tag_rdcss slot rseq in
+      (match read_rdesc slot rseq with
+      | Some (cell, _, _) when Atomic.get (Cell.raw cell) = rref ->
+          incr helped
+      | _ -> ());
+      help_rdcss rref
+    end;
+    let d = mpool.(slot) in
+    let mseq = Atomic.get d.m_seq in
+    if mseq > 0 && Array.length d.m_entries > 0 then begin
+      let mref = mk_ref tag_mcas slot mseq in
+      let needs_help =
+        Atomic.get d.m_status = undecided
+        || Array.exists
+             (fun (cell, _, _) -> Atomic.get (Cell.raw cell) = mref)
+             d.m_entries
+      in
+      if needs_help then begin
+        incr helped;
+        help_mcas mref
+      end
+    end;
+    !helped
+  end
+
 let mcas spec =
   let n = Array.length spec in
   if n = 0 then true

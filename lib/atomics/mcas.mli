@@ -44,6 +44,15 @@ val read : Lfrc_simmem.Cell.t -> int
 val cas : Lfrc_simmem.Cell.t -> int -> int -> bool
 (** Single-word CAS that cooperates with in-flight MCAS operations. *)
 
+val adopt_slot : int -> int
+(** [adopt_slot slot] helps whatever operations the slot's current
+    descriptors describe to completion — completing or rolling back, never
+    leaving a cell holding the descriptor reference. Crash recovery calls
+    this with a dead thread's slot (its simulated thread id) so survivors
+    are never stuck behind, and the auditor never reads through, an
+    orphaned descriptor. Idempotent and safe on an idle slot; returns how
+    many descriptors actually needed helping. *)
+
 val max_entries : int
 
 val set_metrics : Lfrc_obs.Metrics.t -> unit

@@ -6,6 +6,7 @@ type finding =
   | Dangling of { holder : string; target : int }
   | Rc_below_refs of { id : int; rc : int; refs : int }
   | Unaccounted_leak of { id : int; rc : int }
+  | Residual_leak of { id : int; rc : int }
 
 type report = {
   live : int;
@@ -13,6 +14,7 @@ type report = {
   leaked : int;
   leaked_ids : int list;
   findings : finding list;
+  recovered : Recovery.report option;
 }
 
 let null = Heap.null
@@ -32,7 +34,7 @@ let reach heap seeds =
   List.iter go seeds;
   seen
 
-let run env =
+let run ?(strict = false) ?recovered env =
   let heap = Env.heap env in
   let findings = ref [] in
   let add f = findings := f :: !findings in
@@ -87,6 +89,11 @@ let run env =
         leaked_ids := p :: !leaked_ids;
         if not (Hashtbl.mem anchored p) then
           add (Unaccounted_leak { id = p; rc = rc_of heap p })
+        else if strict then
+          (* After a recovery pass every lost reference has been adopted,
+             so even an {e anchored} leak is a bug: something recovery
+             failed to reclaim. *)
+          add (Residual_leak { id = p; rc = rc_of heap p })
       end);
 
   {
@@ -95,6 +102,7 @@ let run env =
     leaked = !leaked;
     leaked_ids = List.rev !leaked_ids;
     findings = List.rev !findings;
+    recovered;
   }
 
 let ok r = r.findings = []
@@ -110,9 +118,15 @@ let pp_finding ppf = function
         "unaccounted leak: object %d (rc=%d) reachable from no root or \
          lost reference"
         id rc
+  | Residual_leak { id; rc } ->
+      Format.fprintf ppf
+        "residual leak: object %d (rc=%d) survived the recovery pass" id rc
 
 let pp ppf r =
   Format.fprintf ppf "live=%d reachable=%d leaked=%d findings=%d" r.live
     r.reachable r.leaked
     (List.length r.findings);
+  (match r.recovered with
+  | None -> ()
+  | Some rec_ -> Format.fprintf ppf "@\n  %a" Recovery.pp rec_);
   List.iter (fun f -> Format.fprintf ppf "@\n  %a" pp_finding f) r.findings

@@ -18,13 +18,21 @@
       queue ({!Lfrc_core.Env.anchors}). Garbage may exist ("it is
       possible for garbage to exist and never be freed in the case where
       a thread fails permanently"), but every piece must be attributable
-      to a lost reference; anything else is a counting bug. *)
+      to a lost reference; anything else is a counting bug.
+
+    {b Strict mode} tightens check 3 for audits that run {e after} a
+    {!Recovery} pass: adoption has reclaimed every lost reference, so an
+    anchored leak is no longer a concession — it is something recovery
+    failed to free, reported as {!finding.Residual_leak}. A strict audit
+    with no findings therefore certifies {e zero} leaked objects. *)
 
 type finding =
   | Dangling of { holder : string; target : int }
       (** [holder] describes the referring slot or root *)
   | Rc_below_refs of { id : int; rc : int; refs : int }
   | Unaccounted_leak of { id : int; rc : int }
+  | Residual_leak of { id : int; rc : int }
+      (** strict mode only: a leak that survived the recovery pass *)
 
 type report = {
   live : int;  (** live objects at audit time *)
@@ -35,9 +43,14 @@ type report = {
           the lineage forensics use to name the operation that dropped
           each one's last reference ({!Lfrc_obs.Lineage.leak_report}) *)
   findings : finding list;
+  recovered : Recovery.report option;
+      (** the recovery pass this audit certifies, when one ran *)
 }
 
-val run : Lfrc_core.Env.t -> report
+val run : ?strict:bool -> ?recovered:Recovery.report -> Lfrc_core.Env.t -> report
+(** [strict] (default false) turns anchored leaks into
+    {!finding.Residual_leak} findings — use after {!Recovery.run}.
+    [recovered] is carried into the report for accounting and display. *)
 
 val ok : report -> bool
 (** No findings. Leaks are not findings when anchored — check [leaked]

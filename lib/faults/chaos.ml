@@ -13,6 +13,8 @@ type report = {
   repro : string;
   status : status;
   audit : Audit.report option;
+  audit_advisory : bool;
+  recovery : Recovery.report option;
   injected : int;
   counters : Lfrc_atomics.Dcas.counters;
   metrics : Lfrc_obs.Metrics.snapshot;
@@ -20,15 +22,15 @@ type report = {
 }
 
 let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?(rc_epoch = 0)
-    ?metrics ?(lineage = Lfrc_obs.Lineage.disabled)
+    ?(dcas_impl = Lfrc_atomics.Dcas.Atomic_step) ?(recover = false) ?metrics
+    ?(lineage = Lfrc_obs.Lineage.disabled)
     ?(profile = Lfrc_obs.Profile.disabled) ~strategy ~spec body =
   let heap = Heap.create ~name:"chaos" () in
   let metrics =
     match metrics with Some m -> m | None -> Lfrc_obs.Metrics.create ()
   in
   let env =
-    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~policy ~rc_epoch
-      ~metrics ~lineage ~profile heap
+    Env.create ~dcas_impl ~policy ~rc_epoch ~metrics ~lineage ~profile heap
   in
   let plan = Fault_plan.make spec in
   Fault_plan.install plan env;
@@ -53,30 +55,51 @@ let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?(rc_epoch = 0)
         | exception Sched.Thread_failure { tid; exn; _ } ->
             Thread_raised { tid; exn })
   in
-  let audit =
+  let audit, audit_advisory, recovery =
     match status with
-    | Completed _ ->
+    | Completed { crashed; _ } ->
+        let recovery =
+          if recover && crashed <> [] then Some (Recovery.run env ~crashed)
+          else None
+        in
         (* Deferred-rc parks count deltas that only land at a flush; an
            audit over unflushed buffers would see phantom leaks (parked
            -1s) and phantom under-counts (parked +1s). Crashed threads'
            buffers live in the environment, so this settles their deltas
-           too. *)
-        if Env.rc_deferred env then ignore (Lfrc_core.Lfrc.flush env);
-        Some (Audit.run env)
-    | _ -> None
+           too. The recovery pass ends with this same flush. *)
+        if recovery = None && Env.rc_deferred env then
+          ignore (Lfrc_core.Lfrc.flush env);
+        (Some (Audit.run ~strict:recover ?recovered:recovery env), false,
+         recovery)
+    | Livelock _ | Thread_raised _ -> (
+        (* The heap is frozen mid-operation, where the audit's invariants
+           do not all hold — but a best-effort advisory report (what
+           leaked, what dangles) is still worth more than silence when
+           triaging the failure. Never let it mask the real outcome. *)
+        match
+          if Env.rc_deferred env then ignore (Lfrc_core.Lfrc.flush env);
+          Audit.run env
+        with
+        | a -> (Some a, true, None)
+        | exception _ -> (None, true, None))
   in
   {
     spec;
     repro;
     status;
     audit;
+    audit_advisory;
+    recovery;
     injected = Fault_plan.injected plan;
     counters = Lfrc_atomics.Dcas.counters (Env.dcas env);
     metrics = Lfrc_obs.Metrics.snapshot metrics;
     env;
   }
 
-let ok r = match r.audit with Some a -> Audit.ok a | None -> false
+let ok r =
+  match (r.status, r.audit) with
+  | Completed _, Some a -> Audit.ok a
+  | _ -> false
 
 let pp_status ppf = function
   | Completed { steps; crashed } ->
@@ -98,6 +121,12 @@ let pp ppf r =
     r.counters.Lfrc_atomics.Dcas.max_cas_failure_streak r.repro;
   if not (Lfrc_obs.Metrics.is_empty r.metrics) then
     Format.fprintf ppf "@\nmetrics: %a" Lfrc_obs.Metrics.pp r.metrics;
+  (match r.recovery with
+  | None -> ()
+  | Some rec_ -> Format.fprintf ppf "@\n%a" Recovery.pp rec_);
   match r.audit with
   | None -> ()
-  | Some a -> Format.fprintf ppf "@\naudit: %a" Audit.pp a
+  | Some a ->
+      Format.fprintf ppf "@\naudit%s: %a"
+        (if r.audit_advisory then " (advisory)" else "")
+        Audit.pp a

@@ -23,8 +23,17 @@ type report = {
   repro : string;
   status : status;
   audit : Audit.report option;
-      (** present iff the run completed; the livelock and raise outcomes
-          leave the heap mid-operation, where auditing is meaningless *)
+      (** authoritative when the run completed. The livelock and raise
+          outcomes freeze the heap mid-operation, where the audit's
+          invariants do not all hold — they get a best-effort {e
+          advisory} audit instead ([audit_advisory = true]), or [None]
+          if even that raised. *)
+  audit_advisory : bool;
+      (** the audit above is advisory (non-completed outcome): useful for
+          triage, meaningless for pass/fail — {!ok} ignores it *)
+  recovery : Recovery.report option;
+      (** the adoption pass that ran before the audit, when [recover]
+          was set and the completed run had crashed threads *)
   injected : int;  (** faults fired during the run *)
   counters : Lfrc_atomics.Dcas.counters;
   metrics : Lfrc_obs.Metrics.snapshot;
@@ -37,6 +46,8 @@ val run :
   ?max_steps:int ->
   ?policy:Lfrc_core.Env.policy ->
   ?rc_epoch:int ->
+  ?dcas_impl:Lfrc_atomics.Dcas.impl ->
+  ?recover:bool ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?lineage:Lfrc_obs.Lineage.t ->
   ?profile:Lfrc_obs.Profile.t ->
@@ -49,7 +60,12 @@ val run :
     [max_steps] defaults to 2 million; [policy] to [Iterative]; [rc_epoch]
     (deferred-rc coalescing, see {!Lfrc_core.Env.create}) to 0 — when it
     is positive, a forced {!Lfrc_core.Lfrc.flush} settles all parked
-    count deltas before the post-mortem audit runs. Hooks are
+    count deltas before the post-mortem audit runs. [dcas_impl] defaults
+    to [Atomic_step]. [recover] (default false) runs {!Recovery.run} over
+    the crashed threads of a completed run and then audits in {e strict}
+    mode — the audit passes only if recovery left {e zero} leaked
+    objects (see {!Audit}; under [Software_mcas] strict recovery is not
+    asserted — {!Recovery} documents the limit). Hooks are
     uninstalled before returning, whatever the outcome. [metrics]
     defaults to a fresh enabled registry private to this run; pass a
     shared one to aggregate across a campaign of runs (the report's
@@ -59,7 +75,9 @@ val run :
     operation that dropped each leaked object's last reference. *)
 
 val ok : report -> bool
-(** Completed and the audit found nothing. *)
+(** Completed and the (authoritative, non-advisory) audit found
+    nothing. Livelock and raise outcomes are never ok, whatever their
+    advisory audit says. *)
 
 val pp_status : Format.formatter -> status -> unit
 val pp : Format.formatter -> report -> unit

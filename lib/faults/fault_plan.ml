@@ -9,7 +9,10 @@ type spec = {
   alloc_fail_at : int list;
   alloc_fail_prob : float;
   max_spurious : int;
-  crash : (int * int) option;
+  (* (victim tid, resume index) pairs; each victim crashes permanently at
+     its n-th scheduler resume. Several entries make a multi-crash plan;
+     several entries for the same tid fire only the first reached. *)
+  crashes : (int * int) list;
 }
 
 let default =
@@ -22,7 +25,7 @@ let default =
     alloc_fail_at = [];
     alloc_fail_prob = 0.0;
     max_spurious = 1000;
-    crash = None;
+    crashes = [];
   }
 
 (* The textual form appears in failure reports and must survive a round
@@ -52,9 +55,11 @@ let spec_to_string s =
     s.cas_fail_prob s.dcas_fail_prob
     (ints_to_string s.alloc_fail_at)
     s.alloc_fail_prob s.max_spurious
-    (match s.crash with
-    | None -> "-"
-    | Some (tid, n) -> Printf.sprintf "%d:%d" tid n)
+    (match s.crashes with
+    | [] -> "-"
+    | cs ->
+        String.concat ","
+          (List.map (fun (tid, n) -> Printf.sprintf "%d:%d" tid n) cs))
 
 let spec_of_string str =
   let kv part =
@@ -102,17 +107,25 @@ let spec_of_string str =
     let* max_spurious =
       Option.bind (Hashtbl.find_opt tbl "cap") int_of_string_opt
     in
-    let* crash =
+    let* crashes =
       match Hashtbl.find_opt tbl "crash" with
       | None -> None
-      | Some "-" -> Some None
-      | Some s -> (
-          match String.split_on_char ':' s with
-          | [ tid; n ] -> (
-              match (int_of_string_opt tid, int_of_string_opt n) with
-              | Some tid, Some n -> Some (Some (tid, n))
-              | _ -> None)
-          | _ -> None)
+      | Some "-" -> Some []
+      | Some s ->
+          let pair p =
+            match String.split_on_char ':' p with
+            | [ tid; n ] -> (
+                match (int_of_string_opt tid, int_of_string_opt n) with
+                | Some tid, Some n -> Some (tid, n)
+                | _ -> None)
+            | _ -> None
+          in
+          let rec go acc = function
+            | [] -> Some (List.rev acc)
+            | p :: rest -> (
+                match pair p with Some c -> go (c :: acc) rest | None -> None)
+          in
+          go [] (String.split_on_char ',' s)
     in
     Some
       {
@@ -124,7 +137,7 @@ let spec_of_string str =
         alloc_fail_at;
         alloc_fail_prob;
         max_spurious;
-        crash;
+        crashes;
       }
 
 type t = {
@@ -135,7 +148,7 @@ type t = {
   mutable alloc_seen : int;
   mutable spurious_fired : int; (* probabilistic injections, capped *)
   mutable fired : int; (* all injections *)
-  mutable crash_fired : bool;
+  mutable pending_crashes : (int * int) list; (* not yet fired *)
   resumes : (int, int ref) Hashtbl.t;
 }
 
@@ -148,7 +161,7 @@ let make spec =
     alloc_seen = 0;
     spurious_fired = 0;
     fired = 0;
-    crash_fired = false;
+    pending_crashes = spec.crashes;
     resumes = Hashtbl.create 8;
   }
 
@@ -207,8 +220,14 @@ let uninstall env =
   Lfrc_simmem.Heap.set_alloc_hook (Lfrc_core.Env.heap env) None
 
 let crash_hook t ~tid ~step:_ =
-  match t.plan_spec.crash with
-  | Some (victim, n) when tid = victim && not t.crash_fired ->
+  if t.pending_crashes = [] then false
+  else begin
+    (* Count this victim's resumes whether or not its entry fires this
+       time, so "crash t2 at its 31st resume" stays replayable no matter
+       how many other victims the plan names. *)
+    let watched = List.exists (fun (v, _) -> v = tid) t.pending_crashes in
+    if not watched then false
+    else begin
       let count =
         match Hashtbl.find_opt t.resumes tid with
         | Some r -> r
@@ -219,10 +238,14 @@ let crash_hook t ~tid ~step:_ =
       in
       let i = !count in
       incr count;
-      if i = n then begin
-        t.crash_fired <- true;
+      let fires = List.exists (fun (v, n) -> v = tid && n = i) t.pending_crashes in
+      if fires then begin
+        (* A dead thread never resumes again: drop every entry naming it. *)
+        t.pending_crashes <-
+          List.filter (fun (v, _) -> v <> tid) t.pending_crashes;
         t.fired <- t.fired + 1;
         true
       end
       else false
-  | _ -> false
+    end
+  end

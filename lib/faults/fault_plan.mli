@@ -31,13 +31,16 @@ type spec = {
       (** cap on {e probabilistic} injections of all kinds: keeps a chaos
           run lock-free in the limit so it terminates (indexed faults are
           not capped — a sweep means every listed index) *)
-  crash : (int * int) option;
-      (** [(tid, n)]: kill thread [tid] at its [n]-th resume (0-based) *)
+  crashes : (int * int) list;
+      (** [(tid, n)] pairs: kill thread [tid] at its [n]-th resume
+          (0-based). Multiple pairs make a multi-crash plan; resumes are
+          counted per victim independently, so each pair is replayable on
+          its own. Duplicate tids fire only the first index reached. *)
 }
 
 val default : spec
 (** No faults: seed 0, empty index lists, zero probabilities,
-    [max_spurious = 1000], no crash. Build specs with
+    [max_spurious = 1000], no crashes. Build specs with
     [{ default with ... }]. *)
 
 val spec_to_string : spec -> string
@@ -47,7 +50,7 @@ val spec_of_string : string -> spec option
 
 type t
 (** A running plan: a spec plus its mutable fire-state (operation
-    counters, the random stream, whether the crash has fired). Single
+    counters, the random stream, the crashes still pending). Single
     simulated-run use only — make a fresh plan per run. *)
 
 val make : spec -> t
@@ -61,8 +64,8 @@ val uninstall : Lfrc_core.Env.t -> unit
 (** Clear both hooks. *)
 
 val crash_hook : t -> tid:int -> step:int -> bool
-(** Pass as [Sched.run]'s [inject_crash]. Counts resumes per thread and
-    fires the spec's crash exactly once. *)
+(** Pass as [Sched.run]'s [inject_crash]. Counts resumes per victim and
+    fires each of the spec's crashes exactly once. *)
 
 val injected : t -> int
 (** How many faults (of all kinds, indexed and probabilistic) have fired

@@ -78,7 +78,24 @@ let fault_kinds =
           {
             Fault_plan.default with
             seed;
-            crash = Some (1 + (seed mod default_workers), 5 + (seed * 7 mod 120));
+            crashes = [ (1 + (seed mod default_workers), 5 + (seed * 7 mod 120)) ];
+          });
+    };
+    {
+      f_name = "multi-crash";
+      spec_for =
+        (fun ~seed ->
+          (* Two distinct victims, staggered resumes: the second crash
+             lands while the first thread's orphans are already in the
+             registries, so recovery must adopt across owners. *)
+          {
+            Fault_plan.default with
+            seed;
+            crashes =
+              [
+                (1 + (seed mod default_workers), 5 + (seed * 7 mod 120));
+                (1 + ((seed + 1) mod default_workers), 20 + (seed * 11 mod 90));
+              ];
           });
     };
     {
@@ -92,7 +109,8 @@ let fault_kinds =
             dcas_fail_prob = 0.03;
             alloc_fail_prob = 0.05;
             max_spurious = 40;
-            crash = Some (1 + (seed mod default_workers), 10 + (seed * 13 mod 100));
+            crashes =
+              [ (1 + (seed mod default_workers), 10 + (seed * 13 mod 100)) ];
           });
     };
   ]
@@ -111,10 +129,10 @@ let fault_kinds_for (cfg : Scenario.config) =
       ]
 
 let run_one ?(workers = default_workers)
-    ?(ops_per_worker = default_ops_per_worker) ?(rc_epoch = 0) ?metrics
-    ~structure ~fault ~seed () =
+    ?(ops_per_worker = default_ops_per_worker) ?(rc_epoch = 0)
+    ?(recover = false) ?metrics ~structure ~fault ~seed () =
   let spec = fault.spec_for ~seed in
-  Chaos.run ?metrics ~rc_epoch ~max_steps:400_000
+  Chaos.run ?metrics ~rc_epoch ~recover ~max_steps:400_000
     ~strategy:(Strategy.Random seed)
     ~spec
     (fun env ->
@@ -142,6 +160,7 @@ let run (cfg : Scenario.config) =
           "completed";
           "audit-ok";
           "leaked(max)";
+          "leaked(rec)";
           "injected(sum)";
           "bad";
         ]
@@ -156,7 +175,9 @@ let run (cfg : Scenario.config) =
           and audit_ok = ref 0
           and leaked_max = ref 0
           and injected = ref 0
-          and bad = ref 0 in
+          and bad = ref 0
+          and rec_ran = ref false
+          and rec_leaked_max = ref 0 in
           List.iter
             (fun seed ->
               let r =
@@ -170,18 +191,41 @@ let run (cfg : Scenario.config) =
               | Chaos.Livelock _ | Chaos.Thread_raised _ ->
                   incr bad;
                   failures := r :: !failures);
-              match r.Chaos.audit with
-              | Some a ->
+              (match r.Chaos.audit with
+              | Some a when not r.Chaos.audit_advisory ->
                   leaked_max := max !leaked_max a.Lfrc_faults.Audit.leaked;
                   if Lfrc_faults.Audit.ok a then incr audit_ok
                   else begin
                     incr bad;
                     failures := r :: !failures
                   end
-              | None -> ())
+              | Some _ | None -> ());
+              (* The recovery column: replay every crash-completing cell
+                 with adoption on. Its strict audit tolerates nothing —
+                 a completed recovered run must leak zero objects. *)
+              match r.Chaos.status with
+              | Chaos.Completed { crashed = _ :: _; _ } ->
+                  let rr =
+                    run_one ~workers ~ops_per_worker
+                      ~rc_epoch:(Scenario.rc_epoch_of cfg)
+                      ~recover:true ~metrics ~structure ~fault ~seed ()
+                  in
+                  rec_ran := true;
+                  (match rr.Chaos.audit with
+                  | Some a when not rr.Chaos.audit_advisory ->
+                      rec_leaked_max :=
+                        max !rec_leaked_max a.Lfrc_faults.Audit.leaked
+                  | Some _ | None -> ());
+                  if not (Chaos.ok rr) then begin
+                    incr bad;
+                    failures := rr :: !failures
+                  end
+              | _ -> ())
             seeds;
-          Table.add_rowf table "%s|%s|%d|%d|%d|%d|%d|%d" structure.s_name
-            fault.f_name runs !completed !audit_ok !leaked_max !injected !bad)
+          Table.add_rowf table "%s|%s|%d|%d|%d|%d|%s|%d|%d" structure.s_name
+            fault.f_name runs !completed !audit_ok !leaked_max
+            (if !rec_ran then string_of_int !rec_leaked_max else "-")
+            !injected !bad)
         (fault_kinds_for cfg))
     structures;
   List.iter

@@ -2,11 +2,16 @@
 
     Each cell runs a multi-threaded workload on one LFRC structure under a
     {!Lfrc_faults.Fault_plan} (no faults / spurious CAS+DCAS / allocator
-    OOM / thread crash / all mixed) and judges it with the post-mortem
-    {!Lfrc_faults.Audit}. Any livelock, unexpected raise, or audit finding
-    is counted in the [bad] column and its replay token printed. When the
-    config carries a fault override, the fault axis collapses to that one
-    spec (re-seeded per run). *)
+    OOM / single or double thread crash / all mixed) and judges it with
+    the post-mortem {!Lfrc_faults.Audit}. Any livelock, unexpected raise,
+    or audit finding is counted in the [bad] column and its replay token
+    printed. Every crash-completing cell is then replayed with
+    [~recover:true]: the [leaked(max)] column shows the bounded leak the
+    paper concedes, [leaked(rec)] what remains after the
+    {!Lfrc_faults.Recovery} adoption pass — strict-audited, so anything
+    but 0 there is a failure ("-" means the cell had no completed run
+    with crashes). When the config carries a fault override, the fault
+    axis collapses to that one spec (re-seeded per run). *)
 
 type structure
 type fault_kind
@@ -20,6 +25,7 @@ val run_one :
   ?workers:int ->
   ?ops_per_worker:int ->
   ?rc_epoch:int ->
+  ?recover:bool ->
   ?metrics:Lfrc_obs.Metrics.t ->
   structure:structure ->
   fault:fault_kind ->
@@ -28,8 +34,10 @@ val run_one :
   Lfrc_faults.Chaos.report
 (** One cell of the matrix, for ad-hoc exploration (the [chaos] CLI
     command); prints nothing. [workers] defaults to 3, [ops_per_worker]
-    to 25; [rc_epoch] (deferred-rc coalescing, 0 = eager) and [metrics]
-    are passed through to {!Lfrc_faults.Chaos.run} (the latter defaulting
-    to a fresh registry private to the run). *)
+    to 25; [rc_epoch] (deferred-rc coalescing, 0 = eager), [recover]
+    (default false: run the crash-recovery adoption pass and audit
+    strictly) and [metrics] are passed through to
+    {!Lfrc_faults.Chaos.run} (the latter defaulting to a fresh registry
+    private to the run). *)
 
 val run : Scenario.config -> Common.result

@@ -3,6 +3,17 @@ type policy =
   | Iterative
   | Deferred of { budget_per_op : int }
 
+(* A registered thread-local pointer frame. [fr_view] reads the current
+   locals non-destructively (auditor anchors); [fr_take] surrenders them —
+   reads and clears — so a recovery pass can adopt a crashed owner's
+   references exactly once. *)
+type frame = {
+  fr_id : int;
+  fr_tid : int;
+  fr_view : unit -> int list;
+  fr_take : unit -> int list;
+}
+
 type t = {
   env_heap : Lfrc_simmem.Heap.t;
   env_dcas : Lfrc_atomics.Dcas.t;
@@ -18,11 +29,25 @@ type t = {
      must not change under LFRC. *)
   destroying : (int, int list ref) Hashtbl.t;
   destroying_lock : Mutex.t;
+  (* Speculative count increments not yet justified by a heap-visible
+     pointer: store/cas/dcas raise the new pointer's count before the
+     publishing CAS, and a crash in between leaves a +1 no destroy will
+     ever compensate. Keyed by thread id so recovery can compensate a
+     crashed thread's pending publications. *)
+  publishing : (int, int list ref) Hashtbl.t;
+  publishing_lock : Mutex.t;
   (* Thread-local pointer variables published for the same auditor (their
-     heap-frame analogue, kept off the heap for the same reason). *)
-  mutable local_frames : (int * (unit -> int list)) list;
+     heap-frame analogue, kept off the heap for the same reason). Each
+     frame records its owning thread and a [take] closure that surrenders
+     the locals, so recovery can adopt a crashed thread's references. *)
+  mutable local_frames : frame list;
   mutable local_frame_ctr : int;
   local_frames_lock : Mutex.t;
+  (* Recovery hooks: reclamation baselines (EBR/HP) register a closure at
+     create time that evicts crashed threads' pinned epochs / hazard slots.
+     The registry lives here — not in the fault layer — so the reclaim
+     library needs no dependency on faults and vice versa. *)
+  mutable recover_hooks : (crashed:int list -> int) list;
   (* Deferred-rc coalescing (PPoPP-2022-style batched count updates):
      per-thread buffers of parked ±1 count adjustments, keyed by thread id
      then by address, netted in place. The buffers live in the environment
@@ -34,6 +59,11 @@ type t = {
   rc_lock : Mutex.t;
   mutable rc_park_ops : int;  (* park events since the last drain *)
   mutable rc_in_flush : bool;
+  mutable rc_flush_tid : int;  (* owner of the flush flag, while held *)
+  (* Deltas the in-progress flush has drained but not yet applied; keeping
+     them here (not in the flusher's OCaml locals) means a crashed flusher
+     loses nothing — recovery re-parks them and a later flush lands them. *)
+  rc_applying : (int, int) Hashtbl.t;
   env_gc_threshold : int;
   mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
   env_metrics : Lfrc_obs.Metrics.t;
@@ -83,14 +113,19 @@ let create ?dcas_impl ?(policy = Iterative) ?(rc_epoch = 0) ?(gc_threshold = 0)
     pending_lock = Mutex.create ();
     destroying = Hashtbl.create 8;
     destroying_lock = Mutex.create ();
+    publishing = Hashtbl.create 8;
+    publishing_lock = Mutex.create ();
     local_frames = [];
     local_frame_ctr = 0;
     local_frames_lock = Mutex.create ();
+    recover_hooks = [];
     env_rc_epoch = rc_epoch;
     rc_buffers = Hashtbl.create 8;
     rc_lock = Mutex.create ();
     rc_park_ops = 0;
     rc_in_flush = false;
+    rc_flush_tid = -1;
+    rc_applying = Hashtbl.create 32;
     env_gc_threshold = gc_threshold;
     env_incremental = None;
     env_metrics = metrics;
@@ -218,14 +253,151 @@ let rc_parked t =
 let rc_try_begin_flush t =
   Mutex.lock t.rc_lock;
   let won = not t.rc_in_flush in
-  if won then t.rc_in_flush <- true;
+  if won then begin
+    t.rc_in_flush <- true;
+    t.rc_flush_tid <- Lfrc_sched.Sched.tid ()
+  end;
   Mutex.unlock t.rc_lock;
   won
 
 let rc_end_flush t =
   Mutex.lock t.rc_lock;
   t.rc_in_flush <- false;
+  t.rc_flush_tid <- -1;
   Mutex.unlock t.rc_lock
+
+(* --- crash-safe flush staging ---
+
+   A flush drains parked deltas into [rc_applying] (atomically, under the
+   same lock) and removes each entry only once its heap effect has landed.
+   The table — not the flusher's OCaml locals — is the authoritative record
+   of drained-but-unapplied deltas, so a flusher that crashes mid-apply
+   loses nothing: [rc_recover_flush] re-parks the leftovers and releases
+   the flush flag, and the next flush lands them. *)
+
+let rc_drain_into_applying t =
+  Mutex.lock t.rc_lock;
+  let had = t.rc_park_ops > 0 || Hashtbl.length t.rc_buffers > 0 in
+  Hashtbl.iter
+    (fun _tid buf ->
+      Hashtbl.iter
+        (fun addr v ->
+          let prev =
+            match Hashtbl.find_opt t.rc_applying addr with
+            | Some p -> p
+            | None -> 0
+          in
+          let net = prev + v in
+          if net = 0 then Hashtbl.remove t.rc_applying addr
+          else Hashtbl.replace t.rc_applying addr net)
+        buf)
+    t.rc_buffers;
+  Hashtbl.reset t.rc_buffers;
+  t.rc_park_ops <- 0;
+  Mutex.unlock t.rc_lock;
+  had
+
+let rc_applying_snapshot t =
+  Mutex.lock t.rc_lock;
+  let l = Hashtbl.fold (fun addr v acc -> (addr, v) :: acc) t.rc_applying [] in
+  Mutex.unlock t.rc_lock;
+  l
+
+(* Steal any parked delta for [addr] from the per-thread buffers AND the
+   applying table, returning the net. Used by the zero-detect path so a
+   concurrent flush's staged delta cannot resurrect or double-free. *)
+let rc_absorb t ~addr =
+  Mutex.lock t.rc_lock;
+  let stolen = ref 0 in
+  Hashtbl.iter
+    (fun _tid buf ->
+      match Hashtbl.find_opt buf addr with
+      | Some v ->
+          stolen := !stolen + v;
+          Hashtbl.remove buf addr
+      | None -> ())
+    t.rc_buffers;
+  (match Hashtbl.find_opt t.rc_applying addr with
+  | Some v ->
+      stolen := !stolen + v;
+      Hashtbl.remove t.rc_applying addr
+  | None -> ());
+  Mutex.unlock t.rc_lock;
+  !stolen
+
+let rc_apply_done t ~addr =
+  Mutex.lock t.rc_lock;
+  Hashtbl.remove t.rc_applying addr;
+  Mutex.unlock t.rc_lock
+
+(* Fold any freshly parked deltas for [addr] into its staged entry and
+   return the staged net. The entry stays staged — the caller unstages
+   with [rc_apply_done] once the heap CAS lands — so a crash in between
+   loses nothing. *)
+let rc_restage t ~addr =
+  Mutex.lock t.rc_lock;
+  let net =
+    ref
+      (match Hashtbl.find_opt t.rc_applying addr with Some v -> v | None -> 0)
+  in
+  Hashtbl.iter
+    (fun _tid buf ->
+      match Hashtbl.find_opt buf addr with
+      | Some v ->
+          net := !net + v;
+          Hashtbl.remove buf addr
+      | None -> ())
+    t.rc_buffers;
+  if !net = 0 then Hashtbl.remove t.rc_applying addr
+  else Hashtbl.replace t.rc_applying addr !net;
+  Mutex.unlock t.rc_lock;
+  !net
+
+(* If (and only if) the thread holding the flush flag crashed, re-park its
+   drained-but-unapplied deltas and release the flag. A live flusher always
+   clears both itself (Fun.protect), so a stuck flag implies a dead owner.
+   Returns the number of re-parked deltas. *)
+let rc_recover_flush t ~crashed =
+  Mutex.lock t.rc_lock;
+  let n = ref 0 in
+  if t.rc_in_flush && List.mem t.rc_flush_tid crashed then begin
+    let buf =
+      match Hashtbl.find_opt t.rc_buffers t.rc_flush_tid with
+      | Some b -> b
+      | None ->
+          let b = Hashtbl.create 16 in
+          Hashtbl.add t.rc_buffers t.rc_flush_tid b;
+          b
+    in
+    Hashtbl.iter
+      (fun addr v ->
+        incr n;
+        let prev =
+          match Hashtbl.find_opt buf addr with Some p -> p | None -> 0
+        in
+        let net = prev + v in
+        if net = 0 then Hashtbl.remove buf addr
+        else Hashtbl.replace buf addr net)
+      t.rc_applying;
+    Hashtbl.reset t.rc_applying;
+    if !n > 0 then t.rc_park_ops <- t.rc_park_ops + !n;
+    t.rc_in_flush <- false;
+    t.rc_flush_tid <- -1
+  end;
+  Mutex.unlock t.rc_lock;
+  !n
+
+let rc_parked_of t ~tids =
+  Mutex.lock t.rc_lock;
+  let n = ref 0 in
+  List.iter
+    (fun tid ->
+      match Hashtbl.find_opt t.rc_buffers tid with
+      | Some buf -> n := !n + Hashtbl.length buf
+      | None -> ())
+    tids;
+  Mutex.unlock t.rc_lock;
+  !n
 
 let begin_destroy t p =
   let tid = Lfrc_sched.Sched.tid () in
@@ -254,31 +426,122 @@ let destroying_now t =
   Mutex.unlock t.destroying_lock;
   ds
 
+(* Surrender the destroy-registry entries of crashed threads: each entry is
+   one distinct committed-but-unfinished drop (duplicates are multiple
+   pending drops — do NOT dedupe). *)
+let adopt_destroying t ~tids =
+  Mutex.lock t.destroying_lock;
+  let out = ref [] in
+  List.iter
+    (fun tid ->
+      match Hashtbl.find_opt t.destroying tid with
+      | Some l ->
+          out := !l @ !out;
+          Hashtbl.remove t.destroying tid
+      | None -> ())
+    tids;
+  Mutex.unlock t.destroying_lock;
+  !out
+
+let begin_publish t p =
+  if p <> Lfrc_simmem.Heap.null then begin
+    let tid = Lfrc_sched.Sched.tid () in
+    Mutex.lock t.publishing_lock;
+    (match Hashtbl.find_opt t.publishing tid with
+    | Some l -> l := p :: !l
+    | None -> Hashtbl.add t.publishing tid (ref [ p ]));
+    Mutex.unlock t.publishing_lock
+  end
+
+let end_publish t p =
+  if p <> Lfrc_simmem.Heap.null then begin
+    let tid = Lfrc_sched.Sched.tid () in
+    Mutex.lock t.publishing_lock;
+    (match Hashtbl.find_opt t.publishing tid with
+    | Some l ->
+        let rec remove = function
+          | [] -> []
+          | x :: rest -> if x = p then rest else x :: remove rest
+        in
+        l := remove !l
+    | None -> ());
+    Mutex.unlock t.publishing_lock
+  end
+
+let publishing_now t =
+  Mutex.lock t.publishing_lock;
+  let ps = Hashtbl.fold (fun _ l acc -> !l @ acc) t.publishing [] in
+  Mutex.unlock t.publishing_lock;
+  ps
+
+let adopt_publications t ~tids =
+  Mutex.lock t.publishing_lock;
+  let out = ref [] in
+  List.iter
+    (fun tid ->
+      match Hashtbl.find_opt t.publishing tid with
+      | Some l ->
+          out := !l @ !out;
+          Hashtbl.remove t.publishing tid
+      | None -> ())
+    tids;
+  Mutex.unlock t.publishing_lock;
+  !out
+
 type local_frame = int
 
-let register_locals t f =
+let register_locals t ~view ~take =
+  let tid = Lfrc_sched.Sched.tid () in
   Mutex.lock t.local_frames_lock;
   t.local_frame_ctr <- t.local_frame_ctr + 1;
   let id = t.local_frame_ctr in
-  t.local_frames <- (id, f) :: t.local_frames;
+  t.local_frames <-
+    { fr_id = id; fr_tid = tid; fr_view = view; fr_take = take }
+    :: t.local_frames;
   Mutex.unlock t.local_frames_lock;
   id
 
 let unregister_locals t id =
   Mutex.lock t.local_frames_lock;
-  t.local_frames <- List.filter (fun (i, _) -> i <> id) t.local_frames;
+  t.local_frames <- List.filter (fun f -> f.fr_id <> id) t.local_frames;
   Mutex.unlock t.local_frames_lock
+
+(* Take over the local frames of crashed threads: surrender each frame's
+   references and unregister it, returning (owner tid, refs) per frame. *)
+let adopt_locals t ~tids =
+  Mutex.lock t.local_frames_lock;
+  let mine, rest =
+    List.partition (fun f -> List.mem f.fr_tid tids) t.local_frames
+  in
+  t.local_frames <- rest;
+  Mutex.unlock t.local_frames_lock;
+  List.map (fun f -> (f.fr_tid, f.fr_take ())) mine
+
+let on_recover t hook = t.recover_hooks <- hook :: t.recover_hooks
+
+let run_recovery_hooks t ~crashed =
+  List.fold_left (fun acc hook -> acc + hook ~crashed) 0 t.recover_hooks
+
+let rc_applying_addrs t =
+  Mutex.lock t.rc_lock;
+  let addrs = Hashtbl.fold (fun addr _ acc -> addr :: acc) t.rc_applying [] in
+  Mutex.unlock t.rc_lock;
+  addrs
 
 let anchors t =
   Mutex.lock t.local_frames_lock;
   let frames = t.local_frames in
   Mutex.unlock t.local_frames_lock;
-  let locals = List.concat_map (fun (_, f) -> f ()) frames in
+  let locals = List.concat_map (fun f -> f.fr_view ()) frames in
   Mutex.lock t.pending_lock;
   let pend = Queue.fold (fun acc p -> p :: acc) [] t.pending in
   Mutex.unlock t.pending_lock;
   (* A parked -1 means a reference died whose count adjustment has not
      landed; a parked +1 means a published pointer's count is still short.
      Either way the address is in the middle of an accounting transfer, so
-     it is republished for the auditor exactly like an in-flight destroy. *)
-  destroying_now t @ pend @ rc_parked t @ locals
+     it is republished for the auditor exactly like an in-flight destroy.
+     The same goes for flush-staged deltas and pre-CAS publications. *)
+  destroying_now t @ pend
+  @ rc_parked t
+  @ rc_applying_addrs t
+  @ publishing_now t @ locals

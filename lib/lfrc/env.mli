@@ -133,9 +133,49 @@ val rc_parked : t -> int list
 val rc_try_begin_flush : t -> bool
 (** Claim the flush-in-progress flag; [false] means another thread is
     already flushing and the caller may skip (its parked deltas will be
-    picked up by that flush's re-drain loop). *)
+    picked up by that flush's re-drain loop). The claiming thread's id is
+    recorded so {!rc_recover_flush} can tell a stuck flag (dead owner)
+    from a live flush. *)
 
 val rc_end_flush : t -> unit
+
+(** {3 Crash-safe flush staging}
+
+    A flush drains parked deltas into an environment-owned applying table
+    and removes each only once its heap effect has landed; the flusher's
+    OCaml locals never hold the only copy. A flusher that crashes mid-apply
+    therefore loses nothing: {!rc_recover_flush} re-parks the leftovers. *)
+
+val rc_drain_into_applying : t -> bool
+(** Atomically move every thread's parked deltas into the applying table
+    (netting against anything already staged there). Returns whether any
+    buffer had content. Caller must hold the flush flag. *)
+
+val rc_applying_snapshot : t -> (int * int) list
+(** The staged (addr, net delta) pairs not yet applied, order unspecified. *)
+
+val rc_absorb : t -> addr:int -> int
+(** Atomically remove [addr]'s deltas from every thread's buffer {e and}
+    the applying table, returning the net. The zero-detect path uses this
+    so a concurrently staged delta cannot resurrect or double-free. *)
+
+val rc_apply_done : t -> addr:int -> unit
+(** The staged delta for [addr] has landed on the heap; unstage it. *)
+
+val rc_restage : t -> addr:int -> int
+(** Fold any freshly parked deltas for [addr] into its staged entry and
+    return the staged net (0 when nothing anywhere). The entry stays
+    staged until {!rc_apply_done}, so a crash in between loses nothing. *)
+
+val rc_recover_flush : t -> crashed:int list -> int
+(** If the thread holding the flush flag is in [crashed], re-park its
+    staged deltas (into the dead owner's buffer, where they stay anchored)
+    and release the flag; otherwise do nothing. Returns the number of
+    re-parked deltas. *)
+
+val rc_parked_of : t -> tids:int list -> int
+(** Number of addresses with parked deltas in the given threads' buffers
+    (adoption accounting aid). *)
 
 val defer : t -> int -> unit
 (** Enqueue a dead object for deferred freeing. Only valid under the
@@ -175,16 +215,54 @@ val end_destroy : t -> int -> unit
 val destroying_now : t -> int list
 (** All registered in-flight destroys, across threads (auditing aid). *)
 
+val adopt_destroying : t -> tids:int list -> int list
+(** Surrender and clear the destroy-registry entries of the given
+    (crashed) threads. Each entry is one distinct committed-but-unfinished
+    drop; duplicates are multiple pending drops and are all returned. *)
+
+val begin_publish : t -> int -> unit
+(** Record a speculative count increment the current thread has made ahead
+    of a publishing CAS (store/cas/dcas raise the new pointer's count
+    first). No-op on null. *)
+
+val end_publish : t -> int -> unit
+(** The publication resolved — the CAS landed, or the compensating destroy
+    is about to be registered; drop one occurrence. No-op on null. *)
+
+val publishing_now : t -> int list
+(** All pending publications, across threads (auditing aid). *)
+
+val adopt_publications : t -> tids:int list -> int list
+(** Surrender and clear the pending publications of the given (crashed)
+    threads, one entry per uncompensated +1. *)
+
 type local_frame
 
-val register_locals : t -> (unit -> int list) -> local_frame
-(** Publish a closure over a thread's local pointer variables for the
-    auditor; returns a token for {!unregister_locals}. *)
+val register_locals :
+  t -> view:(unit -> int list) -> take:(unit -> int list) -> local_frame
+(** Publish a thread's local pointer variables for the auditor. [view]
+    reads them non-destructively (anchoring); [take] surrenders them —
+    reads and clears — so a recovery pass can adopt them exactly once.
+    The calling simulated thread is recorded as the frame's owner.
+    Returns a token for {!unregister_locals}. *)
 
 val unregister_locals : t -> local_frame -> unit
 
+val adopt_locals : t -> tids:int list -> (int * int list) list
+(** Take over (surrender + unregister) the local frames owned by the given
+    (crashed) threads; returns [(owner tid, refs)] per frame. *)
+
+val on_recover : t -> (crashed:int list -> int) -> unit
+(** Register a recovery hook. Reclamation baselines (EBR/HP) use this to
+    evict crashed threads' pinned epochs / hazard slots without the fault
+    layer depending on the reclaim library. The hook returns how many
+    slots/objects it recovered. *)
+
+val run_recovery_hooks : t -> crashed:int list -> int
+(** Run all registered recovery hooks; returns the summed counts. *)
+
 val anchors : t -> int list
 (** Everything the auditor may treat as a lost-reference anchor: in-flight
-    destroys, the deferred queue's contents, addresses with parked rc
-    deltas, and all registered locals (with duplicates and nulls possible;
-    the caller filters). *)
+    destroys, the deferred queue's contents, addresses with parked or
+    flush-staged rc deltas, pending publications, and all registered
+    locals (with duplicates and nulls possible; the caller filters). *)

@@ -105,11 +105,6 @@ let free_obj env counter p =
   Metrics.incr (Env.metrics env) counter;
   Heap.free (Env.heap env) p
 
-let ptr_slot_contents env p =
-  let heap = Env.heap env in
-  let n = Heap.n_ptr_slots heap p in
-  List.init n (fun i -> Dcas.read (Env.dcas env) (Heap.ptr_cell heap p i))
-
 (* --- deferred-rc coalescing ---
 
    With [Env.rc_epoch > 0], the ±1 count traffic from store/copy/cas/dcas
@@ -139,67 +134,71 @@ let flush_rc env =
     let freed = ref 0 in
     Fun.protect ~finally:(fun () -> Env.rc_end_flush env) @@ fun () ->
     Metrics.incr metrics "lfrc.rc_flush";
-    let todo = ref [] in
-    let push addr v = todo := (addr, v) :: !todo in
-    let rec apply addr v =
-      if addr <> null && v <> 0 then begin
+    (* Crash safety: every delta this flush is working on lives in the
+       environment's applying table (staged atomically out of the buffers),
+       never only in this function's locals. A CAS success unstages its
+       delta in the same atomic step; a crash at any yield point leaves the
+       leftovers staged, where they stay anchored and a recovery pass
+       re-parks them for the next flush. *)
+    let rec apply addr =
+      if addr <> null then begin
         let rc = Heap.rc_cell heap addr in
         let oldrc = Dcas.read d rc in
-        (* Absorb anything parked for this address since the drain, so the
-           CAS below applies the complete net and a success at zero means
-           zero adjustments remain anywhere. *)
-        let v = v + Env.rc_steal env ~addr in
-        if v = 0 then ()
-        else begin
+        (* Fold in anything parked up to this instant so the CAS below
+           applies the complete net and a success at zero means zero
+           adjustments remain anywhere; the net stays staged until the CAS
+           lands. *)
+        let v = Env.rc_restage env ~addr in
+        if v <> 0 then begin
           Metrics.incr metrics "lfrc.rc_flush_cas";
           if Dcas.cas d rc oldrc (oldrc + v) then begin
+            (* No yield since the CAS: unstaging is atomic with it, so a
+               crashed flush can never re-apply a landed delta. *)
+            Env.rc_apply_done env ~addr;
             Lineage.record_rc ln ~op:"lfrc.flush" ~addr ~old_rc:oldrc ~delta:v
               ();
             Lineage.record ln ~op:"lfrc.flush" ~addr (Lineage.Flush { net = v });
             if oldrc + v = 0 then begin
-              (* No yield since the CAS: this re-check is atomic with it.
-                 A delta parked between the steal above and the CAS (a
-                 late +1 from a racing store) resurrects the object
-                 instead of freeing it. *)
-              let late = Env.rc_steal env ~addr in
-              if late <> 0 then push addr late
+              (* Still atomic with the CAS: a delta parked while it was in
+                 flight (a late +1 from a racing store) resurrects the
+                 object instead of freeing it. *)
+              let late = Env.rc_absorb env ~addr in
+              if late <> 0 then ignore (Env.rc_park env ~addr ~delta:late)
               else begin
                 Env.begin_destroy env addr;
-                let children = ptr_slot_contents env addr in
+                let n = Heap.n_ptr_slots heap addr in
+                for i = 0 to n - 1 do
+                  let cell = Heap.ptr_cell heap addr i in
+                  let child = Dcas.read d cell in
+                  if child <> null then begin
+                    (* Park the child's decrement and null the slot in one
+                       atomic step: the remaining non-null slots of this
+                       dead parent are exactly the drops not yet committed,
+                       so an adopter resuming a crashed flush never
+                       double-drops. *)
+                    Lineage.record ln ~op:"lfrc.flush" ~addr:child
+                      Lineage.Defer_dec;
+                    ignore (Env.rc_park env ~addr:child ~delta:(-1));
+                    Cell.set cell null
+                  end
+                done;
                 free_obj env "lfrc.frees" addr;
                 incr freed;
-                List.iter
-                  (fun child ->
-                    if child <> null then begin
-                      Lineage.record ln ~op:"lfrc.flush" ~addr:child
-                        Lineage.Defer_dec;
-                      push child (-1)
-                    end)
-                  children;
                 Env.end_destroy env addr
               end
             end
           end
           else begin
             retry env "lfrc.rc_retry";
-            apply addr v
+            apply addr
           end
         end
       end
     in
     let rec rounds () =
-      let batch = Env.rc_drain_all env in
-      if batch <> [] || !todo <> [] then begin
-        let agg = Hashtbl.create 32 in
-        List.iter
-          (fun (addr, v) ->
-            let prev =
-              match Hashtbl.find_opt agg addr with Some p -> p | None -> 0
-            in
-            Hashtbl.replace agg addr (prev + v))
-          (batch @ !todo);
-        todo := [];
-        let work = Hashtbl.fold (fun a v acc -> (a, v) :: acc) agg [] in
+      ignore (Env.rc_drain_into_applying env);
+      let work = Env.rc_applying_snapshot env in
+      if work <> [] then begin
         (* Positive nets land before negative ones so a count only dips to
            zero once its pending increments are in; address order breaks
            ties for deterministic replay. *)
@@ -207,9 +206,9 @@ let flush_rc env =
           List.sort
             (fun (a1, v1) (a2, v2) ->
               if v1 <> v2 then compare v2 v1 else compare a1 a2)
-            (List.filter (fun (_, v) -> v <> 0) work)
+            work
         in
-        List.iter (fun (addr, v) -> apply addr v) work;
+        List.iter (fun (addr, _) -> apply addr) work;
         rounds ()
       end
     in
@@ -228,12 +227,31 @@ let defer_rc env p delta =
     if parked >= Env.rc_epoch env then ignore (flush_rc env)
   end
 
-(* One increment of [p]'s count before a pointer to it is published —
-   eager CAS loop normally, parked when deferred-rc is on. *)
-let rc_incr env p =
-  if p <> null then
-    if Env.rc_deferred env then defer_rc env p 1
-    else ignore (add_to_rc env p 1)
+(* One increment of [p]'s count, made ahead of a publishing CAS — eager
+   CAS loop normally, parked when deferred-rc is on. The +1 exists
+   before any heap-visible pointer justifies it, so it is recorded in the
+   publication registry in the same atomic step it lands (eager: no yield
+   after add_to_rc's winning CAS; deferred: before the flush trigger can
+   yield). The caller ends the publication once the CAS resolves — on
+   success atomically with it, on failure atomically with registering the
+   compensating destroy — so no crash can separate the speculative count
+   from its record. *)
+let rc_incr_for_publish env p =
+  if p <> null then begin
+    if Env.rc_deferred env then begin
+      let metrics = Env.metrics env in
+      Metrics.incr metrics "lfrc.defer_inc";
+      Lineage.record (Env.lineage env) ~addr:p Lineage.Defer_inc;
+      let parked = Env.rc_park env ~addr:p ~delta:1 in
+      Env.begin_publish env p;
+      Metrics.set_gauge metrics "lfrc.rc_parked" parked;
+      if parked >= Env.rc_epoch env then ignore (flush_rc env)
+    end
+    else begin
+      ignore (add_to_rc env p 1);
+      Env.begin_publish env p
+    end
+  end
 
 (* From the moment a destroy is committed to dropping a reference until the
    object is freed (or handed to the deferred queue), that reference exists
@@ -242,44 +260,81 @@ let rc_incr env p =
    whole span. Registry calls are mutex-only (no yield points), so no
    simulated crash can separate a reference from its registration. *)
 
+(* Once an object's count reaches zero it is dead: only its destroyer ever
+   reads its pointer slots again. All destroy paths therefore null each
+   slot in the same atomic step that commits the child's drop (registry
+   entry, parked delta, or work-list push) — so a dead parent's remaining
+   non-null slots are exactly the drops not yet committed, and an adopter
+   resuming a crashed destroy never double-drops a child. *)
+
+(* The [_registered] variants assume [p]'s pending drop is already in the
+   destroy registry (placed by the caller, atomically with the CAS that
+   committed the drop) and consume that registration. The multi-drop sites
+   (DCAS success drops two references) need this: both drops are registered
+   atomically with the DCAS, so the second stays anchored while the first
+   cascades. *)
+
 (* Figure 2, lines 13..15: recursive destroy, faithful to the paper. *)
-let rec destroy_recursive env p =
+let rec destroy_recursive_registered env p =
+  if release_one env p then begin
+    let heap = Env.heap env in
+    let d = Env.dcas env in
+    let n = Heap.n_ptr_slots heap p in
+    for i = 0 to n - 1 do
+      let cell = Heap.ptr_cell heap p i in
+      let child = Dcas.read d cell in
+      if child <> null then begin
+        Env.begin_destroy env child;
+        Cell.set cell null;
+        destroy_recursive_registered env child
+      end
+    done;
+    free_obj env "lfrc.frees" p
+  end;
+  Env.end_destroy env p
+
+let destroy_recursive env p =
   if p <> null then begin
     Env.begin_destroy env p;
-    if release_one env p then begin
-      List.iter (destroy_recursive env) (ptr_slot_contents env p);
-      free_obj env "lfrc.frees" p
-    end;
-    Env.end_destroy env p
+    destroy_recursive_registered env p
   end
 
 (* Same semantics with an explicit work list: survives arbitrarily long
    chains of dead objects. *)
+let destroy_iterative_registered env p =
+  if not (release_one env p) then Env.end_destroy env p
+  else begin
+    let heap = Env.heap env in
+    let d = Env.dcas env in
+    let work = ref [ p ] in
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | q :: rest ->
+          work := rest;
+          let n = Heap.n_ptr_slots heap q in
+          for i = 0 to n - 1 do
+            let cell = Heap.ptr_cell heap q i in
+            let child = Dcas.read d cell in
+            if child <> null then begin
+              (* A dead child outlives its parent's registration (the
+                 parent is freed first), so it gets its own — placed, with
+                 the slot nulling, atomically before the drop. *)
+              Env.begin_destroy env child;
+              Cell.set cell null;
+              if release_one env child then work := child :: !work
+              else Env.end_destroy env child
+            end
+          done;
+          free_obj env "lfrc.frees" q;
+          Env.end_destroy env q
+    done
+  end
+
 let destroy_iterative env p =
   if p <> null then begin
     Env.begin_destroy env p;
-    if not (release_one env p) then Env.end_destroy env p
-    else begin
-      let work = ref [ p ] in
-      while !work <> [] do
-        match !work with
-        | [] -> ()
-        | q :: rest ->
-            work := rest;
-            List.iter
-              (fun child ->
-                (* A dead child outlives its parent's registration (the
-                   parent is freed first), so it gets its own. *)
-                if child <> null then begin
-                  Env.begin_destroy env child;
-                  if release_one env child then work := child :: !work
-                  else Env.end_destroy env child
-                end)
-              (ptr_slot_contents env q);
-            free_obj env "lfrc.frees" q;
-            Env.end_destroy env q
-      done
-    end
+    destroy_iterative_registered env p
   end
 
 (* Deferred policy: dead objects go to the environment's queue; each later
@@ -292,23 +347,57 @@ let defer_dead env p =
 let pump_deferred env ~budget =
   (* Keep draining until the budget is spent: processing a dead object can
      enqueue its children, and those count against the same slice. *)
+  let heap = Env.heap env in
+  let d = Env.dcas env in
   let freed = ref 0 in
   let exhausted = ref false in
   while (not !exhausted) && (budget < 0 || !freed < budget) do
     match Env.drain_deferred env ~max:1 with
     | [] -> exhausted := true
     | q :: _ ->
+        (* The dequeue and this registration are atomic, so [q] is never
+           anchored by neither the queue nor the registry. *)
         Env.begin_destroy env q;
         incr freed;
-        List.iter
-          (fun child ->
-            if child <> null && release_one env child then
-              defer_dead env child)
-          (ptr_slot_contents env q);
+        let n = Heap.n_ptr_slots heap q in
+        for i = 0 to n - 1 do
+          let cell = Heap.ptr_cell heap q i in
+          let child = Dcas.read d cell in
+          if child <> null then begin
+            Env.begin_destroy env child;
+            Cell.set cell null;
+            if release_one env child then defer_dead env child;
+            Env.end_destroy env child
+          end
+        done;
         free_obj env "lfrc.deferred_frees" q;
         Env.end_destroy env q
   done;
   !freed
+
+(* Commit a drop whose registry entry the caller already placed (atomically
+   with the CAS that removed the reference from the heap); [p <> null]. *)
+let destroy_registered env p =
+  Metrics.incr (Env.metrics env) "lfrc.destroy";
+  if Env.rc_deferred env then begin
+    let metrics = Env.metrics env in
+    Metrics.incr metrics "lfrc.defer_dec";
+    Lineage.record (Env.lineage env) ~addr:p Lineage.Defer_dec;
+    (* Parking the decrement re-anchors the drop; consuming the
+       registration in the same atomic step keeps exactly one anchor. *)
+    let parked = Env.rc_park env ~addr:p ~delta:(-1) in
+    Env.end_destroy env p;
+    Metrics.set_gauge metrics "lfrc.rc_parked" parked;
+    if parked >= Env.rc_epoch env then ignore (flush_rc env)
+  end
+  else
+    match Env.policy env with
+    | Env.Recursive -> destroy_recursive_registered env p
+    | Env.Iterative -> destroy_iterative_registered env p
+    | Env.Deferred { budget_per_op } ->
+        if release_one env p then defer_dead env p;
+        Env.end_destroy env p;
+        ignore (pump_deferred env ~budget:budget_per_op)
 
 let flush env =
   let coalesced = if Env.rc_deferred env then flush_rc env else 0 in
@@ -373,11 +462,14 @@ let load env ~src ~dest =
 let store env ~dst v =
   guard env "store";
   span env "lfrc.store" @@ fun () ->
-  rc_incr env v;
+  rc_incr_for_publish env v;
   let d = Env.dcas env in
   let rec go burst =
     let oldval = Dcas.read d dst in
     if Dcas.cas d dst oldval v then begin
+      (* The winning CAS made the +1 heap-justified; ending the publication
+         is atomic with it. *)
+      Env.end_publish env v;
       Metrics.observe (Env.metrics env) "lfrc.store.retries"
         (float_of_int burst);
       destroy env oldval
@@ -405,28 +497,65 @@ let store_alloc env ~dst v =
   in
   go ()
 
+(* Crash-safe variant: the source is a (registered-local) ref, cleared in
+   the same atomic step as the winning CAS, so the allocation's count has
+   exactly one owner — the local or the heap slot — at every yield point. *)
+let store_alloc_from env ~dst r =
+  guard env "store_alloc";
+  span env "lfrc.store_alloc" @@ fun () ->
+  let d = Env.dcas env in
+  let v = !r in
+  let rec go () =
+    let oldval = Dcas.read d dst in
+    if Dcas.cas d dst oldval v then begin
+      r := null;
+      destroy env oldval
+    end
+    else begin
+      retry env "lfrc.store_retry";
+      go ()
+    end
+  in
+  go ()
+
 (* LFRCCopy (Figure 2, lines 29..32). *)
 let copy env ~dest w =
   guard env "copy";
   span env "lfrc.copy" @@ fun () ->
-  rc_incr env w;
+  (* The deferred-mode increment can trigger a flush (which yields) before
+     [dest] holds [w], so the +1 rides the publication registry until the
+     assignment lands. *)
+  rc_incr_for_publish env w;
   let old = !dest in
   dest := w;
+  Env.end_publish env w;
   destroy env old
 
 (* LFRCDCAS (Figure 2, lines 33..39). *)
 let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
   guard env "dcas";
   span env "lfrc.dcas" @@ fun () ->
-  rc_incr env new0;
-  rc_incr env new1;
+  rc_incr_for_publish env new0;
+  rc_incr_for_publish env new1;
   if Dcas.dcas (Env.dcas env) c0 c1 ~old0 ~old1 ~new0 ~new1 then begin
-    destroy env old0;
-    destroy env old1;
+    Env.end_publish env new0;
+    Env.end_publish env new1;
+    (* Register BOTH committed drops atomically with the DCAS, then commit
+       them one at a time: the second stays anchored while the first's
+       cascade yields. *)
+    if old0 <> null then Env.begin_destroy env old0;
+    if old1 <> null then Env.begin_destroy env old1;
+    if old0 <> null then destroy_registered env old0;
+    if old1 <> null then destroy_registered env old1;
     true
   end
   else begin
+    (* Resolve one publication at a time: [new1] stays registered across
+       [new0]'s destroy cascade (which can yield), so a crash inside it
+       never leaves [new1]'s speculative +1 unanchored. *)
+    Env.end_publish env new0;
     destroy env new0;
+    Env.end_publish env new1;
     destroy env new1;
     false
   end
@@ -435,12 +564,14 @@ let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
 let cas env c ~old_ptr ~new_ptr =
   guard env "cas";
   span env "lfrc.cas" @@ fun () ->
-  rc_incr env new_ptr;
+  rc_incr_for_publish env new_ptr;
   if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
+    Env.end_publish env new_ptr;
     destroy env old_ptr;
     true
   end
   else begin
+    Env.end_publish env new_ptr;
     destroy env new_ptr;
     false
   end
@@ -450,15 +581,17 @@ let cas env c ~old_ptr ~new_ptr =
 let dcas_ptr_val env ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
   guard env "dcas_ptr_val";
   span env "lfrc.dcas_ptr_val" @@ fun () ->
-  rc_incr env new_ptr;
+  rc_incr_for_publish env new_ptr;
   if
     Dcas.dcas (Env.dcas env) ptr_cell val_cell ~old0:old_ptr ~old1:old_val
       ~new0:new_ptr ~new1:new_val
   then begin
+    Env.end_publish env new_ptr;
     destroy env old_ptr;
     true
   end
   else begin
+    Env.end_publish env new_ptr;
     destroy env new_ptr;
     false
   end

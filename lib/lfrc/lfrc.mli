@@ -54,6 +54,13 @@ val store_alloc : Env.t -> dst:Lfrc_simmem.Cell.t -> ptr -> unit
     reference to [v] instead of raising the count — the idiom for storing
     a just-allocated object (paper Figure 1, line 35). *)
 
+val store_alloc_from : Env.t -> dst:Lfrc_simmem.Cell.t -> ptr ref -> unit
+(** Crash-safe {!store_alloc}: takes the source as a (registered-local)
+    ref and clears it in the same atomic step as the winning CAS, so the
+    consumed count has exactly one owner — the local or the heap slot —
+    at every scheduler yield point. Structure code via {!Lfrc_ops} uses
+    this form. *)
+
 val copy : Env.t -> dest:ptr ref -> ptr -> unit
 (** [LFRCCopy(p, v)]: local-to-local assignment; raises [v]'s count,
     destroys the previous content of [dest]. *)

@@ -18,7 +18,19 @@ type ctx = {
 
 let make_ctx env =
   let locals = ref [] in
-  let frame = Env.register_locals env (fun () -> List.map ( ! ) !locals) in
+  let frame =
+    Env.register_locals env
+      ~view:(fun () -> List.map ( ! ) !locals)
+      ~take:(fun () ->
+        (* Surrender the locals to an adopter: read and clear in one
+           atomic step so the references change owner exactly once. *)
+        List.map
+          (fun l ->
+            let v = !l in
+            l := Heap.null;
+            v)
+          !locals)
+  in
   { ctx_env = env; locals; frame }
 
 let dispose_ctx ctx =
@@ -38,11 +50,15 @@ let declare ctx =
   l
 
 let retire ctx local =
-  (* Destroy while the local still holds the pointer: the frame must keep
-     anchoring the reference up to the instant destroy takes it over. *)
-  Lfrc.destroy ctx.ctx_env !local;
+  (* Take the reference out of the frame first: clearing the local is
+     atomic with destroy's own re-anchoring (registry entry or parked
+     delta), so at every yield point exactly one owner holds it — were the
+     frame still showing the pointer during the destroy cascade, a crash
+     there would make an adopter drop it a second time. *)
+  let p = !local in
   local := Heap.null;
-  ctx.locals := List.filter (fun l -> l != local) !(ctx.locals)
+  ctx.locals := List.filter (fun l -> l != local) !(ctx.locals);
+  Lfrc.destroy ctx.ctx_env p
 
 let get local = !local
 
@@ -51,15 +67,18 @@ let load ctx cell local = Lfrc.load ctx.ctx_env ~src:cell ~dest:local
 let store ctx cell p = Lfrc.store ctx.ctx_env ~dst:cell p
 
 let store_alloc ctx cell local =
-  Lfrc.store_alloc ctx.ctx_env ~dst:cell !local;
-  (* The allocation reference now lives in the cell, not the local. *)
-  local := Heap.null
+  (* The allocation reference moves from the local to the cell atomically
+     with the winning CAS (inside [store_alloc_from]), never owned by
+     both or neither. *)
+  Lfrc.store_alloc_from ctx.ctx_env ~dst:cell local
 
 let copy ctx local p = Lfrc.copy ctx.ctx_env ~dest:local p
 
 let set_null ctx local =
-  Lfrc.destroy ctx.ctx_env !local;
-  local := Heap.null
+  (* Same single-owner discipline as [retire]. *)
+  let p = !local in
+  local := Heap.null;
+  Lfrc.destroy ctx.ctx_env p
 
 let cas ctx cell ~old_ptr ~new_ptr =
   Lfrc.cas ctx.ctx_env cell ~old_ptr ~new_ptr

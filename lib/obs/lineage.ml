@@ -9,6 +9,7 @@ type kind =
   | Defer_dec
   | Flush of { net : int }
   | Free of { gen : int }
+  | Adopt of { owner : int }
 
 type event = { step : int; tid : int; kind : kind; op : string }
 
@@ -141,8 +142,10 @@ let record t ?op ~addr kind =
           | Rc { old_rc; delta } -> e.last_rc <- old_rc + delta
           | Free _ -> e.frees <- e.frees + 1
           (* Parked deltas do not move the heap count; the paired Rc event
-             emitted when a flush applies them does. *)
-          | Retire | Defer | Defer_inc | Defer_dec | Flush _ -> ());
+             emitted when a flush applies them does. Likewise an adoption
+             only re-homes a reference — the adopter's own destroy/flush
+             records any count movement. *)
+          | Retire | Defer | Defer_inc | Defer_dec | Flush _ | Adopt _ -> ());
           push r e { step; tid; kind; op })
 
 let record_rc t ?op ~addr ~old_rc ~delta () =
@@ -234,6 +237,7 @@ let kind_name = function
   | Defer_dec -> "defer-1"
   | Flush { net } -> Printf.sprintf "flush net%+d" net
   | Free { gen } -> Printf.sprintf "free#%d" gen
+  | Adopt { owner } -> Printf.sprintf "adopt(owner=t%d)" owner
 
 let pp_event ppf ev =
   Format.fprintf ppf "%8d  t%-3d %-16s %s" ev.step ev.tid (kind_name ev.kind)
@@ -334,6 +338,14 @@ let tracer_events t ~addr =
             kind = Tracer.Instant;
             name = name (Printf.sprintf "flush net%+d" net);
             arg = net;
+          }
+      | Adopt { owner } ->
+          {
+            Tracer.step = ev.step;
+            tid = addr;
+            kind = Tracer.Instant;
+            name = name (Printf.sprintf "adopt(owner=t%d)" owner);
+            arg = owner;
           })
     (events t ~addr)
 

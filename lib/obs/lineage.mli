@@ -33,6 +33,11 @@ type kind =
           the heap count; paired with an {!Rc} event carrying the same
           delta so count replay stays legal *)
   | Free of { gen : int }  (** returned to the allocator *)
+  | Adopt of { owner : int }
+      (** crash recovery took over a reference to this object that was
+          orphaned by crashed thread [owner]; the event's [tid] is the
+          adopter. Count movement, if any, is recorded separately by the
+          adopter's destroy/flush. *)
 
 type event = { step : int; tid : int; kind : kind; op : string }
 (** [op] is the innermost instrumented operation running on [tid] when

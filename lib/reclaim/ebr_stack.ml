@@ -17,13 +17,19 @@ type handle = { t : t; slot : Epoch.slot }
 
 let create env =
   let heap = Lfrc_core.Env.heap env in
-  {
-    env;
-    heap;
-    top = Heap.root heap ~name:"ebr-stack-top" ();
-    ebr = Epoch.create ~metrics:(Lfrc_core.Env.metrics env)
-        ~lineage:(Lfrc_core.Env.lineage env) heap;
-  }
+  let t =
+    {
+      env;
+      heap;
+      top = Heap.root heap ~name:"ebr-stack-top" ();
+      ebr = Epoch.create ~metrics:(Lfrc_core.Env.metrics env)
+          ~lineage:(Lfrc_core.Env.lineage env) heap;
+    }
+  in
+  (* Crash recovery reaches this structure's reclamation state through the
+     environment's hook registry — the fault layer never sees Epoch. *)
+  Lfrc_core.Env.on_recover env (fun ~crashed -> Epoch.adopt t.ebr ~crashed);
+  t
 
 let register t = { t; slot = Epoch.register t.ebr }
 let unregister h = Epoch.unregister h.t.ebr h.slot
@@ -72,6 +78,7 @@ let pop h =
   r
 
 let flush t = Epoch.flush t.ebr
+let epoch t = t.ebr
 
 let destroy t =
   let h = { t; slot = Epoch.register t.ebr } in

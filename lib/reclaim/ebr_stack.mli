@@ -6,3 +6,9 @@ include Lfrc_structures.Stack_intf.STACK
 
 val flush : t -> unit
 (** Quiescent: advance epochs and drain all limbo lists. *)
+
+val epoch : t -> Epoch.t
+(** The underlying epoch-reclamation instance (stats and tests). The
+    stack's {!create} registers an {!Lfrc_core.Env.on_recover} hook that
+    calls {!Epoch.adopt} for crashed threads, so a dead pinned thread
+    stops blocking reclamation once recovery runs. *)

@@ -11,6 +11,7 @@ type slot_state = {
   mutable limbo_len : int;
   mutable retire_count : int;
   mutable in_use : bool;
+  mutable owner : int; (* simulated tid that registered; -1 when free *)
 }
 
 type t = {
@@ -42,6 +43,7 @@ let create ?(slots = 64) ?(advance_every = 16) ?(metrics = Metrics.disabled)
             limbo_len = 0;
             retire_count = 0;
             in_use = false;
+            owner = -1;
           });
     advance_every;
     lock = Mutex.create ();
@@ -61,6 +63,7 @@ let register t =
     end
     else if not t.slots.(i).in_use then begin
       t.slots.(i).in_use <- true;
+      t.slots.(i).owner <- Sched.tid ();
       Mutex.unlock t.lock;
       i
     end
@@ -148,6 +151,7 @@ let unregister t s =
   sl.limbo <- [];
   sl.limbo_len <- 0;
   sl.in_use <- false;
+  sl.owner <- -1;
   Mutex.unlock t.lock
 
 let flush t =
@@ -175,6 +179,34 @@ let flush t =
         Mutex.unlock t.lock
       end)
     orphans
+
+(* Evict the slots of crashed threads: a dead thread pinned in an old
+   epoch blocks [try_advance] forever, stalling reclamation for everyone —
+   the exact "halted thread impedes the others" failure reference counting
+   is supposed to rule out. A crashed thread cannot be mid-read (crashes
+   land at scheduler yield points, and a structure holds no protected
+   pointer across one), so clearing its active flag is safe; its limbo
+   objects are orphaned and reclaimed by the flush. Returns the number of
+   slots evicted. *)
+let adopt t ~crashed =
+  let evicted = ref 0 in
+  Mutex.lock t.lock;
+  Array.iter
+    (fun sl ->
+      if sl.in_use && List.mem sl.owner crashed then begin
+        Cell.set sl.active 0;
+        t.orphans <- sl.limbo @ t.orphans;
+        sl.limbo <- [];
+        sl.limbo_len <- 0;
+        sl.in_use <- false;
+        sl.owner <- -1;
+        incr evicted;
+        Metrics.incr t.metrics "lfrc.epoch_evict"
+      end)
+    t.slots;
+  Mutex.unlock t.lock;
+  if !evicted > 0 then flush t;
+  !evicted
 
 type stats = { freed : int; max_limbo : int; epoch : int }
 

@@ -41,6 +41,14 @@ val flush : t -> unit
 (** Quiescent teardown: advance repeatedly and free all limbo objects.
     Only call when no thread is pinned. *)
 
+val adopt : t -> crashed:int list -> int
+(** Crash recovery: evict the slots registered by the given (crashed)
+    simulated threads — clear their pinned flags (a crashed thread is
+    parked at a yield point, never mid-read), orphan their limbo lists and
+    flush, so a dead thread no longer blocks {!try_advance} or holds
+    garbage. Counted under the [lfrc.epoch_evict] metric. Returns the
+    number of slots evicted. *)
+
 type stats = { freed : int; max_limbo : int; epoch : int }
 
 val stats : t -> stats

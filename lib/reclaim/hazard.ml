@@ -9,6 +9,7 @@ type slot_state = {
   mutable retired : Heap.ptr list;
   mutable retired_len : int;
   mutable in_use : bool;
+  mutable owner : int; (* simulated tid that registered; -1 when free *)
 }
 
 type t = {
@@ -37,6 +38,7 @@ let create ?(slots = 64) ?(hazards_per_slot = 2) ?(scan_threshold = 64)
             retired = [];
             retired_len = 0;
             in_use = false;
+            owner = -1;
           });
     hazards_per_slot;
     scan_threshold;
@@ -57,6 +59,7 @@ let register t =
     end
     else if not t.slots.(i).in_use then begin
       t.slots.(i).in_use <- true;
+      t.slots.(i).owner <- Sched.tid ();
       Mutex.unlock t.lock;
       i
     end
@@ -146,7 +149,37 @@ let unregister t s =
   sl.retired <- [];
   sl.retired_len <- 0;
   sl.in_use <- false;
+  sl.owner <- -1;
   Mutex.unlock t.lock
+
+(* Evict the slots of crashed threads: a dead thread's published hazards
+   protect nothing it will ever dereference again (crashes land at yield
+   points), yet they keep every matching retired object unreclaimable and
+   its own retired list is never scanned again. Clear the hazards, orphan
+   the retired objects and rescan. Returns the number of slots evicted. *)
+let adopt t ~crashed =
+  let evicted = ref 0 in
+  let rescan = ref (-1) in
+  Mutex.lock t.lock;
+  Array.iteri
+    (fun i sl ->
+      if sl.in_use && List.mem sl.owner crashed then begin
+        Array.iter (fun haz -> Cell.set haz 0) sl.hazards;
+        t.orphans <- sl.retired @ t.orphans;
+        sl.retired <- [];
+        sl.retired_len <- 0;
+        sl.in_use <- false;
+        sl.owner <- -1;
+        incr evicted;
+        rescan := i;
+        Metrics.incr t.metrics "lfrc.hazard_evict"
+      end)
+    t.slots;
+  Mutex.unlock t.lock;
+  (* Scan through a now-free slot so the orphans are reconsidered with the
+     dead threads' hazards gone. *)
+  if !evicted > 0 then scan t !rescan;
+  !evicted
 
 type stats = { freed : int; max_retired : int }
 

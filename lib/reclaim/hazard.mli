@@ -39,6 +39,14 @@ val clear : t -> slot -> unit
 val retire : t -> slot -> Lfrc_simmem.Heap.ptr -> unit
 (** The object was unlinked; free it once no hazard protects it. *)
 
+val adopt : t -> crashed:int list -> int
+(** Crash recovery: evict the slots registered by the given (crashed)
+    simulated threads — null their published hazards (a crashed thread is
+    parked at a yield point, never mid-dereference), orphan their retired
+    lists and rescan, so a dead thread neither pins garbage nor strands
+    its own. Counted under the [lfrc.hazard_evict] metric. Returns the
+    number of slots evicted. *)
+
 type stats = { freed : int; max_retired : int }
 
 val stats : t -> stats

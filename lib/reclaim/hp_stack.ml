@@ -17,13 +17,19 @@ type handle = { t : t; slot : Hazard.slot }
 
 let create env =
   let heap = Lfrc_core.Env.heap env in
-  {
-    env;
-    heap;
-    top = Heap.root heap ~name:"hp-stack-top" ();
-    hp = Hazard.create ~metrics:(Lfrc_core.Env.metrics env)
-        ~lineage:(Lfrc_core.Env.lineage env) heap;
-  }
+  let t =
+    {
+      env;
+      heap;
+      top = Heap.root heap ~name:"hp-stack-top" ();
+      hp = Hazard.create ~metrics:(Lfrc_core.Env.metrics env)
+          ~lineage:(Lfrc_core.Env.lineage env) heap;
+    }
+  in
+  (* Crash recovery reaches this structure's reclamation state through the
+     environment's hook registry — the fault layer never sees Hazard. *)
+  Lfrc_core.Env.on_recover env (fun ~crashed -> Hazard.adopt t.hp ~crashed);
+  t
 
 let register t = { t; slot = Hazard.register t.hp }
 let unregister h = Hazard.unregister h.t.hp h.slot

@@ -48,6 +48,7 @@ type sched = {
   mutable aborting : bool;
   record : bool;
   mutable trace_buf : Trace.step list; (* reversed *)
+  mutable crashed : int list; (* reversed crash order *)
   max_steps : int;
   strategy : Strategy.state;
 }
@@ -60,6 +61,9 @@ let current_sched : sched option ref = ref None
 let active () = !current_sched <> None
 let tid () = match !current_sched with None -> 0 | Some s -> s.current
 let steps_so_far () = match !current_sched with None -> 0 | Some s -> s.steps
+
+let crashed_so_far () =
+  match !current_sched with None -> [] | Some s -> List.rev s.crashed
 
 let point () = if !current_sched <> None then Effect.perform Yield
 
@@ -191,13 +195,13 @@ let run ?(max_steps = 10_000_000) ?(record = false)
       aborting = false;
       record;
       trace_buf = [];
+      crashed = [];
       max_steps;
       strategy = Strategy.start strategy ~expected_steps:max_steps;
     }
   in
   ignore (add_thread s "main" main);
   current_sched := Some s;
-  let crashed = ref [] in
   let result =
     try
       let rec loop last =
@@ -233,7 +237,7 @@ let run ?(max_steps = 10_000_000) ?(record = false)
                  simply never runs again — no unwinding, no cleanup, exactly
                  like [kill]. *)
               th.state <- Finished;
-              crashed := choice :: !crashed
+              s.crashed <- choice :: s.crashed
             end
             else begin
               s.current <- choice;
@@ -265,5 +269,5 @@ let run ?(max_steps = 10_000_000) ?(record = false)
             steps = s.steps;
             per_thread_steps = Array.sub s.per_thread 0 s.n_threads;
             trace;
-            crashed = List.rev !crashed;
+            crashed = List.rev s.crashed;
           })

@@ -88,3 +88,9 @@ val tid : unit -> int
 val steps_so_far : unit -> int
 (** Scheduling decisions taken so far in the current run; usable as a
     simulated clock by harness code. 0 outside a simulation. *)
+
+val crashed_so_far : unit -> int list
+(** Threads crash-injected so far in the current run, in crash order —
+    the survivors' view of who has failed permanently, so in-run code
+    (helping/adoption protocols) can take over a dead peer's orphaned
+    state without waiting for the run to end. [] outside a simulation. *)

@@ -128,7 +128,7 @@ let test_chaos_audit_clean_in_deferred_mode () =
           {
             Fault_plan.default with
             seed;
-            crash = Some (1 + (seed mod 3), 5 + (seed * 7 mod 120));
+            crashes = [ (1 + (seed mod 3), 5 + (seed * 7 mod 120)) ];
           } );
     ]
   in
@@ -235,7 +235,7 @@ let test_figure2_replay_deferred () =
                 checki (Printf.sprintf "addr %d: freed only at rc 0" addr) 0
                   !rc
             | Lineage.Retire | Lineage.Defer | Lineage.Defer_inc
-            | Lineage.Defer_dec | Lineage.Flush _ ->
+            | Lineage.Defer_dec | Lineage.Flush _ | Lineage.Adopt _ ->
                 ())
           evs
       end)

@@ -109,7 +109,7 @@ let test_snark_cycle_figure2 () =
                   (Printf.sprintf "addr %d: freed only at rc 0" addr)
                   0 !rc
             | Lineage.Retire | Lineage.Defer | Lineage.Defer_inc
-            | Lineage.Defer_dec | Lineage.Flush _ ->
+            | Lineage.Defer_dec | Lineage.Flush _ | Lineage.Adopt _ ->
                 ())
           evs;
         (* Every count transition is attributed to an LFRC operation —
@@ -153,7 +153,7 @@ let test_snark_cycle_figure2 () =
 
 let test_seeded_leak_attributed () =
   let lineage = Lineage.create () in
-  let spec = { Fault_plan.default with seed = 1; crash = Some (2, 15) } in
+  let spec = { Fault_plan.default with seed = 1; crashes = [ (2, 15) ] } in
   let r =
     Chaos.run ~lineage ~max_steps:400_000 ~strategy:(Strategy.Random 1) ~spec
       (fun env ->

@@ -1,0 +1,348 @@
+(* Crash recovery and orphan adoption: the exhaustive sweeps assert that
+   a run with [~recover:true] is leak-FREE — a strict audit with zero
+   leaked objects after a crash at EVERY yield point — in the eager and
+   deferred-rc count modes; plus targeted regressions for the crashed
+   flusher, the crashed epoch pin, multi-crash plans, and MCAS
+   descriptor adoption. *)
+
+module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
+module Env = Lfrc_core.Env
+module Sched = Lfrc_sched.Sched
+module Strategy = Lfrc_sched.Strategy
+module Fault_plan = Lfrc_faults.Fault_plan
+module Audit = Lfrc_faults.Audit
+module Chaos = Lfrc_faults.Chaos
+module Recovery = Lfrc_faults.Recovery
+module Metrics = Lfrc_obs.Metrics
+module E11 = Lfrc_harness.E11_chaos
+module Epoch = Lfrc_reclaim.Epoch
+module Ebr_stack = Lfrc_reclaim.Ebr_stack
+module Mcas = Lfrc_atomics.Mcas
+
+module Stack = Lfrc_structures.Treiber.Make (Lfrc_core.Lfrc_ops)
+module Deque = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let assert_zero_leak ~label r =
+  match r.Chaos.audit with
+  | Some a when not r.Chaos.audit_advisory ->
+      if not (Audit.ok a) || a.Audit.leaked <> 0 then
+        Alcotest.failf "%s: strict audit not leak-free:@ %s (repro: %s)"
+          label
+          (Format.asprintf "%a" Audit.pp a)
+          r.Chaos.repro
+  | _ ->
+      Alcotest.failf "%s: no authoritative audit (repro: %s)" label
+        r.Chaos.repro
+
+(* --- exhaustive crash sweeps: kill the victim at its n-th resume for
+   n = 0, 1, 2, ... until the cycle outruns the crash, recovering and
+   strict-auditing after every kill --- *)
+
+let snark_cycle_body env =
+  let t = Deque.create env in
+  let worker =
+    Sched.spawn (fun () ->
+        let h = Deque.register t in
+        (match Deque.try_push_right h 42 with
+        | Ok () -> ignore (Deque.pop_left h)
+        | Error `Out_of_memory -> ());
+        Deque.unregister h)
+  in
+  Sched.join [ worker ]
+
+let treiber_cycle_body env =
+  let t = Stack.create env in
+  let worker =
+    Sched.spawn (fun () ->
+        let h = Stack.register t in
+        for i = 1 to 3 do
+          Stack.push h i;
+          ignore (Stack.pop h)
+        done;
+        Stack.unregister h)
+  in
+  Sched.join [ worker ]
+
+let sweep_with_recovery ?(rc_epoch = 0) ~min_covered body =
+  let strategy = Strategy.Round_robin in
+  let rec sweep n covered =
+    let spec = { Fault_plan.default with crashes = [ (1, n) ] } in
+    let r =
+      Chaos.run ~rc_epoch ~recover:true ~max_steps:100_000 ~strategy ~spec
+        body
+    in
+    match r.Chaos.status with
+    | Chaos.Completed { crashed = []; _ } ->
+        (* The victim finished before resume [n]: sweep is complete. *)
+        covered
+    | Chaos.Completed { crashed = [ 1 ]; _ } ->
+        let label = Printf.sprintf "crash at resume %d" n in
+        (match r.Chaos.recovery with
+        | Some _ -> ()
+        | None -> Alcotest.failf "%s: no recovery report" label);
+        assert_zero_leak ~label r;
+        sweep (n + 1) (covered + 1)
+    | _ ->
+        Alcotest.failf "crash at resume %d: unexpected outcome (repro: %s)" n
+          r.Chaos.repro
+  in
+  let covered = sweep 0 0 in
+  checkb
+    (Printf.sprintf "swept %d yield points (want >= %d)" covered min_covered)
+    true
+    (covered >= min_covered)
+
+let test_snark_sweep_leak_free () =
+  sweep_with_recovery ~min_covered:20 snark_cycle_body
+
+let test_treiber_deferred_sweep_leak_free () =
+  sweep_with_recovery ~rc_epoch:4 ~min_covered:20 treiber_cycle_body
+
+(* --- the E11 acceptance matrix: structures x (crash | multi-crash) x
+   rc modes (eager / epoch-64 / epoch-4), every recovered run strictly
+   leak-free --- *)
+
+let test_matrix_leak_free_all_modes () =
+  let faults =
+    List.filter
+      (fun f -> List.mem (E11.fault_name f) [ "crash"; "multi-crash" ])
+      E11.fault_kinds
+  in
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun fault ->
+          List.iter
+            (fun rc_epoch ->
+              List.iter
+                (fun seed ->
+                  let r =
+                    E11.run_one ~rc_epoch ~recover:true ~structure ~fault
+                      ~seed ()
+                  in
+                  let label =
+                    Printf.sprintf "%s/%s rc_epoch=%d seed=%d"
+                      (E11.structure_name structure)
+                      (E11.fault_name fault) rc_epoch seed
+                  in
+                  match r.Chaos.status with
+                  | Chaos.Completed _ -> assert_zero_leak ~label r
+                  | _ ->
+                      Alcotest.failf "%s: did not complete (repro: %s)" label
+                        r.Chaos.repro)
+                [ 1; 2 ])
+            [ 0; 4; 64 ])
+        faults)
+    E11.structures
+
+(* --- multi-crash plans: expressible, replayable, recoverable --- *)
+
+let test_multi_crash_spec_roundtrip () =
+  let spec =
+    { Fault_plan.default with seed = 3; crashes = [ (1, 5); (2, 31) ] }
+  in
+  (match Fault_plan.spec_of_string (Fault_plan.spec_to_string spec) with
+  | Some spec' -> checkb "multi-crash spec round-trips" true (spec' = spec)
+  | None -> Alcotest.fail "multi-crash spec did not parse back");
+  match
+    Fault_plan.spec_of_string (Fault_plan.spec_to_string Fault_plan.default)
+  with
+  | Some spec' ->
+      checkb "crash-free spec round-trips" true (spec' = Fault_plan.default)
+  | None -> Alcotest.fail "default spec did not parse back"
+
+let two_victims_body env =
+  let t = Deque.create env in
+  let spawn () =
+    Sched.spawn (fun () ->
+        let h = Deque.register t in
+        for i = 1 to 6 do
+          match Deque.try_push_right h i with
+          | Ok () -> ignore (Deque.pop_left h)
+          | Error `Out_of_memory -> ()
+        done;
+        Deque.unregister h)
+  in
+  let a = spawn () in
+  let b = spawn () in
+  Sched.join [ a; b ]
+
+let test_multi_crash_recovers () =
+  let spec = { Fault_plan.default with crashes = [ (1, 9); (2, 17) ] } in
+  let r =
+    Chaos.run ~recover:true ~max_steps:200_000 ~strategy:Strategy.Round_robin
+      ~spec two_victims_body
+  in
+  (match r.Chaos.status with
+  | Chaos.Completed { crashed; _ } ->
+      checkb "both victims crashed" true
+        (List.sort compare crashed = [ 1; 2 ])
+  | _ -> Alcotest.failf "unexpected outcome (repro: %s)" r.Chaos.repro);
+  assert_zero_leak ~label:"multi-crash" r;
+  match r.Chaos.recovery with
+  | Some rep ->
+      checki "recovery saw both owners" 2 (List.length rep.Recovery.crashed)
+  | None -> Alcotest.fail "no recovery report"
+
+(* --- a crashed flusher's staged deltas are re-parked, not lost --- *)
+
+let test_crashed_flusher_restaged () =
+  let heap = Heap.create ~name:"rec-flush" () in
+  let env =
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch:64 heap
+  in
+  ignore (Env.rc_park env ~addr:7 ~delta:1);
+  ignore (Env.rc_park env ~addr:9 ~delta:(-1));
+  checkb "flush flag taken" true (Env.rc_try_begin_flush env);
+  checkb "deltas staged" true (Env.rc_drain_into_applying env);
+  checkb "buffers empty while staged" true (Env.rc_parked env = []);
+  (* a LIVE flusher's staging is left alone *)
+  checki "live flusher keeps its staging" 0
+    (Env.rc_recover_flush env ~crashed:[ 5 ]);
+  (* the flag owner (tid 0 outside a simulation) crashing re-parks both
+     entries and clears the flag *)
+  checki "two stranded entries re-parked" 2
+    (Env.rc_recover_flush env ~crashed:[ 0 ]);
+  checkb "parked again under the dead owner" true
+    (List.sort compare (Env.rc_parked env) = [ 7; 9 ]);
+  checkb "flush flag reusable" true (Env.rc_try_begin_flush env);
+  Env.rc_end_flush env
+
+(* --- regression: a crashed thread pinning an epoch no longer blocks
+   reclamation once recovery evicts its slot --- *)
+
+let test_crashed_pin_no_longer_blocks () =
+  let rec attempt n =
+    if n > 200 then
+      Alcotest.fail "no crash landed while the victim held an epoch pin"
+    else begin
+      let heap = Heap.create ~name:"rec-ebr" () in
+      let metrics = Metrics.create () in
+      let env =
+        Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~metrics heap
+      in
+      let stack = ref None in
+      let resumes = ref 0 in
+      let outcome =
+        Sched.run ~max_steps:200_000
+          ~inject_crash:(fun ~tid ~step:_ ->
+            tid = 1
+            &&
+            (incr resumes;
+             !resumes - 1 = n))
+          Strategy.Round_robin
+          (fun () ->
+            let t = Ebr_stack.create env in
+            stack := Some t;
+            let work () =
+              let h = Ebr_stack.register t in
+              for i = 1 to 8 do
+                Ebr_stack.push h i;
+                ignore (Ebr_stack.pop h)
+              done;
+              Ebr_stack.unregister h
+            in
+            let victim = Sched.spawn work in
+            let worker = Sched.spawn work in
+            Sched.join [ victim; worker ])
+      in
+      let e = Ebr_stack.epoch (Option.get !stack) in
+      (* A pin at the current epoch still permits one advance; a dead
+         pinned thread is the slot that blocks the SECOND one, forever. *)
+      let advance_twice () = Epoch.try_advance e && Epoch.try_advance e in
+      if outcome.Sched.crashed = [ 1 ] && not (advance_twice ()) then begin
+        (* The dead thread died pinned: without eviction the epoch is
+           stuck here forever and limbo nodes never free. *)
+        checkb "recovery hook evicts the pinned slot" true
+          (Env.run_recovery_hooks env ~crashed:[ 1 ] >= 1);
+        checkb "epoch advances freely again" true (advance_twice ());
+        checkb "eviction metered" true
+          (Metrics.counter_value (Metrics.snapshot metrics) "lfrc.epoch_evict"
+          >= 1)
+      end
+      else attempt (n + 1)
+    end
+  in
+  attempt 0
+
+(* --- MCAS descriptor adoption: crash the operation at every yield
+   point; after [adopt_slot] both cells hold plain values and the
+   operation is all-or-nothing --- *)
+
+let test_mcas_descriptor_adopted () =
+  let rec attempt n covered =
+    if n > 300 then covered
+    else begin
+      let a = Cell.make 0 and b = Cell.make 0 in
+      let resumes = ref 0 in
+      let outcome =
+        Sched.run ~max_steps:50_000
+          ~inject_crash:(fun ~tid ~step:_ ->
+            tid = 1
+            &&
+            (incr resumes;
+             !resumes - 1 = n))
+          Strategy.Round_robin
+          (fun () ->
+            let w =
+              Sched.spawn (fun () ->
+                  ignore (Mcas.mcas [| (a, 0, 1); (b, 0, 1) |]))
+            in
+            Sched.join [ w ])
+      in
+      if outcome.Sched.crashed = [] then covered
+      else begin
+        ignore (Mcas.adopt_slot 1);
+        let plain c = Cell.tag_of_raw (Atomic.get (Cell.raw c)) = 0 in
+        checkb
+          (Printf.sprintf "crash at resume %d: no descriptor left behind" n)
+          true
+          (plain a && plain b);
+        let va = Mcas.read a and vb = Mcas.read b in
+        checkb
+          (Printf.sprintf "crash at resume %d: all-or-nothing (got %d,%d)" n
+             va vb)
+          true
+          ((va, vb) = (0, 0) || (va, vb) = (1, 1));
+        attempt (n + 1) (covered + 1)
+      end
+    end
+  in
+  let covered = attempt 0 0 in
+  checkb
+    (Printf.sprintf "swept %d mcas yield points (want >= 3)" covered)
+    true (covered >= 3)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "sweeps",
+        [
+          Alcotest.test_case "snark eager leak-free" `Quick
+            test_snark_sweep_leak_free;
+          Alcotest.test_case "treiber deferred-rc(4) leak-free" `Quick
+            test_treiber_deferred_sweep_leak_free;
+          Alcotest.test_case "E11 matrix all rc modes" `Quick
+            test_matrix_leak_free_all_modes;
+        ] );
+      ( "multi-crash",
+        [
+          Alcotest.test_case "spec round-trip" `Quick
+            test_multi_crash_spec_roundtrip;
+          Alcotest.test_case "two victims recovered" `Quick
+            test_multi_crash_recovers;
+        ] );
+      ( "machinery",
+        [
+          Alcotest.test_case "crashed flusher restaged" `Quick
+            test_crashed_flusher_restaged;
+          Alcotest.test_case "crashed epoch pin evicted" `Quick
+            test_crashed_pin_no_longer_blocks;
+          Alcotest.test_case "mcas descriptors adopted" `Quick
+            test_mcas_descriptor_adopted;
+        ] );
+    ]
