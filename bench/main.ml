@@ -396,6 +396,11 @@ let compare_runs ~threshold ~report_only ~current ~baseline =
         "delta";
       let regressions = ref [] in
       let counter_drift = ref [] in
+      (* Counters absent from the baseline (a new structure's series, a
+         new instrument) are information, not drift: report them, never
+         gate on them — otherwise every PR adding a workload or counter
+         would need its baseline regenerated in the same commit. *)
+      let counter_new = ref [] in
       List.iter
         (fun cur_wl ->
           match wl_name cur_wl with
@@ -446,18 +451,23 @@ let compare_runs ~threshold ~report_only ~current ~baseline =
                               :: !counter_drift
                       | Some c, None ->
                           if c > 0. then
-                            counter_drift :=
+                            counter_new :=
                               Printf.sprintf "  %-14s %-24s %12s %12.0f      new"
                                 name key "-" c
-                              :: !counter_drift
+                              :: !counter_new
                       | _ -> ())
                     (counters cur_wl)))
         (workloads cur_doc);
       let drift = List.rev !counter_drift in
+      (match List.rev !counter_new with
+      | [] -> ()
+      | fresh ->
+          Printf.printf "new counters (absent from baseline; not gated):\n";
+          List.iter print_endline fresh);
       (match drift with
       | [] -> Printf.printf "counters: all within 5%% of baseline\n"
       | drift ->
-          Printf.printf "counter drift (|delta| >= 5%% or new):\n";
+          Printf.printf "counter drift (|delta| >= 5%%):\n";
           List.iter print_endline drift);
       if !regressions = [] && drift = [] then (
         Printf.printf "no ops/sec regression beyond %.0f%%, no counter drift\n"
@@ -482,7 +492,7 @@ let run_compare rest =
   let baseline = ref None
   and threshold = ref 30.0
   and report_only = ref false
-  and current = ref "BENCH_pr6.json" in
+  and current = ref "BENCH_pr7.json" in
   let usage () =
     prerr_endline
       "usage: bench --compare BASELINE.json [--current FILE] [--threshold \
@@ -523,7 +533,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
-  | [ "--json" ] -> run_json "BENCH_pr6.json"
+  | [ "--json" ] -> run_json "BENCH_pr7.json"
   | [ "--json"; file ] -> run_json file
   | "--compare" :: rest -> run_compare rest
   | [] ->

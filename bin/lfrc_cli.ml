@@ -160,8 +160,16 @@ let stats_cmd =
       ~rc_epoch:(rc_epoch_of_flag deferred_rc)
       ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
       ~tracer:Lfrc_obs.Tracer.disabled ();
-    Printf.printf "# %s: %d threads x %d ops, seed %d%s\n%s\n" name workers
-      ops seed
+    let tier =
+      match Lfrc_structures.Catalog.find name with
+      | Some e ->
+          Printf.sprintf " [%s-tier]"
+            (Lfrc_structures.Catalog.tier_name
+               (Lfrc_structures.Catalog.tier e))
+      | None -> ""
+    in
+    Printf.printf "# %s%s: %d threads x %d ops, seed %d%s\n%s\n" name tier
+      workers ops seed
       (if deferred_rc then ", deferred-rc" else "")
       (Lfrc_obs.Metrics.to_json (Lfrc_obs.Metrics.snapshot metrics))
   in
@@ -562,7 +570,25 @@ let analyze_cmd =
       & info [ "structure" ] ~docv:"NAME"
           ~doc:
             (Printf.sprintf "Analyze only this structure (one of: %s)."
-               (String.concat ", " Lfrc_structures.Catalog.names)))
+               (String.concat ", " (Lfrc_structures.Catalog.names ()))))
+  in
+  let tier =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("cas", Lfrc_structures.Catalog.Cas);
+                  ("dcas", Lfrc_structures.Catalog.Dcas);
+                ]))
+          None
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Analyze only structures of this primitive tier (cas = \
+             single-word CAS only, dcas = needs double-word CAS). The \
+             claimed tier is also what each structure's paths are held \
+             to: a cas-tier structure recording a DCAS is a violation.")
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
@@ -581,12 +607,21 @@ let analyze_cmd =
       & info [ "max-decisions" ] ~docv:"N"
           ~doc:"Oracle decisions per path before the path is cut off.")
   in
-  let run structure json max_paths max_decisions =
+  let run structure tier json max_paths max_decisions =
     let limits = { Checker.max_paths; max_decisions } in
     let report =
-      match structure with
-      | None -> Ok (Checker.analyze_all ~limits ())
-      | Some name -> Checker.analyze_structure ~limits name
+      match (structure, tier) with
+      | None, _ -> Ok (Checker.analyze_all ~limits ?tier ())
+      | Some name, None -> Checker.analyze_structure ~limits name
+      | Some name, Some t -> (
+          match Lfrc_structures.Catalog.find name with
+          | Some e when Lfrc_structures.Catalog.tier e <> t ->
+              Error
+                (Printf.sprintf "structure %S is %s-tier, not %s-tier" name
+                   (Lfrc_structures.Catalog.tier_name
+                      (Lfrc_structures.Catalog.tier e))
+                   (Lfrc_structures.Catalog.tier_name t))
+          | _ -> Checker.analyze_structure ~limits name)
     in
     match report with
     | Error msg -> `Error (false, msg)
@@ -603,7 +638,8 @@ let analyze_cmd =
           paths symbolically and verify every local pointer is retired, \
           no retired local is reused, and no raw pointer outlives its \
           counted reference. Exits 1 on any violation.")
-    Term.(ret (const run $ structure $ json $ max_paths $ max_decisions))
+    Term.(
+      ret (const run $ structure $ tier $ json $ max_paths $ max_decisions))
 
 let main =
   Cmd.group

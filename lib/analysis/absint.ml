@@ -35,6 +35,9 @@ type cls =
       (** a raw [get] borrow was still held at a [flush] after every
           local owning its target had died *)
   | Lfrc_bypass  (** the code called {!Lfrc} directly, bypassing OPS *)
+  | Dcas_in_cas_tier
+      (** a structure claiming the [Cas] primitive tier recorded a
+          double-word operation *)
 
 let cls_name = function
   | Leak -> "leak"
@@ -44,6 +47,7 @@ let cls_name = function
   | Unowned_store -> "unowned-store"
   | Borrow_across_flush -> "borrow-across-flush"
   | Lfrc_bypass -> "lfrc-bypass"
+  | Dcas_in_cas_tier -> "dcas-in-cas-tier"
 
 let cls_obligation = function
   | Leak ->
@@ -68,6 +72,11 @@ let cls_obligation = function
   | Lfrc_bypass ->
       "all pointer operations must go through the sanctioned operation \
        set (Section 2.1 LFRC compliance)"
+  | Dcas_in_cas_tier ->
+      "a Cas-tier structure must be implementable on single-word CAS \
+       hardware: no DCAS may appear on any path (the catalog's tier \
+       declaration is a portability claim, checked dynamically here and \
+       statically by the OPS_CAS functor signature)"
 
 type violation = {
   cls : cls;
@@ -81,7 +90,14 @@ type violation = {
 
 type lstate = LNull | LOwned of int | LRetired
 
-let check (path : Ir.path) : violation list =
+(* [tier] is the primitive tier the structure under analysis *claims*
+   ({!Lfrc_structures.Catalog.tier}); the permissive default [Dcas]
+   imposes no extra obligation. Under [Cas], any recorded double-word
+   operation is flagged — the dynamic half of the tier contract (the
+   static half is the [OPS_CAS] functor signature, which catalog entries
+   cannot evade but hand-written fixtures can). *)
+let check ?(tier = Lfrc_structures.Catalog.Dcas) (path : Ir.path) :
+    violation list =
   let viols = ref [] in
   let states : (int, lstate) Hashtbl.t = Hashtbl.create 16 in
   let declared_here : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -182,11 +198,19 @@ let check (path : Ir.path) : violation list =
           operand ~i ~what:"cas(old)" ~store:false old_ptr;
           operand ~i ~what:"cas(new)" ~store:false new_ptr
       | Dcas { old0; old1; new0; new1; _ } ->
+          if tier = Lfrc_structures.Catalog.Cas then
+            flag Dcas_in_cas_tier ~i ~key:"dcas"
+              "dcas recorded on a path of a structure claiming the cas \
+               tier";
           operand ~i ~what:"dcas(old0)" ~store:false old0;
           operand ~i ~what:"dcas(old1)" ~store:false old1;
           operand ~i ~what:"dcas(new0)" ~store:false new0;
           operand ~i ~what:"dcas(new1)" ~store:false new1
       | Dcas_ptr_val { old_ptr; new_ptr; _ } ->
+          if tier = Lfrc_structures.Catalog.Cas then
+            flag Dcas_in_cas_tier ~i ~key:"dcas_ptr_val"
+              "dcas_ptr_val recorded on a path of a structure claiming \
+               the cas tier";
           operand ~i ~what:"dcas_ptr_val(old)" ~store:false old_ptr;
           operand ~i ~what:"dcas_ptr_val(new)" ~store:false new_ptr
       | Alloc { local; ptr; layout = _ } ->

@@ -72,9 +72,13 @@ type actions_fn =
   Catalog.ops_module -> Env.t -> (string * (unit -> unit)) list
 
 (* Analyze one structure given its action builder. Used both for catalog
-   entries and for the test suite's deliberately broken fixtures. *)
-let analyze_actions ?(limits = default_limits) ~name (mk : actions_fn) :
-    Report.structure_report =
+   entries and for the test suite's deliberately broken fixtures. The
+   builder always receives the full recording module (the recorder
+   implements the DCAS tier); [tier] is the *claimed* tier the abstract
+   interpreter holds the recorded traces to — a fixture claiming [Cas]
+   while issuing a DCAS is how the tier obligation is tested. *)
+let analyze_actions ?(limits = default_limits) ?tier ~name (mk : actions_fn)
+    : Report.structure_report =
   let heap = Heap.create ~name:("analysis:" ^ name) () in
   let env = Env.create ~symbolic:true heap in
   let r = Recorder.create ~max_decisions:limits.max_decisions () in
@@ -89,21 +93,31 @@ let analyze_actions ?(limits = default_limits) ~name (mk : actions_fn) :
     List.map
       (fun (aname, act) ->
         let paths, truncated = enumerate ~limits r act in
-        Report.summarize_action ~action:aname ~truncated paths)
+        Report.summarize_action ?tier ~action:aname ~truncated paths)
       actions
   in
   { Report.structure = name; actions = action_reports }
 
 let analyze_entry ?limits (e : Catalog.entry) : Report.structure_report =
-  analyze_actions ?limits ~name:e.name e.actions
+  (* [actions_over] re-packs the recording module at [OPS_CAS] for
+     Cas-tier entries, so their builders cannot even name [dcas]; the
+     tier obligation passed to the interpreter is then a cross-check,
+     not the only line of defense. *)
+  analyze_actions ?limits ~tier:e.tier ~name:e.name
+    (fun om env -> Catalog.actions_over om e env)
 
-let analyze_all ?limits () : Report.t =
-  { Report.structures = List.map (fun e -> analyze_entry ?limits e) Catalog.entries }
+let analyze_all ?limits ?tier () : Report.t =
+  let entries =
+    match tier with
+    | None -> Catalog.entries
+    | Some t -> List.filter (fun e -> Catalog.tier e = t) Catalog.entries
+  in
+  { Report.structures = List.map (fun e -> analyze_entry ?limits e) entries }
 
 let analyze_structure ?limits name : (Report.t, string) result =
   match Catalog.find name with
   | None ->
       Error
         (Printf.sprintf "unknown structure %S (expected one of: %s)" name
-           (String.concat ", " Catalog.names))
+           (String.concat ", " (Catalog.names ())))
   | Some e -> Ok { Report.structures = [ analyze_entry ?limits e ] }

@@ -71,8 +71,9 @@ let render_witness (path : Ir.path) op_index =
     ]
 
 (* Fold the per-path violations of one action into aggregated findings,
-   preserving first-occurrence order. *)
-let collect_findings (paths : Ir.path list) : finding list =
+   preserving first-occurrence order. [tier] is the structure's claimed
+   primitive tier, forwarded to the abstract interpreter. *)
+let collect_findings ?tier (paths : Ir.path list) : finding list =
   let order = ref [] in
   let tbl : (string, finding) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -97,11 +98,12 @@ let collect_findings (paths : Ir.path list) : finding list =
                   witness_decisions = Ir.decision_signature path.decisions;
                 });
           Hashtbl.replace seen_here v.key ())
-        (Absint.check path))
+        (Absint.check ?tier path))
     paths;
   List.rev_map (fun k -> Hashtbl.find tbl k) !order
 
-let summarize_action ~action ~truncated (paths : Ir.path list) : action_report =
+let summarize_action ?tier ~action ~truncated (paths : Ir.path list) :
+    action_report =
   let count p = List.length (List.filter p paths) in
   {
     action;
@@ -112,7 +114,7 @@ let summarize_action ~action ~truncated (paths : Ir.path list) : action_report =
           match p.status with Ir.Infeasible _ -> true | _ -> false);
     cut = count (fun (p : Ir.path) -> p.status = Ir.Decision_limit);
     truncated;
-    findings = collect_findings paths;
+    findings = collect_findings ?tier paths;
   }
 
 (* {2 Pretty-printing} *)

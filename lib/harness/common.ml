@@ -6,6 +6,7 @@ module Profile = Lfrc_obs.Profile
 
 module Snark_gc = Lfrc_structures.Snark.Make (Lfrc_core.Gc_ops)
 module Snark_fixed_lfrc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+module Sundell_lfrc = Lfrc_structures.Sundell_deque.Make (Lfrc_core.Lfrc_ops)
 
 type result = {
   table : Lfrc_util.Table.t;
@@ -31,11 +32,11 @@ let obs (cfg : Scenario.config) =
 let result ~table ?(profile = Profile.disabled) metrics =
   { table; metrics = Metrics.snapshot metrics; profile }
 
-let fresh_env ?dcas_impl ?policy ?rc_epoch ?gc_threshold ?metrics ?tracer
-    ?lineage ?profile ~name () =
+let fresh_env ?dcas_impl ?policy ?rc_mode ?rc_epoch ?gc_threshold ?metrics
+    ?tracer ?lineage ?profile ~name () =
   let heap = Lfrc_simmem.Heap.create ~name () in
-  Lfrc_core.Env.create ?dcas_impl ?policy ?rc_epoch ?gc_threshold ?metrics
-    ?tracer ?lineage ?profile heap
+  Lfrc_core.Env.create ?dcas_impl ?policy ?rc_mode ?rc_epoch ?gc_threshold
+    ?metrics ?tracer ?lineage ?profile heap
 
 let time_per_op_ns = Lfrc_util.Clock.time_per_op_ns
 
@@ -44,6 +45,7 @@ let deque_impls () =
     ("locked", (module Lfrc_structures.Locked_deque : Lfrc_structures.Deque_intf.DEQUE), false);
     ("snark-gc", (module Snark_gc : Lfrc_structures.Deque_intf.DEQUE), true);
     ("snark-lfrc", (module Snark_fixed_lfrc : Lfrc_structures.Deque_intf.DEQUE), false);
+    ("sundell-lfrc", (module Sundell_lfrc : Lfrc_structures.Deque_intf.DEQUE), false);
   ]
 
 let value_stream ~seed ~thread i = (((seed * 67) + thread) * 1_000_000) + i
@@ -92,27 +94,36 @@ let queue_workload ~workers ~ops_per_worker ~seed env =
   in
   Sched.join tids
 
-let deque_workload ~workers ~ops_per_worker ~seed env =
-  let t = Deque.create env in
+let generic_deque_workload (module D : Lfrc_structures.Deque_intf.DEQUE)
+    ~workers ~ops_per_worker ~seed env =
+  let t = D.create env in
   let tids =
     List.init workers (fun w ->
         Sched.spawn (fun () ->
-            let h = Deque.register t in
+            let h = D.register t in
             let rng = Rng.create ((seed * 131) + w) in
             for i = 1 to ops_per_worker do
               match Rng.int rng 4 with
-              | 0 -> ignore (Deque.try_push_left h ((w * 1000) + i))
-              | 1 -> ignore (Deque.try_push_right h ((w * 1000) + i))
-              | 2 -> ignore (Deque.pop_left h)
-              | _ -> ignore (Deque.pop_right h)
+              | 0 -> ignore (D.try_push_left h ((w * 1000) + i))
+              | 1 -> ignore (D.try_push_right h ((w * 1000) + i))
+              | 2 -> ignore (D.pop_left h)
+              | _ -> ignore (D.pop_right h)
             done;
-            Deque.unregister h))
+            D.unregister h))
   in
   Sched.join tids
+
+let deque_workload ~workers ~ops_per_worker ~seed env =
+  generic_deque_workload (module Deque) ~workers ~ops_per_worker ~seed env
+
+let sundell_workload ~workers ~ops_per_worker ~seed env =
+  generic_deque_workload (module Sundell_lfrc) ~workers ~ops_per_worker ~seed
+    env
 
 let workloads =
   [
     ("treiber", stack_workload);
     ("msqueue", queue_workload);
     ("snark-fixed", deque_workload);
+    ("sundell", sundell_workload);
   ]

@@ -30,6 +30,7 @@ val result :
 val fresh_env :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:Lfrc_core.Env.policy ->
+  ?rc_mode:Lfrc_core.Env.rc_mode ->
   ?rc_epoch:int ->
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
@@ -48,7 +49,8 @@ val time_per_op_ns : iters:int -> (unit -> unit) -> float
 val deque_impls :
   unit -> (string * (module Lfrc_structures.Deque_intf.DEQUE) * bool) list
 (** (label, implementation, is-GC-dependent) triples used by E2:
-    lock-based baseline, GC-dependent Snark, LFRC Snark (corrected). *)
+    lock-based baseline, GC-dependent Snark, LFRC Snark (corrected), and
+    the CAS-only Sundell–Tsigas port under LFRC. *)
 
 val value_stream : seed:int -> thread:int -> int -> int
 (** Deterministic distinct-ish value for the [int]h op of a thread. *)
@@ -69,9 +71,12 @@ val queue_workload :
 val deque_workload :
   workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit
 
+val sundell_workload :
+  workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit
+
 val workloads :
   (string
   * (workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit))
   list
-(** The three workloads keyed by structure name
-    (["treiber"], ["msqueue"], ["snark-fixed"]). *)
+(** The workloads keyed by structure name (["treiber"], ["msqueue"],
+    ["snark-fixed"], ["sundell"]). *)

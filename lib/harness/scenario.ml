@@ -26,6 +26,8 @@ let deferred_rc_epoch = 64
 
 let rc_epoch_of cfg = if cfg.deferred_rc then deferred_rc_epoch else 0
 
+let rc_mode_of cfg = Lfrc_core.Env.rc_mode_of_epoch (rc_epoch_of cfg)
+
 let default_config =
   {
     threads = 8;
@@ -95,8 +97,8 @@ type outcome = {
    and a handle to the history it fills. Everything (heap, deque) is
    created fresh inside the body so forced re-executions are
    deterministic. *)
-let make_body (module D : Lfrc_structures.Deque_intf.DEQUE) ~preload ~threads
-    history_out =
+let make_body (module D : Lfrc_structures.Deque_intf.DEQUE) ?rc_mode ~preload
+    ~threads history_out =
   let exec_op h = function
     | Push_left v ->
         D.push_left h v;
@@ -111,7 +113,7 @@ let make_body (module D : Lfrc_structures.Deque_intf.DEQUE) ~preload ~threads
   let heap = Lfrc_simmem.Heap.create ~name:"scenario" () in
   let env =
     Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
-      ~gc_threshold:64 heap
+      ~gc_threshold:64 ?rc_mode heap
   in
   let history = History.create () in
   history_out := Some (history, heap);
@@ -171,16 +173,16 @@ let judge ~gc_final history_out =
           failwith ("history not linearizable:\n" ^ Buffer.contents buf))
 
 let body_and_check (module D : Lfrc_structures.Deque_intf.DEQUE)
-    ?(gc_final = false) ?(preload = []) ~threads () =
+    ?(gc_final = false) ?rc_mode ?(preload = []) ~threads () =
   let history_out = ref None in
-  let body = make_body (module D) ~preload ~threads history_out in
+  let body = make_body (module D) ?rc_mode ~preload ~threads history_out in
   let check () = judge ~gc_final history_out in
   (body, check)
 
 let run (module D : Lfrc_structures.Deque_intf.DEQUE) ?(gc_final = false)
-    ?(preload = []) ~threads strategy =
+    ?rc_mode ?(preload = []) ~threads strategy =
   let history_out = ref None in
-  let body = make_body (module D) ~preload ~threads history_out in
+  let body = make_body (module D) ?rc_mode ~preload ~threads history_out in
   let outcome = Sched.run ~max_steps:1_000_000 strategy body in
   let ok =
     match judge ~gc_final history_out with () -> true | exception _ -> false

@@ -46,6 +46,11 @@ val deferred_rc_epoch : int
 val rc_epoch_of : config -> int
 (** [deferred_rc_epoch] when [deferred_rc] is set, else 0. *)
 
+val rc_mode_of : config -> Lfrc_core.Env.rc_mode
+(** The same choice as {!rc_epoch_of}, expressed as the environment's
+    {!Lfrc_core.Env.rc_mode}: [Deferred_rc {epoch = deferred_rc_epoch}]
+    when [deferred_rc] is set, else [Eager]. *)
+
 val default_config : config
 (** threads 8, 1500 ops/thread, 200k iters, seed 11, no fault override,
     metrics on, tracing off, profiling off, eager (non-deferred) rc. *)
@@ -81,6 +86,7 @@ type outcome = {
 val run :
   (module Lfrc_structures.Deque_intf.DEQUE) ->
   ?gc_final:bool ->
+  ?rc_mode:Lfrc_core.Env.rc_mode ->
   ?preload:int list ->
   threads:op list list ->
   Lfrc_sched.Strategy.t ->
@@ -90,11 +96,13 @@ val run :
     all workers finish, the main thread drains the deque from the left and
     those pops join the checked history. [ok] is the linearizability
     verdict. The heap is created fresh inside the simulation; leak and
-    reference-count violations surface as exceptions. *)
+    reference-count violations surface as exceptions. [rc_mode] selects
+    the environment's reference-count delivery mode (default eager). *)
 
 val body_and_check :
   (module Lfrc_structures.Deque_intf.DEQUE) ->
   ?gc_final:bool ->
+  ?rc_mode:Lfrc_core.Env.rc_mode ->
   ?preload:int list ->
   threads:op list list ->
   unit ->

@@ -3,6 +3,14 @@ type policy =
   | Iterative
   | Deferred of { budget_per_op : int }
 
+(* Count-update mode: eager Figure-2 CASes, or deferred-rc coalescing
+   with a parked-adjustment budget. The environment stores the resolved
+   epoch (0 = eager) — the variant exists so callers say what they mean
+   instead of passing a magic integer. *)
+type rc_mode = Eager | Deferred_rc of { epoch : int }
+
+let rc_mode_of_epoch n = if n > 0 then Deferred_rc { epoch = n } else Eager
+
 (* A registered thread-local pointer frame. [fr_view] reads the current
    locals non-destructively (auditor anchors); [fr_take] surrenders them —
    reads and clears — so a recovery pass can adopt a crashed owner's
@@ -73,10 +81,18 @@ type t = {
   env_symbolic : bool;
 }
 
-let create ?dcas_impl ?(policy = Iterative) ?(rc_epoch = 0) ?(gc_threshold = 0)
+let create ?dcas_impl ?(policy = Iterative) ?rc_mode ?(rc_epoch = 0)
+    ?(gc_threshold = 0)
     ?(metrics = Lfrc_obs.Metrics.disabled) ?(tracer = Lfrc_obs.Tracer.disabled)
     ?(lineage = Lfrc_obs.Lineage.disabled)
     ?(profile = Lfrc_obs.Profile.disabled) ?(symbolic = false) heap =
+  (* [rc_mode] wins over the deprecated [rc_epoch] alias. *)
+  let rc_epoch =
+    match rc_mode with
+    | Some Eager -> 0
+    | Some (Deferred_rc { epoch }) -> max 1 epoch
+    | None -> max 0 rc_epoch
+  in
   let impl =
     match dcas_impl with
     | Some i -> i
@@ -184,6 +200,7 @@ let deferred_pending t =
    is either fully visible to a concurrent drain/steal or not parked yet,
    never half-recorded. *)
 
+let rc_mode t = rc_mode_of_epoch t.env_rc_epoch
 let rc_epoch t = t.env_rc_epoch
 let rc_deferred t = t.env_rc_epoch > 0
 

@@ -19,11 +19,28 @@ type policy =
   | Iterative
   | Deferred of { budget_per_op : int }
 
+(** How reference-count adjustments reach the heap:
+
+    - [Eager] — every ±1 is a CAS on the object's count word, the paper's
+      Figure-2 behaviour. The default.
+    - [Deferred { epoch }] — deferred-rc coalescing: {!Lfrc}'s increment
+      and decrement sites park ±1 adjustments in per-thread buffers (see
+      the [rc_*] accessors below) instead of CASing the heap count, and a
+      global flush applies the netted deltas once [epoch] adjustments have
+      been parked (or earlier, at forced flush points). [epoch] must be
+      positive. *)
+type rc_mode = Eager | Deferred_rc of { epoch : int }
+
+val rc_mode_of_epoch : int -> rc_mode
+(** [Eager] for 0 (and anything non-positive), [Deferred_rc { epoch }]
+    otherwise — the bridge for callers still holding a raw epoch. *)
+
 type t
 
 val create :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:policy ->
+  ?rc_mode:rc_mode ->
   ?rc_epoch:int ->
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
@@ -38,12 +55,12 @@ val create :
     (live-object count that triggers a tracing collection in GC-dependent
     mode; 0 disables) is 0.
 
-    [rc_epoch > 0] enables deferred-rc coalescing: {!Lfrc}'s increment and
-    decrement sites park ±1 count adjustments in per-thread buffers (see
-    the [rc_*] accessors below) instead of CASing the heap count, and a
-    global flush applies the netted deltas once [rc_epoch] adjustments
-    have been parked (or earlier, at forced flush points). 0 — the
-    default — is the paper's eager Figure-2 behaviour.
+    [rc_mode] selects eager Figure-2 counts or deferred-rc coalescing; see
+    {!type:rc_mode}. [rc_epoch] is the deprecated spelling from before the
+    mode became a variant — [rc_epoch:n] with [n > 0] means
+    [rc_mode:(Deferred_rc { epoch = n })], [rc_epoch:0] means
+    [rc_mode:Eager] — kept as an alias for one release; [rc_mode] wins
+    when both are given. New code should pass [rc_mode].
 
     [metrics], [tracer], [lineage] and [profile] default to the disabled
     singletons — the no-op
@@ -103,9 +120,13 @@ val incremental : t -> (Lfrc_simmem.Gc_incr.t * int) option
     yield points — so under the simulator each is atomic with respect to
     interleaving. *)
 
+val rc_mode : t -> rc_mode
+(** The count-update mode this environment was created with. *)
+
 val rc_epoch : t -> int
 (** Parked-adjustment budget that triggers an automatic flush; [0] means
-    deferred-rc is off (eager Figure-2 counts). *)
+    deferred-rc is off (eager Figure-2 counts). Equals the epoch of
+    {!rc_mode} when it is [Deferred_rc], else [0]. *)
 
 val rc_deferred : t -> bool
 (** [rc_epoch t > 0]. *)

@@ -1,21 +1,43 @@
 (** The pointer-operation interface — the paper's "LFRC Compliance"
-    criterion (Section 2.1) made into a module type.
+    criterion (Section 2.1) made into a module type, split by primitive
+    tier.
 
     A data-structure implementation that manipulates pointers *only*
-    through these operations can be written once, as a functor over [OPS],
-    and instantiated both in a garbage-collected environment ({!Gc_ops})
-    and in a manual-memory environment ({!Lfrc_ops}). Applying the paper's
-    transformation methodology (Section 3, Table 1) is then literally the
-    act of changing the functor argument — the type checker enforces that
-    no pointer is touched outside the sanctioned operation set (no pointer
-    arithmetic, no raw loads).
+    through these operations can be written once, as a functor over the
+    operation signature, and instantiated both in a garbage-collected
+    environment ({!Gc_ops}) and in a manual-memory environment
+    ({!Lfrc_ops}). Applying the paper's transformation methodology
+    (Section 3, Table 1) is then literally the act of changing the functor
+    argument — the type checker enforces that no pointer is touched
+    outside the sanctioned operation set (no pointer arithmetic, no raw
+    loads).
+
+    The signature comes in two tiers, mirroring the catalog's
+    {!Lfrc_structures.Catalog.tier}:
+
+    - {!OPS_CAS} — single-word primitives only: loads, stores, copies,
+      CAS, allocation, flush, and the value-slot accessors. A structure
+      written as a functor over [OPS_CAS] (e.g. the Sundell–Tsigas deque)
+      provably never issues a DCAS: the operation simply is not in its
+      vocabulary, so the claim "CAS-only" is discharged by the type
+      checker rather than by inspection.
+    - {!OPS_DCAS} — everything in [OPS_CAS] plus the two double-word
+      operations ([dcas], [dcas_ptr_val]) the paper's Snark requires.
+
+    Both real implementations ({!Gc_ops}, {!Lfrc_ops}) and the analyzer's
+    recording instance satisfy [OPS_DCAS], and therefore — by first-class-
+    module width subtyping — can be passed wherever an [OPS_CAS] is
+    expected. [OPS] remains as an alias for [OPS_DCAS] so existing
+    functors keep compiling unchanged.
 
     Thread-local pointer variables are abstract ([local]) so that the
     GC-dependent implementation can register them as roots with the
     tracing collector (playing the role of stack scanning) and the LFRC
     implementation can count them. *)
 
-module type OPS = sig
+(** Single-word tier: every pointer operation expressible with loads,
+    stores and one-word CAS. *)
+module type OPS_CAS = sig
   val name : string
 
   type ctx
@@ -37,7 +59,7 @@ module type OPS = sig
   (** Read the local variable for comparisons and as an operand. The
       returned id must not outlive the variable. *)
 
-  (* Pointer operations: Table 1's left column. *)
+  (* Pointer operations: Table 1's left column, minus the DCAS rows. *)
 
   val load : ctx -> Lfrc_simmem.Cell.t -> local -> unit
   (** [x0 = *A0] *)
@@ -60,28 +82,6 @@ module type OPS = sig
     old_ptr:Lfrc_simmem.Heap.ptr ->
     new_ptr:Lfrc_simmem.Heap.ptr ->
     bool
-
-  val dcas :
-    ctx ->
-    Lfrc_simmem.Cell.t ->
-    Lfrc_simmem.Cell.t ->
-    old0:Lfrc_simmem.Heap.ptr ->
-    old1:Lfrc_simmem.Heap.ptr ->
-    new0:Lfrc_simmem.Heap.ptr ->
-    new1:Lfrc_simmem.Heap.ptr ->
-    bool
-
-  val dcas_ptr_val :
-    ctx ->
-    ptr_cell:Lfrc_simmem.Cell.t ->
-    val_cell:Lfrc_simmem.Cell.t ->
-    old_ptr:Lfrc_simmem.Heap.ptr ->
-    new_ptr:Lfrc_simmem.Heap.ptr ->
-    old_val:int ->
-    new_val:int ->
-    bool
-  (** Mixed pointer/value DCAS (our documented extension of the paper's
-      operation set; see {!Lfrc.dcas_ptr_val}). *)
 
   val alloc : ctx -> Lfrc_simmem.Layout.t -> local -> unit
   (** [x0 = new T]: allocate into a local (destroying its previous
@@ -109,3 +109,35 @@ module type OPS = sig
   val write_val : ctx -> Lfrc_simmem.Cell.t -> int -> unit
   val cas_val : ctx -> Lfrc_simmem.Cell.t -> int -> int -> bool
 end
+
+(** Double-word tier: the single-word tier plus the paper's DCAS
+    operations. *)
+module type OPS_DCAS = sig
+  include OPS_CAS
+
+  val dcas :
+    ctx ->
+    Lfrc_simmem.Cell.t ->
+    Lfrc_simmem.Cell.t ->
+    old0:Lfrc_simmem.Heap.ptr ->
+    old1:Lfrc_simmem.Heap.ptr ->
+    new0:Lfrc_simmem.Heap.ptr ->
+    new1:Lfrc_simmem.Heap.ptr ->
+    bool
+
+  val dcas_ptr_val :
+    ctx ->
+    ptr_cell:Lfrc_simmem.Cell.t ->
+    val_cell:Lfrc_simmem.Cell.t ->
+    old_ptr:Lfrc_simmem.Heap.ptr ->
+    new_ptr:Lfrc_simmem.Heap.ptr ->
+    old_val:int ->
+    new_val:int ->
+    bool
+  (** Mixed pointer/value DCAS (our documented extension of the paper's
+      operation set; see {!Lfrc.dcas_ptr_val}). *)
+end
+
+module type OPS = OPS_DCAS
+(** Compatibility alias: the historical monolithic signature is exactly
+    the DCAS tier. *)

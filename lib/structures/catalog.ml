@@ -1,52 +1,87 @@
 (** The analyzable catalog: every shipped structure, packaged for the
     static discipline checker ([lib/analysis]).
 
-    An {!entry} knows how to build one instance of the structure over an
-    arbitrary {!Ops_intf.OPS} module — the checker passes its recording
-    instance — and returns the structure's focal operations as named
-    thunks. The checker runs the builder once (muted, so setup is not
-    analyzed) and then symbolically enumerates the control-flow paths of
-    each action.
+    Each {!entry} declares the primitive {!tier} it needs — [Cas] for
+    structures whose functor argument is {!Lfrc_core.Ops_intf.OPS_CAS},
+    [Dcas] for those needing the full double-word signature — and packs a
+    builder over exactly that minimal module type. The checker passes its
+    recording instance (which satisfies the DCAS tier, hence both); the
+    builder returns the structure's focal operations as named thunks. The
+    checker runs the builder once (muted, so setup is not analyzed) and
+    then symbolically enumerates the control-flow paths of each action,
+    holding the entry to its declared tier's obligations (a [Cas]-tier
+    path recording a DCAS is a violation).
 
     Actions use the [try_*] variants of allocating operations so the
     analyzer also covers the graceful-OOM back-out paths, and fixed small
     keys so value-comparison branches are driven by the checker's concolic
     value pool rather than by data. *)
 
-type ops_module = (module Lfrc_core.Ops_intf.OPS)
+type tier = Cas | Dcas
 
-type entry = {
-  name : string;
-  actions : ops_module -> Lfrc_core.Env.t -> (string * (unit -> unit)) list;
-      (** Build an instance over the given OPS and environment; return
-          the named operations to analyze. Called exactly once per
-          analysis, outside the recorded window. *)
-}
+let tier_name = function Cas -> "cas" | Dcas -> "dcas"
+
+let tier_of_name = function
+  | "cas" -> Some Cas
+  | "dcas" -> Some Dcas
+  | _ -> None
+
+type cas_ops = (module Lfrc_core.Ops_intf.OPS_CAS)
+type dcas_ops = (module Lfrc_core.Ops_intf.OPS_DCAS)
+
+type ops_module = dcas_ops
+(** Compatibility alias: the historical "any OPS" module is the DCAS
+    tier. *)
+
+type actions = (string * (unit -> unit)) list
+
+(** The builder over the minimal module the entry's tier grants it. A
+    [Cas]-tier entry receives only the single-word operations — its
+    structures cannot even name [dcas]. *)
+type pack =
+  | Cas_pack of (cas_ops -> Lfrc_core.Env.t -> actions)
+  | Dcas_pack of (dcas_ops -> Lfrc_core.Env.t -> actions)
+
+type entry = { name : string; tier : tier; pack : pack }
+
+let tier e = e.tier
+
+(* Apply an entry's builder to a full (DCAS-tier) module: a [Cas]-tier
+   entry sees it re-packed at the narrower signature — width subtyping at
+   pack time — so the extra operations are unreachable inside. *)
+let actions_over (module O : Lfrc_core.Ops_intf.OPS_DCAS) entry env =
+  match entry.pack with
+  | Cas_pack mk -> mk (module O : Lfrc_core.Ops_intf.OPS_CAS) env
+  | Dcas_pack mk -> mk (module O : Lfrc_core.Ops_intf.OPS_DCAS) env
 
 let treiber =
   {
     name = "treiber";
-    actions =
-      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
-        let module S = Treiber.Make (O) in
-        let h = S.register (S.create env) in
-        [
-          ("try_push", fun () -> ignore (S.try_push h 42));
-          ("pop", fun () -> ignore (S.pop h));
-        ]);
+    tier = Cas;
+    pack =
+      Cas_pack
+        (fun (module O : Lfrc_core.Ops_intf.OPS_CAS) env ->
+          let module S = Treiber.Make (O) in
+          let h = S.register (S.create env) in
+          [
+            ("try_push", fun () -> ignore (S.try_push h 42));
+            ("pop", fun () -> ignore (S.pop h));
+          ]);
   }
 
 let msqueue =
   {
     name = "msqueue";
-    actions =
-      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
-        let module S = Msqueue.Make (O) in
-        let h = S.register (S.create env) in
-        [
-          ("try_enqueue", fun () -> ignore (S.try_enqueue h 42));
-          ("dequeue", fun () -> ignore (S.dequeue h));
-        ]);
+    tier = Cas;
+    pack =
+      Cas_pack
+        (fun (module O : Lfrc_core.Ops_intf.OPS_CAS) env ->
+          let module S = Msqueue.Make (O) in
+          let h = S.register (S.create env) in
+          [
+            ("try_enqueue", fun () -> ignore (S.try_enqueue h 42));
+            ("dequeue", fun () -> ignore (S.dequeue h));
+          ]);
   }
 
 let deque_actions (module S : Container_intf.DEQUE) env =
@@ -58,20 +93,34 @@ let deque_actions (module S : Container_intf.DEQUE) env =
     ("pop_left", fun () -> ignore (S.pop_left h));
   ]
 
+let sundell =
+  {
+    name = "sundell";
+    tier = Cas;
+    pack =
+      Cas_pack
+        (fun (module O : Lfrc_core.Ops_intf.OPS_CAS) env ->
+          deque_actions (module Sundell_deque.Make (O)) env);
+  }
+
 let snark =
   {
     name = "snark";
-    actions =
-      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
-        deque_actions (module Snark.Make (O)) env);
+    tier = Dcas;
+    pack =
+      Dcas_pack
+        (fun (module O : Lfrc_core.Ops_intf.OPS_DCAS) env ->
+          deque_actions (module Snark.Make (O)) env);
   }
 
 let snark_fixed =
   {
     name = "snark-fixed";
-    actions =
-      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
-        deque_actions (module Snark_fixed.Make (O)) env);
+    tier = Dcas;
+    pack =
+      Dcas_pack
+        (fun (module O : Lfrc_core.Ops_intf.OPS_DCAS) env ->
+          deque_actions (module Snark_fixed.Make (O)) env);
   }
 
 let set_actions (module S : Container_intf.SET) env =
@@ -89,19 +138,32 @@ let set_actions (module S : Container_intf.SET) env =
 let dlist_set =
   {
     name = "dlist-set";
-    actions =
-      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
-        set_actions (module Dlist_set.Make (O)) env);
+    tier = Dcas;
+    pack =
+      Dcas_pack
+        (fun (module O : Lfrc_core.Ops_intf.OPS_DCAS) env ->
+          set_actions (module Dlist_set.Make (O)) env);
   }
 
 let skiplist =
   {
     name = "skiplist";
-    actions =
-      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
-        set_actions (module Skiplist.As_set (O)) env);
+    tier = Dcas;
+    pack =
+      Dcas_pack
+        (fun (module O : Lfrc_core.Ops_intf.OPS_DCAS) env ->
+          set_actions (module Skiplist.As_set (O)) env);
   }
 
-let entries = [ treiber; msqueue; snark; snark_fixed; dlist_set; skiplist ]
-let names = List.map (fun e -> e.name) entries
+let entries =
+  [ treiber; msqueue; sundell; snark; snark_fixed; dlist_set; skiplist ]
+
+let names ?tier () =
+  List.filter_map
+    (fun e ->
+      match tier with
+      | Some t when t <> e.tier -> None
+      | _ -> Some e.name)
+    entries
+
 let find name = List.find_opt (fun e -> e.name = name) entries

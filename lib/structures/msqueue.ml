@@ -11,7 +11,7 @@ let value_slot = 0
 let head_slot = 0
 let tail_slot = 1
 
-module Make (O : Lfrc_core.Ops_intf.OPS) = struct
+module Make (O : Lfrc_core.Ops_intf.OPS_CAS) = struct
   let name = "msqueue-" ^ O.name
 
   type t = {

@@ -1,0 +1,341 @@
+module Heap = Lfrc_simmem.Heap
+module Layout = Lfrc_simmem.Layout
+
+let null = Heap.null
+
+(* Two pointer slots: [next] is the authoritative left-to-right chain
+   from the head sentinel to the tail sentinel; [prev] is used only on
+   the tail sentinel, as the right-end hint (Sundell–Tsigas prev links
+   are hints there too — ours is just the degenerate single-cell case;
+   regular nodes leave it null, deliberately, so no prev/next reference
+   cycle can ever form among dead nodes). One value slot carries the
+   element, the other the node kind. *)
+let node_layout = Layout.make ~name:"sundell-node" ~n_ptrs:2 ~n_vals:2
+
+let next_slot = 0
+let prev_slot = 1
+let value_slot = 0
+let kind_slot = 1
+
+(* Kinds: a list node carries an element; a marker is the CAS-only
+   stand-in for the original algorithm's pointer mark bit. Deleting node
+   [x] means CASing [x.next] from its successor [s] to a fresh marker
+   whose own next is frozen at [s] — any CAS on [x.next] expecting [s]
+   (an insertion after [x], a competing claim) fails from that moment on,
+   which is exactly what the mark bit buys Sundell–Tsigas. *)
+let kind_node = 0
+let kind_marker = 1
+
+module Make (O : Lfrc_core.Ops_intf.OPS_CAS) = struct
+  let name = "sundell-" ^ O.name
+
+  type t = {
+    env : Lfrc_core.Env.t;
+    heap : Heap.t;
+    head : Lfrc_simmem.Cell.t; (* root -> left sentinel *)
+    tail : Lfrc_simmem.Cell.t; (* root -> right sentinel *)
+  }
+
+  type handle = { t : t; ctx : O.ctx }
+
+  let next_cell t p = Heap.ptr_cell t.heap p next_slot
+  let hint_cell t p = Heap.ptr_cell t.heap p prev_slot
+  let value_of t ctx p = O.read_val ctx (Heap.val_cell t.heap p value_slot)
+  let kind_of t ctx p = O.read_val ctx (Heap.val_cell t.heap p kind_slot)
+  let marked t ctx p = kind_of t ctx p = kind_marker
+
+  let create env =
+    let heap = Lfrc_core.Env.heap env in
+    let ctx = O.make_ctx env in
+    let head = Heap.root heap ~name:"sundell-head" () in
+    let tail = Heap.root heap ~name:"sundell-tail" () in
+    (* Link head.next = tail through the still-owned locals before
+       publishing either sentinel (no load-back: the symbolic checker
+       would answer it with null). *)
+    let hd = O.declare ctx and tl = O.declare ctx in
+    O.alloc ctx node_layout hd;
+    O.write_val ctx (Heap.val_cell heap (O.get hd) kind_slot) kind_node;
+    O.alloc ctx node_layout tl;
+    O.write_val ctx (Heap.val_cell heap (O.get tl) kind_slot) kind_node;
+    O.store ctx (Heap.ptr_cell heap (O.get hd) next_slot) (O.get tl);
+    O.store_alloc ctx head hd;
+    O.store_alloc ctx tail tl;
+    O.retire ctx hd;
+    O.retire ctx tl;
+    O.dispose_ctx ctx;
+    { env; heap; head; tail }
+
+  let register t = { t; ctx = O.make_ctx t.env }
+  let unregister h = O.dispose_ctx h.ctx
+
+  (* Prepare the per-claim marker: fresh on the first attempt, reused
+     (it is still unpublished) when a claim CAS failed. [succ] is the
+     successor being frozen behind it. Returns false only on allocator
+     failure with nothing written. *)
+  let arm_marker ctx t ~m ~succ =
+    if O.get m <> null || O.try_alloc ctx node_layout m then begin
+      O.write_val ctx (Heap.val_cell t.heap (O.get m) kind_slot) kind_marker;
+      O.store ctx (next_cell t (O.get m)) succ;
+      true
+    end
+    else false
+
+  (* pop_left claims the node [a] it observed as [head.next] by marking
+     it — CASing [a.next] from the successor [w] it read to a fresh
+     marker. The claim succeeding proves [a] was never marked in between
+     (a marked node's next is its marker forever, and markers are fresh
+     objects, so the CAS cannot ABA back), hence [a] stayed in the deque
+     from the [head.next] read — where it was leftmost — until the claim:
+     the operation linearizes at that read. Physical unlinking is best
+     effort; later traversals excise marked nodes they meet. *)
+  let pop_left h =
+    let ctx = h.ctx and t = h.t in
+    let hd = O.declare ctx
+    and tl = O.declare ctx
+    and a = O.declare ctx
+    and w = O.declare ctx
+    and wn = O.declare ctx
+    and m = O.declare ctx in
+    O.load ctx t.head hd;
+    O.load ctx t.tail tl;
+    let rec loop () =
+      O.load ctx (next_cell t (O.get hd)) a;
+      if O.get a = O.get tl then None
+      else begin
+        O.load ctx (next_cell t (O.get a)) w;
+        if O.get w = null then loop ()
+        else if marked t ctx (O.get w) then begin
+          (* [a] is already claimed by someone: help unlink it (swing
+             head.next to the successor frozen in the marker) and look
+             again. *)
+          O.load ctx (next_cell t (O.get w)) wn;
+          ignore
+            (O.cas ctx (next_cell t (O.get hd)) ~old_ptr:(O.get a)
+               ~new_ptr:(O.get wn));
+          loop ()
+        end
+        else if not (arm_marker ctx t ~m ~succ:(O.get w)) then loop ()
+        else if
+          O.cas ctx (next_cell t (O.get a)) ~old_ptr:(O.get w)
+            ~new_ptr:(O.get m)
+        then begin
+          let v = value_of t ctx (O.get a) in
+          ignore
+            (O.cas ctx (next_cell t (O.get hd)) ~old_ptr:(O.get a)
+               ~new_ptr:(O.get w));
+          Some v
+        end
+        else loop ()
+      end
+    in
+    let r = loop () in
+    List.iter (O.retire ctx) [ hd; tl; a; w; wn; m ];
+    r
+
+  (* Walk the next chain from the head sentinel to the node whose next is
+     the tail sentinel, excising marked nodes on the way (the lazy half
+     of the deletion protocol). On return [pred] holds the rightmost
+     list node — or the head sentinel, in which case the deque was
+     observed empty at the moment [cur] was loaded from [pred.next]. A
+     marked [cur] means [pred] itself was deleted under our feet (what we
+     loaded from its next is its marker), so the only safe predecessor is
+     back at the sentinel. [cur]/[w]/[wn] are scratch. *)
+  let rightmost ctx t ~hd ~tl ~pred ~cur ~w ~wn =
+    let rec go () =
+      if O.get cur = O.get tl then ()
+      else begin
+        walk_step ();
+        go ()
+      end
+    and walk_step () =
+      if O.get cur = null || marked t ctx (O.get cur) then begin
+        O.copy ctx pred (O.get hd);
+        O.load ctx (next_cell t (O.get pred)) cur
+      end
+      else begin
+        O.load ctx (next_cell t (O.get cur)) w;
+        if O.get w = null then begin
+          O.copy ctx pred (O.get hd);
+          O.load ctx (next_cell t (O.get pred)) cur
+        end
+        else if marked t ctx (O.get w) then begin
+          O.load ctx (next_cell t (O.get w)) wn;
+          ignore
+            (O.cas ctx (next_cell t (O.get pred)) ~old_ptr:(O.get cur)
+               ~new_ptr:(O.get wn));
+          O.load ctx (next_cell t (O.get pred)) cur
+        end
+        else begin
+          O.copy ctx pred (O.get cur);
+          O.copy ctx cur (O.get w)
+        end
+      end
+    in
+    O.copy ctx pred (O.get hd);
+    O.load ctx (next_cell t (O.get pred)) cur;
+    go ()
+
+  (* push_right installs [x] (with [x.next] pre-stored as the tail
+     sentinel) after the rightmost node [p] by CASing [p.next] from the
+     sentinel to [x]. The CAS succeeding is the linearization point: it
+     atomically certifies [p] was unmarked (a marked node's next is a
+     marker, never the sentinel) and rightmost at that instant. The tail
+     hint is refreshed after a successful push; it is only ever a hint —
+     the slow path walks from the head sentinel. *)
+  let try_push_right h v =
+    let ctx = h.ctx and t = h.t in
+    let hd = O.declare ctx
+    and tl = O.declare ctx
+    and x = O.declare ctx
+    and p = O.declare ctx
+    and cur = O.declare ctx
+    and w = O.declare ctx
+    and wn = O.declare ctx in
+    O.load ctx t.head hd;
+    O.load ctx t.tail tl;
+    let result =
+      (* Allocation is the only fallible step and happens before the
+         deque is touched, so an OOM backs out with nothing to undo. *)
+      if not (O.try_alloc ctx node_layout x) then Error `Out_of_memory
+      else begin
+        O.write_val ctx (Heap.val_cell t.heap (O.get x) value_slot) v;
+        O.write_val ctx (Heap.val_cell t.heap (O.get x) kind_slot) kind_node;
+        O.store ctx (next_cell t (O.get x)) (O.get tl);
+        let publish () =
+          O.store ctx (hint_cell t (O.get tl)) (O.get x);
+          Ok ()
+        in
+        let rec slow () =
+          rightmost ctx t ~hd ~tl ~pred:p ~cur ~w ~wn;
+          if
+            O.cas ctx (next_cell t (O.get p)) ~old_ptr:(O.get tl)
+              ~new_ptr:(O.get x)
+          then publish ()
+          else slow ()
+        in
+        (* Fast path: the hint, validated by the claim CAS itself. *)
+        O.load ctx (hint_cell t (O.get tl)) p;
+        if
+          O.get p <> null
+          && (not (marked t ctx (O.get p)))
+          && O.cas ctx (next_cell t (O.get p)) ~old_ptr:(O.get tl)
+               ~new_ptr:(O.get x)
+        then publish ()
+        else slow ()
+      end
+    in
+    List.iter (O.retire ctx) [ hd; tl; x; p; cur; w; wn ];
+    result
+
+  (* push_left has no hint to consult: [head.next] is authoritative. *)
+  let try_push_left h v =
+    let ctx = h.ctx and t = h.t in
+    let hd = O.declare ctx and x = O.declare ctx and a = O.declare ctx in
+    O.load ctx t.head hd;
+    let result =
+      if not (O.try_alloc ctx node_layout x) then Error `Out_of_memory
+      else begin
+        O.write_val ctx (Heap.val_cell t.heap (O.get x) value_slot) v;
+        O.write_val ctx (Heap.val_cell t.heap (O.get x) kind_slot) kind_node;
+        let rec loop () =
+          O.load ctx (next_cell t (O.get hd)) a;
+          O.store ctx (next_cell t (O.get x)) (O.get a);
+          if
+            O.cas ctx (next_cell t (O.get hd)) ~old_ptr:(O.get a)
+              ~new_ptr:(O.get x)
+          then Ok ()
+          else loop ()
+        in
+        loop ()
+      end
+    in
+    List.iter (O.retire ctx) [ hd; x; a ];
+    result
+
+  let push_right h v =
+    match try_push_right h v with
+    | Ok () -> ()
+    | Error `Out_of_memory -> raise Heap.Simulated_oom
+
+  let push_left h v =
+    match try_push_left h v with
+    | Ok () -> ()
+    | Error `Out_of_memory -> raise Heap.Simulated_oom
+
+  (* pop_right claims the rightmost node [p] by CASing [p.next] from the
+     tail sentinel to a marker — one CAS that simultaneously certifies
+     [p] is unmarked, still in the deque, and rightmost (only the last
+     list node's next is the sentinel), and is therefore the
+     linearization point. The empty answer linearizes at the walk's load
+     that observed [head.next] = tail sentinel. *)
+  let pop_right h =
+    let ctx = h.ctx and t = h.t in
+    let hd = O.declare ctx
+    and tl = O.declare ctx
+    and p = O.declare ctx
+    and cur = O.declare ctx
+    and w = O.declare ctx
+    and wn = O.declare ctx
+    and m = O.declare ctx in
+    O.load ctx t.head hd;
+    O.load ctx t.tail tl;
+    let claim () =
+      arm_marker ctx t ~m ~succ:(O.get tl)
+      && O.cas ctx (next_cell t (O.get p)) ~old_ptr:(O.get tl)
+           ~new_ptr:(O.get m)
+    in
+    let rec slow () =
+      rightmost ctx t ~hd ~tl ~pred:p ~cur ~w ~wn;
+      if O.get p = O.get hd then
+        (* The walk loaded head.next and saw the tail sentinel: the deque
+           was empty at that load. *)
+        None
+      else if claim () then Some (value_of t ctx (O.get p))
+      else slow ()
+    in
+    let r =
+      (* Fast path: the tail hint; any staleness fails the claim CAS and
+         falls back to the walk. *)
+      O.load ctx (hint_cell t (O.get tl)) p;
+      if
+        O.get p <> null
+        && O.get p <> O.get hd
+        && (not (marked t ctx (O.get p)))
+        && claim ()
+      then Some (value_of t ctx (O.get p))
+      else slow ()
+    in
+    List.iter (O.retire ctx) [ hd; tl; p; cur; w; wn; m ];
+    r
+
+  let destroy t =
+    let ctx = O.make_ctx t.env in
+    let h = { t; ctx } in
+    let rec drain () = if pop_left h <> None then drain () in
+    drain ();
+    let tl = O.declare ctx in
+    O.load ctx t.tail tl;
+    (* Break the hint's reference: a stale hint still points into the
+       popped chain, whose frozen successors lead back to the tail
+       sentinel — with the hint live that loop would keep itself alive
+       with no root reaching it. *)
+    O.store ctx (hint_cell t (O.get tl)) null;
+    O.retire ctx tl;
+    O.store ctx t.head null;
+    O.store ctx t.tail null;
+    Heap.release_root t.heap t.head;
+    Heap.release_root t.heap t.tail;
+    O.dispose_ctx ctx
+
+  include Container_intf.With_env (struct
+    let name = name
+
+    type nonrec t = t
+    type nonrec handle = handle
+
+    let create = create
+    let register = register
+    let unregister = unregister
+    let destroy = destroy
+  end)
+end

@@ -8,7 +8,7 @@ let node_layout = Layout.make ~name:"stack-node" ~n_ptrs:1 ~n_vals:1
 let next_slot = 0
 let value_slot = 0
 
-module Make (O : Lfrc_core.Ops_intf.OPS) = struct
+module Make (O : Lfrc_core.Ops_intf.OPS_CAS) = struct
   let name = "treiber-" ^ O.name
 
   type t = {

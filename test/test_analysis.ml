@@ -203,6 +203,56 @@ let test_flags_lfrc_bypass () =
   in
   checkb "bypass flagged" true (has_class Absint.Lfrc_bypass r)
 
+(* --- the tier obligation --- *)
+
+(* The same builder analyzed under both tier claims. The dcas itself is
+   ownership-clean (all-null operands), so the *only* possible finding is
+   the tier violation — under the Cas claim it must fire, under the
+   default Dcas tier the report must be empty. This is the dynamic half
+   of the tier contract: catalog entries cannot reach this state (a
+   [Cas_pack] builder types against [OPS_CAS] and cannot name dcas), but
+   hand-written analyses claiming a tier can lie, and the checker is what
+   catches them. *)
+let tier_fixture (module O : Lfrc_core.Ops_intf.OPS) env =
+  let ctx = O.make_ctx env in
+  let anchor = O.declare ctx in
+  O.alloc ctx fixture_layout anchor;
+  let c0 = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+  let c1 = Heap.ptr_cell (Env.heap env) (O.get anchor) 1 in
+  [
+    ( "op",
+      fun () ->
+        ignore
+          (O.dcas ctx c0 c1 ~old0:Heap.null ~old1:Heap.null ~new0:Heap.null
+             ~new1:Heap.null) );
+  ]
+
+let test_flags_dcas_in_cas_tier () =
+  let r =
+    Checker.analyze_actions ~limits ~tier:Catalog.Cas ~name:"fixture-tier"
+      tier_fixture
+  in
+  checkb "dcas-in-cas-tier flagged" true (has_class Absint.Dcas_in_cas_tier r);
+  checkb "tier violation is an error" true (errors_of r > 0)
+
+let test_dcas_clean_in_dcas_tier () =
+  let r =
+    Checker.analyze_actions ~limits ~tier:Catalog.Dcas
+      ~name:"fixture-tier-ok" tier_fixture
+  in
+  checki "same builder clean under the dcas tier" 0 (errors_of r)
+
+let test_catalog_tier_names () =
+  let cas = Catalog.names ~tier:Catalog.Cas () in
+  let dcas = Catalog.names ~tier:Catalog.Dcas () in
+  checkb "sundell is cas-tier" true (List.mem "sundell" cas);
+  checkb "treiber is cas-tier" true (List.mem "treiber" cas);
+  checkb "snark is dcas-tier" true (List.mem "snark" dcas);
+  checkb "sundell not in dcas tier" false (List.mem "sundell" dcas);
+  checki "tiers partition the catalog"
+    (List.length (Catalog.names ()))
+    (List.length cas + List.length dcas)
+
 (* --- a correct fixture stays clean --- *)
 
 let test_clean_fixture_passes () =
@@ -249,7 +299,7 @@ let test_shipped_structures_clean () =
             true (a.Report.completed > 0))
         s.Report.actions)
     report.Report.structures;
-  checki "all six structures analyzed" 6
+  checki "all seven structures analyzed" 7
     (List.length report.Report.structures)
 
 (* --- plumbing: JSON validity-ish and structure selection --- *)
@@ -299,6 +349,15 @@ let () =
           Alcotest.test_case "borrow-across-flush" `Quick
             test_flags_borrow_across_flush;
           Alcotest.test_case "lfrc-bypass" `Quick test_flags_lfrc_bypass;
+          Alcotest.test_case "dcas-in-cas-tier" `Quick
+            test_flags_dcas_in_cas_tier;
+        ] );
+      ( "tiers",
+        [
+          Alcotest.test_case "dcas clean under dcas tier" `Quick
+            test_dcas_clean_in_dcas_tier;
+          Alcotest.test_case "catalog tier names" `Quick
+            test_catalog_tier_names;
         ] );
       ( "clean",
         [

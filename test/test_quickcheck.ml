@@ -26,6 +26,7 @@ module Stack = Lfrc_structures.Treiber.Make (Lfrc_core.Lfrc_ops)
 module Queue_ = Lfrc_structures.Msqueue.Make (Lfrc_core.Lfrc_ops)
 module Snark = Lfrc_structures.Snark.Make (Lfrc_core.Lfrc_ops)
 module Snark_fixed = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
+module Sundell = Lfrc_structures.Sundell_deque.Make (Lfrc_core.Lfrc_ops)
 module Dset = Lfrc_structures.Dlist_set.Make (Lfrc_core.Lfrc_ops)
 module Skipset = Lfrc_structures.Skiplist.As_set (Lfrc_core.Lfrc_ops)
 module IntSet = Set.Make (Int)
@@ -221,6 +222,7 @@ let structures :
     ("msqueue", run_queue);
     ("snark", run_deque (module Snark) "qc-snark");
     ("snark-fixed", run_deque (module Snark_fixed) "qc-snark-fixed");
+    ("sundell", run_deque (module Sundell) "qc-sundell");
     ("dlist-set", run_set (module Dset) "qc-dlist-set");
     ("skiplist", run_set (module Skipset) "qc-skiplist");
   ]

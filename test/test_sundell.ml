@@ -1,0 +1,194 @@
+(* The CAS-only Sundell–Tsigas deque port: sequential semantics, the
+   destroy-time hint-cycle regression, and concurrent linearizability via
+   the Scenario engine (full Wing–Gong checking against the sequential
+   deque spec) under randomized and PCT scheduling, in eager and both
+   deferred-rc coalescing modes. Every scenario ends with a drain,
+   destroy, and whole-heap leak assertion, so "pure reference counting
+   reclaims everything the marker protocol retires" is checked on every
+   run, not just the quickcheck suite. *)
+
+module Heap = Lfrc_simmem.Heap
+module Env = Lfrc_core.Env
+module Sched = Lfrc_sched.Sched
+module Strategy = Lfrc_sched.Strategy
+module Scenario = Lfrc_harness.Scenario
+
+module D = Lfrc_structures.Sundell_deque.Make (Lfrc_core.Lfrc_ops)
+
+let checki = Alcotest.(check int)
+
+let check_popped what got want =
+  Alcotest.(check (option int)) what want got
+
+(* Deterministic single-threaded run over a fresh env; asserts no leaks
+   after teardown. *)
+let solo ?rc_mode f =
+  ignore
+    (Sched.run ~max_steps:10_000_000 Strategy.Round_robin (fun () ->
+         let heap = Heap.create ~name:"sundell-test" () in
+         let env =
+           Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ?rc_mode heap
+         in
+         let t = D.create env in
+         let h = D.register t in
+         f h;
+         D.unregister h;
+         D.destroy t;
+         Lfrc_simmem.Report.assert_no_leaks heap))
+
+(* --- sequential semantics --- *)
+
+let test_fifo_lifo_faces () =
+  solo (fun h ->
+      (* right face behaves as a stack against push_right... *)
+      D.push_right h 1;
+      D.push_right h 2;
+      D.push_right h 3;
+      check_popped "pop_right" (D.pop_right h) (Some 3);
+      (* ...and the left face as a queue. *)
+      check_popped "pop_left" (D.pop_left h) (Some 1);
+      check_popped "pop_left" (D.pop_left h) (Some 2);
+      check_popped "empty left" (D.pop_left h) None;
+      check_popped "empty right" (D.pop_right h) None)
+
+let test_both_ends_interleaved () =
+  solo (fun h ->
+      D.push_left h 10;
+      D.push_right h 20;
+      D.push_left h 5;
+      (* deque is now 5,10,20 *)
+      check_popped "pop_right 20" (D.pop_right h) (Some 20);
+      check_popped "pop_left 5" (D.pop_left h) (Some 5);
+      check_popped "pop_right 10" (D.pop_right h) (Some 10);
+      check_popped "exhausted" (D.pop_right h) None)
+
+let test_many_values_roundtrip () =
+  solo (fun h ->
+      for i = 1 to 200 do
+        D.push_right h i
+      done;
+      for i = 1 to 200 do
+        check_popped "fifo order" (D.pop_left h) (Some i)
+      done;
+      check_popped "drained" (D.pop_left h) None)
+
+(* destroy must break the tail hint's reference into the popped chain
+   (hint -> popped node -> frozen markers -> tail sentinel is a cycle no
+   pure reference count ever collects). pop_right leaves the hint stale
+   on purpose; the leak assertion inside [solo] is the actual check. *)
+let test_destroy_breaks_hint_cycle () =
+  solo (fun h ->
+      for i = 1 to 20 do
+        D.push_right h i
+      done;
+      for _ = 1 to 20 do
+        ignore (D.pop_right h)
+      done)
+
+let test_deferred_rc_solo () =
+  List.iter
+    (fun epoch ->
+      solo ~rc_mode:(Env.Deferred_rc { epoch }) (fun h ->
+          for i = 1 to 100 do
+            D.push_left h i;
+            if i mod 3 = 0 then ignore (D.pop_right h)
+          done;
+          let rec drain n =
+            match D.pop_left h with None -> n | Some _ -> drain (n + 1)
+          in
+          checki "remaining elements" (100 - 33) (drain 0)))
+    [ 4; 64 ]
+
+(* --- concurrent linearizability (Wing–Gong via the Scenario engine) --- *)
+
+let scripts =
+  Scenario.
+    [
+      (* two pushers racing one popper at each end *)
+      [
+        [ Push_left 1; Push_left 2; Pop_right ];
+        [ Push_right 11; Pop_left; Push_right 12 ];
+        [ Pop_left; Pop_right ];
+      ];
+      (* pop-heavy over a preload, both ends contended *)
+      [
+        [ Pop_left; Pop_left; Push_left 3 ];
+        [ Pop_right; Pop_right; Push_right 13 ];
+      ];
+      (* right-end pile-up: hint churn *)
+      [
+        [ Push_right 1; Push_right 2; Pop_right ];
+        [ Push_right 21; Pop_right; Pop_right ];
+        [ Push_right 31; Pop_right ];
+      ];
+    ]
+
+let rc_modes =
+  [
+    ("eager", None);
+    ("deferred-4", Some (Env.Deferred_rc { epoch = 4 }));
+    ("deferred-64", Some (Env.Deferred_rc { epoch = 64 }));
+  ]
+
+let sweep ~mk_strategy ~seeds () =
+  List.iter
+    (fun (mode, rc_mode) ->
+      List.iteri
+        (fun si threads ->
+          for seed = 1 to seeds do
+            let o =
+              Scenario.run (module D) ?rc_mode ~preload:[ 101; 102 ] ~threads
+                (mk_strategy seed)
+            in
+            if not o.Scenario.ok then
+              Alcotest.failf "script %d/%s: seed %d not linearizable" si mode
+                seed
+          done)
+        scripts)
+    rc_modes
+
+let test_random_sweep () =
+  sweep ~mk_strategy:(fun seed -> Strategy.Random seed) ~seeds:12 ()
+
+let test_pct_sweep () =
+  sweep
+    ~mk_strategy:(fun seed -> Strategy.Pct { seed; change_points = 3 })
+    ~seeds:8 ()
+
+(* Bounded-exhaustive exploration of the smallest contended scenario:
+   every schedule within the budget, not a sample. *)
+let test_explore_smallest () =
+  let body, check =
+    Scenario.body_and_check
+      (module D)
+      ~preload:[ 1 ]
+      ~threads:Scenario.[ [ Pop_right ]; [ Push_left 2; Pop_left ] ]
+      ()
+  in
+  match Lfrc_sched.Explore.check ~max_schedules:2_000 ~body ~check () with
+  | Lfrc_sched.Explore.Ok _ | Lfrc_sched.Explore.Budget_exhausted _ -> ()
+  | Lfrc_sched.Explore.Violation { exn; _ } ->
+      Alcotest.fail (Printexc.to_string exn)
+
+let () =
+  Alcotest.run "sundell"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "stack/queue faces" `Quick test_fifo_lifo_faces;
+          Alcotest.test_case "both ends" `Quick test_both_ends_interleaved;
+          Alcotest.test_case "200-value roundtrip" `Quick
+            test_many_values_roundtrip;
+          Alcotest.test_case "destroy breaks hint cycle" `Quick
+            test_destroy_breaks_hint_cycle;
+          Alcotest.test_case "deferred-rc solo" `Quick test_deferred_rc_solo;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "random sweep (3 rc modes)" `Slow
+            test_random_sweep;
+          Alcotest.test_case "pct sweep (3 rc modes)" `Slow test_pct_sweep;
+          Alcotest.test_case "bounded-exhaustive smallest" `Slow
+            test_explore_smallest;
+        ] );
+    ]
