@@ -222,8 +222,9 @@ let run_json file =
         in
         let heap = Heap.create ~name:("bench-json-" ^ name) () in
         let env =
-          Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch
-            ~metrics ~profile:prof heap
+          Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+            ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) ~metrics ~profile:prof
+            heap
         in
         let (), wall_ns =
           Clock.time_ns (fun () ->
@@ -492,7 +493,7 @@ let run_compare rest =
   let baseline = ref None
   and threshold = ref 30.0
   and report_only = ref false
-  and current = ref "BENCH_pr7.json" in
+  and current = ref "BENCH_pr8.json" in
   let usage () =
     prerr_endline
       "usage: bench --compare BASELINE.json [--current FILE] [--threshold \
@@ -533,7 +534,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
-  | [ "--json" ] -> run_json "BENCH_pr7.json"
+  | [ "--json" ] -> run_json "BENCH_pr8.json"
   | [ "--json"; file ] -> run_json file
   | "--compare" :: rest -> run_compare rest
   | [] ->

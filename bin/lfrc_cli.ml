@@ -136,8 +136,9 @@ let run_workload ?lineage ?profile ?(rc_epoch = 0) ~workload ~workers
     ~ops_per_worker ~seed ~metrics ~tracer () =
   let heap = Lfrc_simmem.Heap.create ~name:"cli-workload" () in
   let env =
-    Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch
-      ~metrics ~tracer ?lineage ?profile heap
+    Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+      ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
+      ?lineage ?profile heap
   in
   ignore
     (Lfrc_sched.Sched.run ~max_steps:400_000_000
@@ -641,6 +642,190 @@ let analyze_cmd =
     Term.(
       ret (const run $ structure $ tier $ json $ max_paths $ max_decisions))
 
+let sanitize_cmd =
+  let module San = Lfrc_harness.Sanitize_run in
+  let module Shadow = Lfrc_sanitize.Shadow in
+  let structure =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "structure" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Sanitize only this structure (one of: %s)."
+               (String.concat ", " (San.structure_names ()))))
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let fixtures_flag =
+    Arg.(
+      value & flag
+      & info [ "fixtures" ]
+          ~doc:
+            "Run the seeded-bug fixtures instead of the catalog: the gate \
+             inverts, succeeding only when every fixture's finding class \
+             is detected with a witness.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Widen the schedule matrix (the nightly configuration; also \
+             enabled by LFRC_SAN_FULL=1).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 3
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker threads per run.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 40
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker per run.")
+  in
+  let esc s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let json_outcome b (o : San.outcome) =
+    let t = o.San.o_totals in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"structure\":\"%s\",\"schedules\":[%s],\"checks\":%d,\
+          \"races\":%d,\"uaf\":%d,\"uar\":%d,\"aba\":%d,\
+          \"aba_harmful\":%d,\"findings\":["
+         (esc o.San.o_structure)
+         (String.concat ","
+            (List.map
+               (fun s -> Printf.sprintf "\"%s\"" (esc s))
+               o.San.o_schedules))
+         t.Shadow.checks t.Shadow.races t.Shadow.uaf t.Shadow.uar
+         t.Shadow.aba t.Shadow.aba_harmful);
+    List.iteri
+      (fun i (w : San.witness) ->
+        if i > 0 then Buffer.add_char b ',';
+        let f = w.San.w_finding in
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"kind\":\"%s\",\"slot\":\"%s\",\"addr\":%d,\"gen\":%d,\
+              \"count\":%d,\"replay\":\"%s\",\"message\":\"%s\",\
+              \"lineage\":\"%s\"}"
+             (Shadow.kind_name f.Shadow.f_kind)
+             (esc f.Shadow.f_slot) f.Shadow.f_addr f.Shadow.f_gen
+             f.Shadow.f_count (esc w.San.w_schedule)
+             (esc f.Shadow.f_message) (esc w.San.w_lineage)))
+      o.San.o_witnesses;
+    Buffer.add_string b "]}"
+  in
+  let print_outcome (o : San.outcome) =
+    let t = o.San.o_totals in
+    Printf.printf
+      "%-18s %d schedules  %8d checks  races=%d uaf=%d uar=%d aba=%d \
+       (harmful=%d)  %s\n"
+      o.San.o_structure
+      (List.length o.San.o_schedules)
+      t.Shadow.checks t.Shadow.races t.Shadow.uaf t.Shadow.uar t.Shadow.aba
+      t.Shadow.aba_harmful
+      (if o.San.o_witnesses = [] then "clean" else "FINDINGS");
+    List.iter
+      (fun (w : San.witness) ->
+        Format.printf "  %a@."
+          Lfrc_sanitize.Shadow.pp_finding w.San.w_finding;
+        Printf.printf "    replay: --strategy %s\n" w.San.w_schedule;
+        if w.San.w_lineage <> "" then begin
+          String.split_on_char '\n' w.San.w_lineage
+          |> List.iter (fun l -> Printf.printf "    | %s\n" l)
+        end)
+      o.San.o_witnesses;
+    if o.San.o_aba_sites <> [] then begin
+      Printf.printf "  benign aba by site:";
+      List.iter
+        (fun (site, n) -> Printf.printf " %s=%d" site n)
+        o.San.o_aba_sites;
+      print_newline ()
+    end
+  in
+  let run structure json fixtures full workers ops =
+    let full = full || Sys.getenv_opt "LFRC_SAN_FULL" = Some "1" in
+    let schedules = San.schedules ~full in
+    let results =
+      if fixtures then
+        List.map
+          (fun (name, _) ->
+            match San.run_fixture name with
+            | Ok o -> o
+            | Error msg -> failwith msg)
+          San.fixtures
+      else
+        let names =
+          match structure with
+          | Some n -> [ n ]
+          | None -> San.structure_names ()
+        in
+        List.map
+          (fun n ->
+            match
+              San.run_structure ~workers ~ops_per_worker:ops ~schedules n
+            with
+            | Ok o -> o
+            | Error msg -> raise (Failure msg))
+          names
+    in
+    match results with
+    | exception Failure msg -> `Error (false, msg)
+    | results ->
+        if json then begin
+          let b = Buffer.create 4096 in
+          Buffer.add_string b "{\"report\":\"lfrc-sanitize\",\"runs\":[";
+          List.iteri
+            (fun i o ->
+              if i > 0 then Buffer.add_char b ',';
+              json_outcome b o)
+            results;
+          Buffer.add_string b "]}";
+          print_endline (Buffer.contents b)
+        end
+        else List.iter print_outcome results;
+        if fixtures then begin
+          let missed =
+            List.filter (fun o -> not (San.fixture_detected o)) results
+          in
+          if missed <> [] then begin
+            List.iter
+              (fun (o : San.outcome) ->
+                Printf.eprintf "fixture NOT detected: %s\n" o.San.o_structure)
+              missed;
+            exit 1
+          end;
+          `Ok ()
+        end
+        else if List.exists (fun o -> o.San.o_witnesses <> []) results then
+          exit 1
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Run the shipped structures under LFRC-San, the shadow-memory \
+          race / use-after-free / ABA sanitizer, across a matrix of \
+          deterministic schedules. Every finding carries a replay token \
+          and a lineage excerpt naming both racing operations. Exits 1 on \
+          any finding; with --fixtures the gate inverts (the seeded bugs \
+          must all be caught).")
+    Term.(
+      ret (const run $ structure $ json $ fixtures_flag $ full $ workers $ ops))
+
 let main =
   Cmd.group
     (Cmd.info "lfrc_cli" ~version:"1.0.0"
@@ -654,6 +839,7 @@ let main =
       check_cmd;
       chaos_cmd;
       analyze_cmd;
+      sanitize_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -38,6 +38,10 @@ type cls =
   | Dcas_in_cas_tier
       (** a structure claiming the [Cas] primitive tier recorded a
           double-word operation *)
+  | Racy_plain_access
+      (** a plain (non-atomic) value-cell access on a published object is
+          concurrent with a plain write of the same cell harvested from
+          another recorded path — see {!check_interference} *)
 
 let cls_name = function
   | Leak -> "leak"
@@ -48,6 +52,7 @@ let cls_name = function
   | Borrow_across_flush -> "borrow-across-flush"
   | Lfrc_bypass -> "lfrc-bypass"
   | Dcas_in_cas_tier -> "dcas-in-cas-tier"
+  | Racy_plain_access -> "racy-plain-access"
 
 let cls_obligation = function
   | Leak ->
@@ -77,6 +82,12 @@ let cls_obligation = function
        hardware: no DCAS may appear on any path (the catalog's tier \
        declaration is a portability claim, checked dynamically here and \
        statically by the OPS_CAS functor signature)"
+  | Racy_plain_access ->
+      "a value field of a published object may only be touched through \
+       the synchronizing cas_val, or plainly before publication — after \
+       the publishing release there is no happens-before edge ordering \
+       plain accesses from concurrent operations (the dynamic \
+       sanitizer's data-race obligation, discharged statically)"
 
 type violation = {
   cls : cls;
@@ -259,3 +270,157 @@ let check ?(tier = Lfrc_structures.Catalog.Dcas) (path : Ir.path) :
            "direct call to Lfrc.%s bypasses the OPS functor argument" op)
   | Ir.Infeasible _ | Ir.Decision_limit -> ());
   List.rev !viols
+
+(* {2 Cross-thread interference}
+
+   The ownership pass above is thread-local: it replays one path in
+   isolation. The interference pass is the bounded two-path complement:
+   it replays one recorded path against the plain value-cell writes
+   harvested from the other recorded paths of the same structure (every
+   action runs concurrently with every action, including a second
+   instance of itself), and flags plain accesses that the publication
+   discipline leaves unordered.
+
+   The ordering model mirrors the dynamic sanitizer's: a plain write to a
+   value cell of an object *allocated on this path and not yet published*
+   is private initialization — the publishing release (the store / CAS
+   that first makes the object reachable) orders it before every
+   subsequent acquire-load. After publication there is no happens-before
+   source for plain accesses, so a published plain access to a cell some
+   other path plainly writes (or the same write, in a concurrent
+   execution of its own action) is a race.
+
+   Publication is tracked transitively: storing a fresh object into
+   another still-private object keeps it private; it escapes when the
+   container does. The [owner] oracle maps a {!Cell.id} to its owning
+   object — the driver builds it from the recorder heap, whose objects
+   are never freed, so the mapping is stable across every path.
+
+   The pass is bounded exactly like the ownership pass: the harvest set
+   is drawn from the enumerator's [max_paths] budget and deduplicated
+   per cell, so each flagged access names one concrete interfering
+   write as its second execution. *)
+
+type plain_access = {
+  pa_index : int;  (** op index in the replayed path *)
+  pa_cell : int;
+  pa_write : bool;
+  pa_op : string;  (** rendered op, for attribution *)
+}
+
+(* Replay one path's publication state and collect every plain value-cell
+   access that is not private initialization. *)
+let published_accesses ~owner (path : Ir.path) : plain_access list =
+  let acc = ref [] in
+  let local_ptr : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let fresh : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* fresh container -> fresh objects stored into it while private *)
+  let links : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let bind l p =
+    if p = 0 then Hashtbl.remove local_ptr l
+    else Hashtbl.replace local_ptr l p
+  in
+  let rec publish p =
+    if p <> 0 && Hashtbl.mem fresh p then begin
+      Hashtbl.remove fresh p;
+      match Hashtbl.find_opt links p with
+      | Some l ->
+          Hashtbl.remove links p;
+          List.iter publish !l
+      | None -> ()
+    end
+  in
+  (* A pointer landing in [cell]: escape into another private object is
+     deferred publication; anything else (a root, a shared object's slot)
+     publishes immediately. *)
+  let store_ptr cell p =
+    match owner cell with
+    | Some q when Hashtbl.mem fresh q ->
+        let l =
+          match Hashtbl.find_opt links q with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.add links q l;
+              l
+        in
+        l := p :: !l
+    | _ -> publish p
+  in
+  let record i cell ~write op =
+    let private_init =
+      match owner cell with Some p -> Hashtbl.mem fresh p | None -> false
+    in
+    if not private_init then
+      acc :=
+        { pa_index = i; pa_cell = cell; pa_write = write;
+          pa_op = Ir.op_to_string op }
+        :: !acc
+  in
+  List.iteri
+    (fun i (op : Ir.op) ->
+      match op with
+      | Ir.Alloc { local; ptr; _ } ->
+          bind local ptr;
+          if ptr <> 0 then Hashtbl.replace fresh ptr ()
+      | Try_alloc { local; ptr; ok } ->
+          if ok then begin
+            bind local ptr;
+            if ptr <> 0 then Hashtbl.replace fresh ptr ()
+          end
+      | Load { local; ptr; _ } | Get { local; ptr } | Copy { local; ptr } ->
+          bind local ptr
+      | Set_null { local } | Retire { local } -> Hashtbl.remove local_ptr local
+      | Store { cell; ptr } -> store_ptr cell ptr
+      | Store_alloc { cell; local } -> (
+          match Hashtbl.find_opt local_ptr local with
+          | Some p -> store_ptr cell p
+          | None -> ())
+      | Cas { cell; new_ptr; ok; _ } -> if ok then store_ptr cell new_ptr
+      | Dcas { cell0; cell1; new0; new1; ok; _ } ->
+          if ok then begin
+            store_ptr cell0 new0;
+            store_ptr cell1 new1
+          end
+      | Dcas_ptr_val { ptr_cell; new_ptr; ok; _ } ->
+          if ok then store_ptr ptr_cell new_ptr
+      | Read_val { cell; _ } -> record i cell ~write:false op
+      | Write_val { cell; _ } -> record i cell ~write:true op
+      | Cas_val _ (* synchronizing, never a plain access *)
+      | Declare _ | Branch _ | Flush ->
+          ())
+    path.ops;
+  List.rev !acc
+
+let published_writes ~owner (path : Ir.path) : (int * string) list =
+  List.filter_map
+    (fun a -> if a.pa_write then Some (a.pa_cell, a.pa_op) else None)
+    (published_accesses ~owner path)
+
+(* [writes] maps a cell id to one interfering published plain write
+   (harvested across all completed paths of all the structure's actions,
+   attribution string included). A published plain write always finds at
+   least itself there: two concurrent instances of its own action race. *)
+let check_interference ~owner ~(writes : (int, string) Hashtbl.t)
+    (path : Ir.path) : violation list =
+  List.filter_map
+    (fun a ->
+      match Hashtbl.find_opt writes a.pa_cell with
+      | None -> None
+      | Some interferer ->
+          let what = if a.pa_write then "write" else "read" in
+          Some
+            {
+              cls = Racy_plain_access;
+              op_index = a.pa_index;
+              key =
+                Printf.sprintf "%s:c%d:%s" (cls_name Racy_plain_access)
+                  a.pa_cell
+                  (if a.pa_write then "w" else "r");
+              message =
+                Printf.sprintf
+                  "plain %s of published value cell #%d (%s) races with %s \
+                   in a concurrent execution"
+                  what a.pa_cell a.pa_op interferer;
+            })
+    (published_accesses ~owner path)

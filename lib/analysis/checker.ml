@@ -20,6 +20,7 @@
 
 module Env = Lfrc_core.Env
 module Heap = Lfrc_simmem.Heap
+module Cell = Lfrc_simmem.Cell
 module Catalog = Lfrc_structures.Catalog
 
 type limits = { max_paths : int; max_decisions : int }
@@ -89,12 +90,49 @@ let analyze_actions ?(limits = default_limits) ?tier ~name (mk : actions_fn)
     Recorder.muted r (fun () ->
         mk (module O : Lfrc_core.Ops_intf.OPS) env)
   in
-  let action_reports =
+  let enumerated =
     List.map
       (fun (aname, act) ->
         let paths, truncated = enumerate ~limits r act in
-        Report.summarize_action ?tier ~action:aname ~truncated paths)
+        (aname, paths, truncated))
       actions
+  in
+  (* The interference pass needs to know which object a recorded cell
+     belongs to; the recorder heap never frees, so the mapping built
+     after enumeration covers every cell any path ever touched. *)
+  let owner =
+    let tbl : (int, int) Hashtbl.t = Hashtbl.create 97 in
+    for p = 1 to Heap.high_water_id heap do
+      Heap.iter_cells heap p (fun ~kind:_ ~index:_ cell ->
+          Hashtbl.replace tbl (Cell.id cell) p)
+    done;
+    fun cid -> Hashtbl.find_opt tbl cid
+  in
+  (* Harvest one interfering published plain write per cell, across every
+     completed path of every action (any action runs concurrently with
+     any other — and with a second instance of itself). Infeasible and
+     budget-cut prefixes are excluded: their writes may not correspond to
+     a realizable execution. *)
+  let interfering : (int, string) Hashtbl.t = Hashtbl.create 17 in
+  List.iter
+    (fun (aname, paths, _) ->
+      List.iter
+        (fun (path : Ir.path) ->
+          if path.status = Ir.Completed then
+            List.iter
+              (fun (cell, desc) ->
+                if not (Hashtbl.mem interfering cell) then
+                  Hashtbl.add interfering cell (aname ^ ": " ^ desc))
+              (Absint.published_writes ~owner path))
+        paths)
+    enumerated;
+  let interference = Absint.check_interference ~owner ~writes:interfering in
+  let action_reports =
+    List.map
+      (fun (aname, paths, truncated) ->
+        Report.summarize_action ?tier ~interference ~action:aname ~truncated
+          paths)
+      enumerated
   in
   { Report.structure = name; actions = action_reports }
 

@@ -72,8 +72,11 @@ let render_witness (path : Ir.path) op_index =
 
 (* Fold the per-path violations of one action into aggregated findings,
    preserving first-occurrence order. [tier] is the structure's claimed
-   primitive tier, forwarded to the abstract interpreter. *)
-let collect_findings ?tier (paths : Ir.path list) : finding list =
+   primitive tier, forwarded to the abstract interpreter; [interference]
+   is the cross-action pass the driver closes over the harvested write
+   set ({!Absint.check_interference}) — absent for single-action use. *)
+let collect_findings ?tier ?(interference = fun _ -> [])
+    (paths : Ir.path list) : finding list =
   let order = ref [] in
   let tbl : (string, finding) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -98,12 +101,12 @@ let collect_findings ?tier (paths : Ir.path list) : finding list =
                   witness_decisions = Ir.decision_signature path.decisions;
                 });
           Hashtbl.replace seen_here v.key ())
-        (Absint.check ?tier path))
+        (Absint.check ?tier path @ interference path))
     paths;
   List.rev_map (fun k -> Hashtbl.find tbl k) !order
 
-let summarize_action ?tier ~action ~truncated (paths : Ir.path list) :
-    action_report =
+let summarize_action ?tier ?interference ~action ~truncated
+    (paths : Ir.path list) : action_report =
   let count p = List.length (List.filter p paths) in
   {
     action;
@@ -114,7 +117,7 @@ let summarize_action ?tier ~action ~truncated (paths : Ir.path list) :
           match p.status with Ir.Infeasible _ -> true | _ -> false);
     cut = count (fun (p : Ir.path) -> p.status = Ir.Decision_limit);
     truncated;
-    findings = collect_findings ?tier paths;
+    findings = collect_findings ?tier ?interference paths;
   }
 
 (* {2 Pretty-printing} *)

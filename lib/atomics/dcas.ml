@@ -3,6 +3,7 @@ module Sched = Lfrc_sched.Sched
 module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
 module Profile = Lfrc_obs.Profile
+module Shadow = Lfrc_sanitize.Shadow
 
 type impl = Atomic_step | Striped_lock | Software_mcas
 
@@ -44,6 +45,7 @@ type t = {
   mutable metrics : Metrics.t;
   mutable tracer : Tracer.t;
   mutable profile : Profile.t;
+  mutable san : Shadow.t; (* shadow-memory sanitizer; one branch when off *)
 }
 
 let n_stripes = 64
@@ -68,6 +70,7 @@ let create kind =
     metrics = Metrics.disabled;
     tracer = Tracer.disabled;
     profile = Profile.disabled;
+    san = Shadow.disabled;
   }
 
 let set_injector t i = t.injector <- i
@@ -77,6 +80,8 @@ let attach_obs ?(profile = Profile.disabled) t ~metrics ~tracer =
   t.tracer <- tracer;
   t.profile <- profile;
   if t.kind = Software_mcas then Mcas.set_metrics metrics
+
+let attach_sanitizer t san = t.san <- san
 
 let impl t = t.kind
 
@@ -109,21 +114,26 @@ let read t c =
   Sched.point ();
   Atomic.incr t.c_reads;
   Metrics.incr t.metrics "dcas.reads";
-  match t.kind with
-  | Atomic_step | Striped_lock -> Cell.get c
-  | Software_mcas -> Mcas.read c
+  let v =
+    match t.kind with
+    | Atomic_step | Striped_lock -> Cell.get c
+    | Software_mcas -> Mcas.read c
+  in
+  Shadow.on_read t.san c v;
+  v
 
 let write t c v =
   Sched.point ();
   Atomic.incr t.c_writes;
   Metrics.incr t.metrics "dcas.writes";
-  match t.kind with
+  (match t.kind with
   | Atomic_step -> Cell.set c v
   | Striped_lock -> with_stripe t c (fun () -> Cell.set c v)
   | Software_mcas ->
       (* A blind write must still cooperate with in-flight descriptors. *)
       let rec go () = if not (Mcas.cas c (Mcas.read c) v) then go () in
-      go ()
+      go ());
+  Shadow.on_write t.san c v
 
 let bump_streak ~streak ~streak_max ok =
   if ok then Atomic.set streak 0
@@ -173,23 +183,32 @@ let spurious_dcas t =
 let cas t c old_v new_v =
   Sched.point ();
   if spurious_cas t then false
-  else
-    match t.kind with
-    | Atomic_step -> count_cas t (Cell.cas c old_v new_v)
-    | Striped_lock -> count_cas t (with_stripe t c (fun () -> Cell.cas c old_v new_v))
-    | Software_mcas -> count_cas t (Mcas.cas c old_v new_v)
+  else begin
+    let ok =
+      match t.kind with
+      | Atomic_step -> Cell.cas c old_v new_v
+      | Striped_lock -> with_stripe t c (fun () -> Cell.cas c old_v new_v)
+      | Software_mcas -> Mcas.cas c old_v new_v
+    in
+    Shadow.on_cas t.san c ~old_v ~new_v ~ok;
+    count_cas t ok
+  end
 
 let fetch_add t c d =
   Sched.point ();
-  match t.kind with
-  | Atomic_step -> Cell.fetch_and_add c d
-  | Striped_lock -> with_stripe t c (fun () -> Cell.fetch_and_add c d)
-  | Software_mcas ->
-      let rec go () =
-        let v = Mcas.read c in
-        if Mcas.cas c v (v + d) then v else go ()
-      in
-      go ()
+  let v =
+    match t.kind with
+    | Atomic_step -> Cell.fetch_and_add c d
+    | Striped_lock -> with_stripe t c (fun () -> Cell.fetch_and_add c d)
+    | Software_mcas ->
+        let rec go () =
+          let v = Mcas.read c in
+          if Mcas.cas c v (v + d) then v else go ()
+        in
+        go ()
+  in
+  Shadow.on_rmw t.san c;
+  v
 
 let count_dcas t ok =
   Atomic.incr t.c_dcas;
@@ -206,26 +225,30 @@ let count_dcas t ok =
 let dcas t c0 c1 ~old0 ~old1 ~new0 ~new1 =
   Sched.point ();
   if spurious_dcas t then count_dcas t false
-  else
-  match t.kind with
-  | Atomic_step ->
-      (* Indivisible between yield points: simulated hardware DCAS. *)
-      let ok = Cell.get c0 = old0 && Cell.get c1 = old1 in
-      if ok then begin
-        Cell.set c0 new0;
-        Cell.set c1 new1
-      end;
-      count_dcas t ok
-  | Striped_lock ->
-      count_dcas t
-        (with_two_stripes t c0 c1 (fun () ->
-             let ok = Cell.get c0 = old0 && Cell.get c1 = old1 in
-             if ok then begin
-               Cell.set c0 new0;
-               Cell.set c1 new1
-             end;
-             ok))
-  | Software_mcas -> count_dcas t (Mcas.dcas c0 c1 old0 old1 new0 new1)
+  else begin
+    let ok =
+      match t.kind with
+      | Atomic_step ->
+          (* Indivisible between yield points: simulated hardware DCAS. *)
+          let ok = Cell.get c0 = old0 && Cell.get c1 = old1 in
+          if ok then begin
+            Cell.set c0 new0;
+            Cell.set c1 new1
+          end;
+          ok
+      | Striped_lock ->
+          with_two_stripes t c0 c1 (fun () ->
+              let ok = Cell.get c0 = old0 && Cell.get c1 = old1 in
+              if ok then begin
+                Cell.set c0 new0;
+                Cell.set c1 new1
+              end;
+              ok)
+      | Software_mcas -> Mcas.dcas c0 c1 old0 old1 new0 new1
+    in
+    Shadow.on_dcas t.san c0 c1 ~old0 ~old1 ~new0 ~new1 ~ok;
+    count_dcas t ok
+  end
 
 let counters t =
   {

@@ -99,3 +99,10 @@ val attach_obs :
   metrics:Lfrc_obs.Metrics.t ->
   tracer:Lfrc_obs.Tracer.t ->
   unit
+
+val attach_sanitizer : t -> Lfrc_sanitize.Shadow.t -> unit
+(** Route every read/write/CAS/DCAS through the shadow-memory sanitizer's
+    access hooks (after the operation resolves, so the hook sees the
+    outcome). Spurious injected failures are not reported — they touch no
+    memory. Detached (the default, {!Lfrc_sanitize.Shadow.disabled}) the
+    cost is one branch per operation. *)

@@ -30,7 +30,8 @@ let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?(rc_epoch = 0)
     match metrics with Some m -> m | None -> Lfrc_obs.Metrics.create ()
   in
   let env =
-    Env.create ~dcas_impl ~policy ~rc_epoch ~metrics ~lineage ~profile heap
+    Env.create ~dcas_impl ~policy ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) ~metrics
+      ~lineage ~profile heap
   in
   let plan = Fault_plan.make spec in
   Fault_plan.install plan env;

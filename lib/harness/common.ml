@@ -12,6 +12,7 @@ type result = {
   table : Lfrc_util.Table.t;
   metrics : Metrics.snapshot;
   profile : Profile.t;
+  notes : string list;
 }
 
 let obs (cfg : Scenario.config) =
@@ -29,14 +30,14 @@ let obs (cfg : Scenario.config) =
   in
   (metrics, tracer, profile)
 
-let result ~table ?(profile = Profile.disabled) metrics =
-  { table; metrics = Metrics.snapshot metrics; profile }
+let result ~table ?(profile = Profile.disabled) ?(notes = []) metrics =
+  { table; metrics = Metrics.snapshot metrics; profile; notes }
 
-let fresh_env ?dcas_impl ?policy ?rc_mode ?rc_epoch ?gc_threshold ?metrics
-    ?tracer ?lineage ?profile ~name () =
+let fresh_env ?dcas_impl ?policy ?rc_mode ?gc_threshold ?metrics ?tracer
+    ?lineage ?profile ?sanitize ~name () =
   let heap = Lfrc_simmem.Heap.create ~name () in
-  Lfrc_core.Env.create ?dcas_impl ?policy ?rc_mode ?rc_epoch ?gc_threshold
-    ?metrics ?tracer ?lineage ?profile heap
+  Lfrc_core.Env.create ?dcas_impl ?policy ?rc_mode ?gc_threshold ?metrics
+    ?tracer ?lineage ?profile ?sanitize heap
 
 let time_per_op_ns = Lfrc_util.Clock.time_per_op_ns
 

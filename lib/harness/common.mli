@@ -9,6 +9,10 @@ type result = {
       (** the call-site contention profiler the experiment threaded
           through its environments; the disabled singleton when the
           config's [profile] flag is off *)
+  notes : string list;
+      (** free-form addenda printed after the table — E5 uses this for
+          its leak witnesses (the lineage's attribution of each leaked
+          object to the call site that dropped its last reference) *)
 }
 (** What every experiment's [run] returns: the EXPERIMENTS.md table plus
     the observability snapshot gathered while producing it. *)
@@ -23,6 +27,7 @@ val obs :
 val result :
   table:Lfrc_util.Table.t ->
   ?profile:Lfrc_obs.Profile.t ->
+  ?notes:string list ->
   Lfrc_obs.Metrics.t ->
   result
 (** Pair the finished table with a snapshot of the registry. *)
@@ -31,12 +36,12 @@ val fresh_env :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:Lfrc_core.Env.policy ->
   ?rc_mode:Lfrc_core.Env.rc_mode ->
-  ?rc_epoch:int ->
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?tracer:Lfrc_obs.Tracer.t ->
   ?lineage:Lfrc_obs.Lineage.t ->
   ?profile:Lfrc_obs.Profile.t ->
+  ?sanitize:Lfrc_sanitize.Shadow.t ->
   name:string ->
   unit ->
   Lfrc_core.Env.t
@@ -61,6 +66,16 @@ val value_stream : seed:int -> thread:int -> int -> int
     shared by E11's chaos matrix and the CLI's [stats]/[trace] commands.
     Each must run inside {!Lfrc_sched.Sched.run}; pushes are the fallible
     [try_*] forms with [`Out_of_memory] treated as a skipped op. *)
+
+val generic_deque_workload :
+  (module Lfrc_structures.Deque_intf.DEQUE) ->
+  workers:int ->
+  ops_per_worker:int ->
+  seed:int ->
+  Lfrc_core.Env.t ->
+  unit
+(** The mixed-op deque driver over any DEQUE instance (the sanitizer
+    harness drives the unfixed snark through it). *)
 
 val stack_workload :
   workers:int -> ops_per_worker:int -> seed:int -> Lfrc_core.Env.t -> unit

@@ -20,7 +20,7 @@ let run (cfg : Scenario.config) =
   let metrics, tracer, profile = Common.obs cfg in
   let env =
     Common.fresh_env ~dcas_impl:Dcas.Atomic_step
-      ~rc_epoch:(Scenario.rc_epoch_of cfg) ~metrics ~tracer ~profile ~name:"e1"
+      ~rc_mode:(Scenario.rc_mode_of cfg) ~metrics ~tracer ~profile ~name:"e1"
       ()
   in
   let heap = Env.heap env in

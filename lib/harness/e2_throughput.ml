@@ -20,7 +20,8 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~rc_epoch
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
-        ~rc_epoch ~metrics ~tracer ~profile heap
+        ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
+        ~profile heap
     in
     if gc then Lfrc_simmem.Gc_trace.reset_history heap;
     let d = D.create env in

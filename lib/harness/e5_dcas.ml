@@ -81,8 +81,9 @@ let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
   let body () =
     let heap = Heap.create ~name:"e5-lfrc" () in
     let env =
-      Lfrc_core.Env.create ~dcas_impl:Dcas.Atomic_step ~rc_epoch ~metrics
-        ~tracer ~profile heap
+      Lfrc_core.Env.create ~dcas_impl:Dcas.Atomic_step
+        ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
+        ~profile heap
     in
     let root = Heap.root heap ~name:"e5-root" () in
     let tids =
@@ -125,15 +126,23 @@ let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
    emulation's helping traffic on every LFRC count update, or the
    algorithmic detour Sundell's marker nodes represent. *)
 let deque_row table ~label (module D : Lfrc_structures.Deque_intf.DEQUE)
-    ~dcas_impl ~threads ~per_thread ~seed ~metrics ~tracer ~profile =
+    ~dcas_impl ~threads ~per_thread ~seed ~metrics ~tracer ~profile ~notes =
   let steps = ref 0
   and attempts = ref 0
   and failures = ref 0
   and leaked = ref 0 in
+  (* Every deque run carries the sanitizer and a lineage: the sanitizer
+     vouches that a nonzero [leaked] column is the §2.1 cyclic-garbage
+     concession and not a latent race/UAF, and the lineage turns each
+     leaked object into a named witness — the call site that dropped the
+     last reference it ever lost. *)
+  let lineage = Lfrc_obs.Lineage.create ~ring:64 () in
+  let sanitize = Lfrc_sanitize.Shadow.create () in
   let body () =
     let heap = Heap.create ~name:"e5-deque" () in
     let env =
-      Lfrc_core.Env.create ~dcas_impl ~metrics ~tracer ~profile heap
+      Lfrc_core.Env.create ~dcas_impl ~metrics ~tracer ~profile ~lineage
+        ~sanitize heap
     in
     let t = D.create env in
     let tids =
@@ -158,7 +167,31 @@ let deque_row table ~label (module D : Lfrc_structures.Deque_intf.DEQUE)
        Sundell port's marker protocol is cycle-free by construction and
        must report 0). Reported, not asserted — the concession is a
        finding of this ablation, not a harness failure. *)
-    leaked := (Heap.stats heap).Heap.live;
+    let leaked_ids = ref [] in
+    Heap.iter_live heap (fun p -> leaked_ids := p :: !leaked_ids);
+    leaked := List.length !leaked_ids;
+    if !leaked_ids <> [] then begin
+      let t = Lfrc_sanitize.Shadow.totals sanitize in
+      notes :=
+        Printf.sprintf
+          "[E5 leak witness] %s @%d threads, seed %d: %d object%s leaked \
+           (sanitizer: %d finding%s over %d checks)\n%s"
+          label threads seed !leaked
+          (if !leaked = 1 then "" else "s")
+          (t.Lfrc_sanitize.Shadow.races + t.Lfrc_sanitize.Shadow.uaf
+          + t.Lfrc_sanitize.Shadow.uar
+          + t.Lfrc_sanitize.Shadow.aba_harmful)
+          (let n =
+             t.Lfrc_sanitize.Shadow.races + t.Lfrc_sanitize.Shadow.uaf
+             + t.Lfrc_sanitize.Shadow.uar
+             + t.Lfrc_sanitize.Shadow.aba_harmful
+           in
+           if n = 1 then "" else "s")
+          t.Lfrc_sanitize.Shadow.checks
+          (Lfrc_obs.Lineage.leak_report lineage
+             ~addrs:(List.rev !leaked_ids))
+        :: !notes
+    end;
     let c = Dcas.counters (Lfrc_core.Env.dcas env) in
     attempts := c.dcas_attempts;
     failures := c.dcas_failures
@@ -238,12 +271,13 @@ let run (cfg : Scenario.config) =
         Dcas.Atomic_step );
     ]
   in
+  let notes = ref [] in
   List.iter
     (fun (label, impl, dcas_impl) ->
       List.iter
         (fun threads ->
           deque_row table ~label impl ~dcas_impl ~threads ~per_thread ~seed
-            ~metrics ~tracer ~profile)
+            ~metrics ~tracer ~profile ~notes)
         contended_threads)
     deque_rows;
-  Common.result ~table ~profile metrics
+  Common.result ~table ~profile ~notes:(List.rev !notes) metrics

@@ -70,6 +70,8 @@ let find id =
 let print_result ~id ~csv (r : Common.result) =
   if csv then print_string (Lfrc_util.Table.csv r.Common.table)
   else Lfrc_util.Table.print r.Common.table;
+  if not csv then
+    List.iter (fun n -> Printf.printf "\n%s\n" n) r.Common.notes;
   if not (Lfrc_obs.Metrics.is_empty r.Common.metrics) then
     Printf.printf "\n[%s metrics]\n%s\n" id
       (Lfrc_obs.Metrics.to_json r.Common.metrics);

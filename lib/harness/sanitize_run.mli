@@ -1,0 +1,62 @@
+(** The sanitizer harness: drives every catalog structure (and the seeded
+    bug fixtures) under LFRC-San across a matrix of deterministic
+    schedules, and packages each surviving finding as a replayable
+    witness.
+
+    A witness names both racing operations (thread, scheduler step,
+    profiler call site), carries the schedule's replay token
+    ({!Lfrc_sched.Strategy.describe} — feed it back through [--strategy]
+    or {!Lfrc_sched.Strategy.of_string} to reproduce the exact run) and a
+    lineage excerpt for the owning object, so a red sanitizer run is
+    actionable from its output alone. *)
+
+module Shadow := Lfrc_sanitize.Shadow
+
+type witness = {
+  w_structure : string;
+  w_schedule : string;  (** replay token, e.g. ["random:2"] *)
+  w_finding : Shadow.finding;
+  w_lineage : string;  (** lineage-timeline excerpt for the owner, or [""] *)
+}
+
+type outcome = {
+  o_structure : string;
+  o_schedules : string list;  (** replay tokens executed *)
+  o_totals : Shadow.totals;  (** summed over all schedules *)
+  o_witnesses : witness list;
+  o_aba_sites : (string * int) list;
+      (** benign ABA occurrences per call site, merged, most first *)
+}
+
+val schedules : full:bool -> Lfrc_sched.Strategy.t list
+(** The default schedule matrix: round-robin, seeded-random and PCT.
+    [full] (the nightly [LFRC_SAN_FULL=1] matrix) widens the seed range. *)
+
+val structure_names : unit -> string list
+(** Catalog structures the runner has workloads for (all of them). *)
+
+val run_structure :
+  ?workers:int ->
+  ?ops_per_worker:int ->
+  ?schedules:Lfrc_sched.Strategy.t list ->
+  string ->
+  (outcome, string) result
+(** Drive one catalog structure under the sanitizer; [Error] for an
+    unknown name. Defaults: 3 workers, 40 ops each, the non-[full]
+    schedule matrix. *)
+
+(** {2 Seeded-bug fixtures}
+
+    Intentionally broken mini-programs, one per finding class, proving the
+    sanitizer detects each with a stable witness. Each accepts a set of
+    kinds because liveness violations can legitimately land on either side
+    of the retire/free boundary depending on the schedule. *)
+
+val fixtures : (string * Shadow.kind list) list
+(** [(name, accepted kinds)]: ["plain-race"], ["use-after-retire"],
+    ["aba-pop"]. *)
+
+val run_fixture : string -> (outcome, string) result
+
+val fixture_detected : outcome -> bool
+(** The fixture's expected finding class was witnessed. *)

@@ -78,20 +78,18 @@ type t = {
   env_tracer : Lfrc_obs.Tracer.t;
   env_lineage : Lfrc_obs.Lineage.t;
   env_profile : Lfrc_obs.Profile.t;
+  env_sanitizer : Lfrc_sanitize.Shadow.t;
   env_symbolic : bool;
 }
 
-let create ?dcas_impl ?(policy = Iterative) ?rc_mode ?(rc_epoch = 0)
+let create ?dcas_impl ?(policy = Iterative) ?(rc_mode = Eager)
     ?(gc_threshold = 0)
     ?(metrics = Lfrc_obs.Metrics.disabled) ?(tracer = Lfrc_obs.Tracer.disabled)
     ?(lineage = Lfrc_obs.Lineage.disabled)
-    ?(profile = Lfrc_obs.Profile.disabled) ?(symbolic = false) heap =
-  (* [rc_mode] wins over the deprecated [rc_epoch] alias. *)
+    ?(profile = Lfrc_obs.Profile.disabled)
+    ?(sanitize = Lfrc_sanitize.Shadow.disabled) ?(symbolic = false) heap =
   let rc_epoch =
-    match rc_mode with
-    | Some Eager -> 0
-    | Some (Deferred_rc { epoch }) -> max 1 epoch
-    | None -> max 0 rc_epoch
+    match rc_mode with Eager -> 0 | Deferred_rc { epoch } -> max 1 epoch
   in
   let impl =
     match dcas_impl with
@@ -102,25 +100,32 @@ let create ?dcas_impl ?(policy = Iterative) ?rc_mode ?(rc_epoch = 0)
   in
   let d = Lfrc_atomics.Dcas.create impl in
   Lfrc_atomics.Dcas.attach_obs ~profile d ~metrics ~tracer;
-  if
+  Lfrc_sanitize.Shadow.attach sanitize ~heap ~metrics ~tracer ~profile;
+  Lfrc_atomics.Dcas.attach_sanitizer d sanitize;
+  let obs_on =
     Lfrc_obs.Metrics.enabled metrics
     || Lfrc_obs.Tracer.enabled tracer
     || Lfrc_obs.Lineage.enabled lineage
-  then
+  in
+  let san_on = Lfrc_sanitize.Shadow.enabled sanitize in
+  if obs_on || san_on then
     Lfrc_simmem.Heap.set_observer heap
       (Some
-         (function
-         | Lfrc_simmem.Heap.Obs_alloc { p; gen; live } ->
-             Lfrc_obs.Metrics.incr metrics "heap.allocs";
-             Lfrc_obs.Metrics.set_gauge metrics "heap.live" live;
-             Lfrc_obs.Lineage.record lineage ~addr:p
-               (Lfrc_obs.Lineage.Alloc { gen })
-         | Lfrc_simmem.Heap.Obs_free { p; gen; live } ->
-             Lfrc_obs.Metrics.incr metrics "heap.frees";
-             Lfrc_obs.Metrics.set_gauge metrics "heap.live" live;
-             Lfrc_obs.Tracer.emit tracer ~arg:p Free "free";
-             Lfrc_obs.Lineage.record lineage ~addr:p
-               (Lfrc_obs.Lineage.Free { gen })));
+         (fun ev ->
+           if obs_on then
+             (match ev with
+             | Lfrc_simmem.Heap.Obs_alloc { p; gen; live } ->
+                 Lfrc_obs.Metrics.incr metrics "heap.allocs";
+                 Lfrc_obs.Metrics.set_gauge metrics "heap.live" live;
+                 Lfrc_obs.Lineage.record lineage ~addr:p
+                   (Lfrc_obs.Lineage.Alloc { gen })
+             | Lfrc_simmem.Heap.Obs_free { p; gen; live } ->
+                 Lfrc_obs.Metrics.incr metrics "heap.frees";
+                 Lfrc_obs.Metrics.set_gauge metrics "heap.live" live;
+                 Lfrc_obs.Tracer.emit tracer ~arg:p Free "free";
+                 Lfrc_obs.Lineage.record lineage ~addr:p
+                   (Lfrc_obs.Lineage.Free { gen }));
+           Lfrc_sanitize.Shadow.on_heap_event sanitize ev));
   {
     env_heap = heap;
     env_dcas = d;
@@ -148,6 +153,7 @@ let create ?dcas_impl ?(policy = Iterative) ?rc_mode ?(rc_epoch = 0)
     env_tracer = tracer;
     env_lineage = lineage;
     env_profile = profile;
+    env_sanitizer = sanitize;
     env_symbolic = symbolic;
   }
 
@@ -160,6 +166,7 @@ let metrics t = t.env_metrics
 let tracer t = t.env_tracer
 let lineage t = t.env_lineage
 let profile t = t.env_profile
+let sanitizer t = t.env_sanitizer
 
 let set_incremental t ~collector ~budget =
   t.env_incremental <- Some (collector, budget)

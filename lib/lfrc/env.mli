@@ -41,12 +41,12 @@ val create :
   ?dcas_impl:Lfrc_atomics.Dcas.impl ->
   ?policy:policy ->
   ?rc_mode:rc_mode ->
-  ?rc_epoch:int ->
   ?gc_threshold:int ->
   ?metrics:Lfrc_obs.Metrics.t ->
   ?tracer:Lfrc_obs.Tracer.t ->
   ?lineage:Lfrc_obs.Lineage.t ->
   ?profile:Lfrc_obs.Profile.t ->
+  ?sanitize:Lfrc_sanitize.Shadow.t ->
   ?symbolic:bool ->
   Lfrc_simmem.Heap.t ->
   t
@@ -56,11 +56,8 @@ val create :
     mode; 0 disables) is 0.
 
     [rc_mode] selects eager Figure-2 counts or deferred-rc coalescing; see
-    {!type:rc_mode}. [rc_epoch] is the deprecated spelling from before the
-    mode became a variant — [rc_epoch:n] with [n > 0] means
-    [rc_mode:(Deferred_rc { epoch = n })], [rc_epoch:0] means
-    [rc_mode:Eager] — kept as an alias for one release; [rc_mode] wins
-    when both are given. New code should pass [rc_mode].
+    {!type:rc_mode}. (The pre-PR-7 [?rc_epoch] integer alias is gone;
+    callers still holding an epoch convert with {!rc_mode_of_epoch}.)
 
     [metrics], [tracer], [lineage] and [profile] default to the disabled
     singletons — the no-op
@@ -71,6 +68,14 @@ val create :
     observer ({!Lfrc_simmem.Heap.set_observer}), the deferred-destroy
     queue, and {!Lfrc}'s operations all report into them. Sharing one
     registry across several environments aggregates their series.
+
+    [sanitize] (default {!Lfrc_sanitize.Shadow.disabled}, one branch per
+    access) wires the LFRC-San shadow-memory sanitizer: it is bound to
+    this heap and observability ({!Lfrc_sanitize.Shadow.attach}), attached
+    to the DCAS substrate's access hooks
+    ({!Lfrc_atomics.Dcas.attach_sanitizer}), fed alloc/free events through
+    the heap observer, and notified by {!Lfrc}'s zero-detect paths when a
+    thread takes ownership of a dead object's destruction.
 
     [symbolic] marks the environment as belonging to the static analyser
     ([lib/analysis]): structure code running over it is being *recorded*,
@@ -103,6 +108,10 @@ val profile : t -> Lfrc_obs.Profile.t
 (** The call-site contention profiler ({!Lfrc_obs.Profile}); {!Lfrc}'s
     spans open/close frames on it and the DCAS substrate charges failed
     attempts to the innermost frame. *)
+
+val sanitizer : t -> Lfrc_sanitize.Shadow.t
+(** The LFRC-San shadow-memory sanitizer this environment was created
+    with; the disabled singleton unless [~sanitize] was passed. *)
 
 val set_incremental : t -> collector:Lfrc_simmem.Gc_incr.t -> budget:int -> unit
 (** Attach an incremental collector for GC-dependent mode: {!Gc_ops} will

@@ -6,6 +6,7 @@ module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
 module Lineage = Lfrc_obs.Lineage
 module Profile = Lfrc_obs.Profile
+module Shadow = Lfrc_sanitize.Shadow
 
 type ptr = Heap.ptr
 
@@ -31,6 +32,23 @@ let retry env counter =
   Metrics.incr (Env.metrics env) counter;
   Tracer.emit (Env.tracer env) Retry counter;
   Profile.op_retry (Env.profile env)
+
+(* The hot retry loops hoist the obs-enabled check out of the loop: the
+   retry *count* is staged in the loop's existing burst accumulator and
+   recorded once after the loop ([Metrics.add] — totals identical to the
+   per-retry [incr] they replace), and only the per-event sinks (tracer
+   timeline, profiler frame charge) still run per retry — behind a single
+   branch computed before the first attempt. With observability off a
+   retry costs nothing at all. *)
+let retry_slow env counter =
+  Tracer.emit (Env.tracer env) Retry counter;
+  Profile.op_retry (Env.profile env)
+
+let per_retry_obs env =
+  Tracer.enabled (Env.tracer env) || Profile.enabled (Env.profile env)
+
+let record_retries env counter burst =
+  if burst > 0 then Metrics.add (Env.metrics env) counter burst
 
 let span env name f =
   Metrics.incr (Env.metrics env) name;
@@ -58,9 +76,11 @@ let add_to_rc env p v =
   guard env "add_to_rc";
   let rc = Heap.rc_cell (Env.heap env) p in
   let d = Env.dcas env in
+  let slow = per_retry_obs env in
   let rec go burst =
     let oldrc = Dcas.read d rc in
     if Dcas.cas d rc oldrc (oldrc + v) then begin
+      record_retries env "lfrc.rc_retry" burst;
       (* Contended transitions record their retry burst; the quiet common
          case stays out of the histogram. *)
       if burst > 0 then
@@ -70,7 +90,7 @@ let add_to_rc env p v =
       oldrc
     end
     else begin
-      retry env "lfrc.rc_retry";
+      if slow then retry_slow env "lfrc.rc_retry";
       go (burst + 1)
     end
   in
@@ -97,7 +117,13 @@ let try_alloc env layout =
    pointers it contains. Three policies; all call [release_one] to drop a
    single count and report whether the object died. *)
 
-let release_one env p = add_to_rc env p (-1) = 1
+(* The sanitizer learns that an object entered its destruction epoch at the
+   zero-detect itself — atomically with the winning decrement, before any
+   destroy-path read of the dead object's slots. *)
+let release_one env p =
+  let died = add_to_rc env p (-1) = 1 in
+  if died then Shadow.note_dying (Env.sanitizer env) p;
+  died
 
 (* [counter] separates eager frees (destroy paths) from deferred-queue
    frees, the paper-§7 distinction the metrics surface. *)
@@ -165,6 +191,7 @@ let flush_rc env =
               let late = Env.rc_absorb env ~addr in
               if late <> 0 then ignore (Env.rc_park env ~addr ~delta:late)
               else begin
+                Shadow.note_dying (Env.sanitizer env) addr;
                 Env.begin_destroy env addr;
                 let n = Heap.n_ptr_slots heap addr in
                 for i = 0 to n - 1 do
@@ -358,6 +385,10 @@ let pump_deferred env ~budget =
         (* The dequeue and this registration are atomic, so [q] is never
            anchored by neither the queue nor the registry. *)
         Env.begin_destroy env q;
+        (* Destruction ownership hands off through the queue: the pumping
+           thread re-owns the dying object so its teardown reads are not
+           mistaken for third-party use-after-retire. *)
+        Shadow.note_dying (Env.sanitizer env) q;
         incr freed;
         let n = Heap.n_ptr_slots heap q in
         for i = 0 to n - 1 do
@@ -429,6 +460,7 @@ let load env ~src ~dest =
   let heap = Env.heap env in
   let d = Env.dcas env in
   let olddest = !dest in
+  let slow = per_retry_obs env in
   let rec go burst =
     let a = Dcas.read d src in
     if a = null then begin
@@ -447,12 +479,13 @@ let load env ~src ~dest =
         burst
       end
       else begin
-        retry env "lfrc.load_retry";
+        if slow then retry_slow env "lfrc.load_retry";
         go (burst + 1)
       end
     end
   in
   let burst = go 0 in
+  record_retries env "lfrc.load_retry" burst;
   (* Every load contributes its burst — zeros included — so the retry
      histogram is populated even in uncontended runs. *)
   Metrics.observe (Env.metrics env) "lfrc.load.retries" (float_of_int burst);
@@ -464,18 +497,20 @@ let store env ~dst v =
   span env "lfrc.store" @@ fun () ->
   rc_incr_for_publish env v;
   let d = Env.dcas env in
+  let slow = per_retry_obs env in
   let rec go burst =
     let oldval = Dcas.read d dst in
     if Dcas.cas d dst oldval v then begin
       (* The winning CAS made the +1 heap-justified; ending the publication
          is atomic with it. *)
       Env.end_publish env v;
+      record_retries env "lfrc.store_retry" burst;
       Metrics.observe (Env.metrics env) "lfrc.store.retries"
         (float_of_int burst);
       destroy env oldval
     end
     else begin
-      retry env "lfrc.store_retry";
+      if slow then retry_slow env "lfrc.store_retry";
       go (burst + 1)
     end
   in
@@ -487,15 +522,19 @@ let store_alloc env ~dst v =
   guard env "store_alloc";
   span env "lfrc.store_alloc" @@ fun () ->
   let d = Env.dcas env in
-  let rec go () =
+  let slow = per_retry_obs env in
+  let rec go burst =
     let oldval = Dcas.read d dst in
-    if Dcas.cas d dst oldval v then destroy env oldval
+    if Dcas.cas d dst oldval v then begin
+      record_retries env "lfrc.store_retry" burst;
+      destroy env oldval
+    end
     else begin
-      retry env "lfrc.store_retry";
-      go ()
+      if slow then retry_slow env "lfrc.store_retry";
+      go (burst + 1)
     end
   in
-  go ()
+  go 0
 
 (* Crash-safe variant: the source is a (registered-local) ref, cleared in
    the same atomic step as the winning CAS, so the allocation's count has
@@ -505,18 +544,20 @@ let store_alloc_from env ~dst r =
   span env "lfrc.store_alloc" @@ fun () ->
   let d = Env.dcas env in
   let v = !r in
-  let rec go () =
+  let slow = per_retry_obs env in
+  let rec go burst =
     let oldval = Dcas.read d dst in
     if Dcas.cas d dst oldval v then begin
       r := null;
+      record_retries env "lfrc.store_retry" burst;
       destroy env oldval
     end
     else begin
-      retry env "lfrc.store_retry";
-      go ()
+      if slow then retry_slow env "lfrc.store_retry";
+      go (burst + 1)
     end
   in
-  go ()
+  go 0
 
 (* LFRCCopy (Figure 2, lines 29..32). *)
 let copy env ~dest w =

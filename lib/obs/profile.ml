@@ -133,6 +133,16 @@ let dcas_retry t =
     ~frame:(fun fr -> fr.f_dcas <- fr.f_dcas + 1)
     ~orphan:(fun site -> site.dcas_retries <- site.dcas_retries + 1)
 
+let current_site t =
+  match t with
+  | Disabled -> "?"
+  | On r -> (
+      let tid = Sched.tid () in
+      locked r (fun () ->
+          match Hashtbl.find_opt r.stacks tid with
+          | Some { contents = f :: _ } -> f.f_site.label
+          | _ -> r.unattributed.label))
+
 (* --- reporting --- *)
 
 type row = {

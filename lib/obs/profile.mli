@@ -47,6 +47,11 @@ val dcas_retry : t -> unit
 (** A CAS/DCAS attempt failed underneath the innermost open operation
     (wired from {!Lfrc_atomics.Dcas.attach_obs}). *)
 
+val current_site : t -> string
+(** The innermost open frame's site label on the current simulated
+    thread — the attribution key the sanitizer stamps on findings.
+    ["(unattributed)"] when no frame is open, ["?"] when disabled. *)
+
 (** {1 Reporting} *)
 
 type row = {

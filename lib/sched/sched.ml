@@ -62,6 +62,11 @@ let active () = !current_sched <> None
 let tid () = match !current_sched with None -> 0 | Some s -> s.current
 let steps_so_far () = match !current_sched with None -> 0 | Some s -> s.steps
 
+let name_of tid =
+  match !current_sched with
+  | Some s when tid >= 0 && tid < s.n_threads -> s.threads.(tid).name
+  | _ -> Printf.sprintf "t%d" tid
+
 let crashed_so_far () =
   match !current_sched with None -> [] | Some s -> List.rev s.crashed
 

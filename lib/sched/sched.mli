@@ -89,6 +89,11 @@ val steps_so_far : unit -> int
 (** Scheduling decisions taken so far in the current run; usable as a
     simulated clock by harness code. 0 outside a simulation. *)
 
+val name_of : int -> string
+(** The thread's name in the current run ("main", a [spawn ~name], or the
+    default ["t<id>"]); falls back to ["t<id>"] outside a simulation or
+    for an unknown id. For diagnostics (sanitizer witnesses). *)
+
 val crashed_so_far : unit -> int list
 (** Threads crash-injected so far in the current run, in crash order —
     the survivors' view of who has failed permanently, so in-run code

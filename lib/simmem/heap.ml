@@ -199,6 +199,19 @@ let val_cell t p i =
 
 let n_ptr_slots t p = (live_obj t p "n_ptr_slots").obj_layout.Layout.n_ptrs
 
+(* No liveness check: shadow-memory observers classify a dead object's
+   cells too (that is how they catch reads through stale cell handles). *)
+let iter_cells t p f =
+  let o = get_obj t p "iter_cells" in
+  let l = o.obj_layout in
+  f ~kind:`Rc ~index:0 o.cells.(Layout.rc_slot);
+  for i = 0 to l.Layout.n_ptrs - 1 do
+    f ~kind:`Ptr ~index:i o.cells.(Layout.ptr_slot l i)
+  done;
+  for i = 0 to l.Layout.n_vals - 1 do
+    f ~kind:`Val ~index:i o.cells.(Layout.val_slot l i)
+  done
+
 (* Roots *)
 
 let root t ?name () =

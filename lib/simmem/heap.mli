@@ -88,6 +88,16 @@ val val_cell : t -> ptr -> int -> Cell.t
 
 val n_ptr_slots : t -> ptr -> int
 
+val iter_cells :
+  t ->
+  ptr ->
+  (kind:[ `Rc | `Ptr | `Val ] -> index:int -> Cell.t -> unit) ->
+  unit
+(** Visit every cell of the object's {e current} layout with its role and
+    slot index (rc first, then pointers, then values). Works on dead
+    objects — shadow-memory observers use this from the {!set_observer}
+    hook to classify cells at allocation time. *)
+
 (* Roots: global pointer variables (e.g. a deque's hats live in its object,
    but the handle to the deque object itself is a root). *)
 

@@ -253,6 +253,65 @@ let test_catalog_tier_names () =
     (List.length (Catalog.names ()))
     (List.length cas + List.length dcas)
 
+(* --- the cross-thread interference pass --- *)
+
+(* A plain write to a value cell of an already-published (setup-anchored)
+   object races with a concurrent instance of itself; the plain read in
+   the second action races with that write across actions. Both must
+   surface as racy-plain-access. *)
+let test_flags_racy_plain_access () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-racy-plain"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let vcell = Heap.val_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ("racy_write", fun () -> O.write_val ctx vcell 7);
+          ("racy_read", fun () -> ignore (O.read_val ctx vcell));
+        ])
+  in
+  checkb "racy-plain-access flagged" true
+    (has_class Absint.Racy_plain_access r);
+  (* both the write and the read sides are reported *)
+  checki "both accesses flagged" 2
+    (List.length
+       (List.filter
+          (fun c -> c = Absint.Racy_plain_access)
+          (classes_of r)))
+
+(* Pre-publication initialization of a path-allocated object is private:
+   the publishing CAS orders it before every later acquire, so the same
+   plain write must NOT be flagged. The cas_val sibling shows the
+   sanctioned way to touch a published value cell. *)
+let test_private_init_not_racy () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-private-init"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let heap = Env.heap env in
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let acell = Heap.ptr_cell heap (O.get anchor) 0 in
+        let vcell = Heap.val_cell heap (O.get anchor) 0 in
+        [
+          ( "init_then_publish",
+            fun () ->
+              let l = O.declare ctx in
+              O.alloc ctx fixture_layout l;
+              (* plain init of the fresh object: private *)
+              O.write_val ctx (Heap.val_cell heap (O.get l) 0) 1;
+              (* publish it, handing over the count *)
+              O.store_alloc ctx acell l;
+              O.retire ctx l );
+          ("synced_touch", fun () -> ignore (O.cas_val ctx vcell 0 1));
+        ])
+  in
+  checkb "private init not flagged" false
+    (has_class Absint.Racy_plain_access r);
+  checki "fixture clean" 0 (errors_of r)
+
 (* --- a correct fixture stays clean --- *)
 
 let test_clean_fixture_passes () =
@@ -358,6 +417,13 @@ let () =
             test_dcas_clean_in_dcas_tier;
           Alcotest.test_case "catalog tier names" `Quick
             test_catalog_tier_names;
+        ] );
+      ( "interference",
+        [
+          Alcotest.test_case "racy plain access flagged" `Quick
+            test_flags_racy_plain_access;
+          Alcotest.test_case "private init stays clean" `Quick
+            test_private_init_not_racy;
         ] );
       ( "clean",
         [

@@ -30,8 +30,8 @@ let fresh ?(rc_epoch = 1_024) name =
   let metrics = Metrics.create () in
   let heap = Heap.create ~name () in
   let env =
-    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch ~metrics
-      heap
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+      ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) ~metrics heap
   in
   (env, heap, metrics)
 
@@ -168,7 +168,8 @@ let test_figure2_replay_deferred () =
   let heap = Heap.create ~name:"deferred-figure2" () in
   let env =
     Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
-      ~rc_epoch:Scenario.deferred_rc_epoch ~lineage heap
+      ~rc_mode:(Env.Deferred_rc { epoch = Scenario.deferred_rc_epoch })
+      ~lineage heap
   in
   ignore
     (Sched.run ~max_steps:2_000_000 (Strategy.Random 7) (fun () ->

@@ -50,7 +50,8 @@ let run_set_scenario (module S : Lfrc_structures.Container_intf.SET)
   let body () =
     let heap = Heap.create ~name:("lin-" ^ S.name) () in
     let env =
-      Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch heap
+      Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+      ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) heap
     in
     let t = S.create env in
     let h0 = S.register t in

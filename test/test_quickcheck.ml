@@ -54,7 +54,8 @@ let gen_ops ~seed n =
 let with_run name rc_epoch f =
   let heap = Heap.create ~name () in
   let env =
-    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch heap
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+      ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) heap
   in
   match f env with
   | Error _ as e -> e

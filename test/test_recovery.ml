@@ -193,7 +193,8 @@ let test_multi_crash_recovers () =
 let test_crashed_flusher_restaged () =
   let heap = Heap.create ~name:"rec-flush" () in
   let env =
-    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_epoch:64 heap
+    Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
+      ~rc_mode:(Env.Deferred_rc { epoch = 64 }) heap
   in
   ignore (Env.rc_park env ~addr:7 ~delta:1);
   ignore (Env.rc_park env ~addr:9 ~delta:(-1));

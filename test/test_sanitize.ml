@@ -1,0 +1,165 @@
+(* Tests for LFRC-San, the shadow-memory sanitizer: every seeded-bug
+   fixture must be detected with a stable, replayable witness; the
+   shipped catalog must come back clean under a (reduced) schedule
+   budget; and the whole pipeline must be deterministic — the same seed
+   and schedule matrix yields byte-identical findings. *)
+
+module Shadow = Lfrc_sanitize.Shadow
+module Strategy = Lfrc_sched.Strategy
+module San = Lfrc_harness.Sanitize_run
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let run_fixture_exn name =
+  match San.run_fixture name with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let run_structure_exn ?schedules name =
+  match
+    San.run_structure ~workers:2 ~ops_per_worker:12 ?schedules name
+  with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+(* A canonical rendering of a witness: everything that must be stable
+   run-to-run (class, slot, sites, schedule token, dedup count). The
+   scheduler step is included too — the runs are fully deterministic. *)
+let witness_signature (w : San.witness) =
+  let f = w.San.w_finding in
+  let acc (a : Shadow.access) =
+    Printf.sprintf "%s@%s:%d" a.Shadow.a_thread a.Shadow.a_site
+      a.Shadow.a_step
+  in
+  Printf.sprintf "%s|%s|%s|%s|%s|%s|%d" w.San.w_schedule
+    (Shadow.kind_name f.Shadow.f_kind)
+    f.Shadow.f_slot
+    (acc f.Shadow.f_access)
+    (match f.Shadow.f_prev with Some p -> acc p | None -> "-")
+    f.Shadow.f_message f.Shadow.f_count
+
+let outcome_signature (o : San.outcome) =
+  String.concat "\n" (List.map witness_signature o.San.o_witnesses)
+
+(* --- every fixture class is detected --- *)
+
+let test_fixture_detected name () =
+  let o = run_fixture_exn name in
+  checkb (name ^ " detected") true (San.fixture_detected o);
+  checkb (name ^ " has a witness") true (o.San.o_witnesses <> []);
+  (* every witness carries a parseable replay token *)
+  List.iter
+    (fun (w : San.witness) ->
+      match Strategy.of_string w.San.w_schedule with
+      | Some _ -> ()
+      | None ->
+          Alcotest.fail
+            (Printf.sprintf "unparseable replay token %S" w.San.w_schedule))
+    o.San.o_witnesses
+
+(* The race witness names both racing operations. *)
+let test_race_witness_names_both_ops () =
+  let o = run_fixture_exn "plain-race" in
+  let race =
+    List.find
+      (fun (w : San.witness) ->
+        w.San.w_finding.Shadow.f_kind = Shadow.Race)
+      o.San.o_witnesses
+  in
+  let f = race.San.w_finding in
+  checkb "current access has a thread" true
+    (f.Shadow.f_access.Shadow.a_thread <> "");
+  match f.Shadow.f_prev with
+  | None -> Alcotest.fail "race witness lacks the conflicting access"
+  | Some prev ->
+      checkb "distinct racing threads" true
+        (prev.Shadow.a_tid <> f.Shadow.f_access.Shadow.a_tid)
+
+(* The ABA fixture's finding is harmful (recycled incarnation). *)
+let test_aba_witness_harmful () =
+  let o = run_fixture_exn "aba-pop" in
+  checkb "harmful aba counted" true (o.San.o_totals.Shadow.aba_harmful > 0);
+  let aba =
+    List.find
+      (fun (w : San.witness) -> w.San.w_finding.Shadow.f_kind = Shadow.Aba)
+      o.San.o_witnesses
+  in
+  checkb "aba witness has lineage" true (aba.San.w_lineage <> "")
+
+(* --- determinism: same seed, same findings --- *)
+
+let test_fixture_determinism () =
+  List.iter
+    (fun (name, _) ->
+      let a = run_fixture_exn name and b = run_fixture_exn name in
+      checks
+        (name ^ " deterministic")
+        (outcome_signature a) (outcome_signature b))
+    San.fixtures
+
+(* --- the catalog is clean under the sanitizer --- *)
+
+(* A reduced budget keeps the suite quick; the CLI gate in CI runs the
+   full default matrix. *)
+let catalog_schedules = [ Strategy.Round_robin; Strategy.Random 1 ]
+
+let test_catalog_clean () =
+  List.iter
+    (fun name ->
+      let o = run_structure_exn ~schedules:catalog_schedules name in
+      checki (name ^ ": no witnesses") 0 (List.length o.San.o_witnesses);
+      checkb (name ^ ": accesses checked") true
+        (o.San.o_totals.Shadow.checks > 0))
+    (San.structure_names ())
+
+let test_structure_determinism () =
+  let a = run_structure_exn ~schedules:catalog_schedules "treiber"
+  and b = run_structure_exn ~schedules:catalog_schedules "treiber" in
+  checki "same checks count" a.San.o_totals.Shadow.checks
+    b.San.o_totals.Shadow.checks;
+  checki "same benign aba" a.San.o_totals.Shadow.aba
+    b.San.o_totals.Shadow.aba
+
+(* --- the runner covers the whole catalog --- *)
+
+let test_runner_covers_catalog () =
+  let catalog = Lfrc_structures.Catalog.names () in
+  let covered = San.structure_names () in
+  List.iter
+    (fun n ->
+      checkb (Printf.sprintf "driver for %s" n) true (List.mem n covered))
+    catalog;
+  checki "no stray drivers" (List.length catalog) (List.length covered)
+
+let () =
+  Alcotest.run "sanitize"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "plain-race detected" `Quick
+            (test_fixture_detected "plain-race");
+          Alcotest.test_case "use-after-retire detected" `Quick
+            (test_fixture_detected "use-after-retire");
+          Alcotest.test_case "aba-pop detected" `Quick
+            (test_fixture_detected "aba-pop");
+          Alcotest.test_case "race witness names both ops" `Quick
+            test_race_witness_names_both_ops;
+          Alcotest.test_case "aba witness harmful" `Quick
+            test_aba_witness_harmful;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fixtures" `Quick test_fixture_determinism;
+          Alcotest.test_case "treiber totals" `Quick
+            test_structure_determinism;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "clean under sanitizer" `Slow
+            test_catalog_clean;
+          Alcotest.test_case "drivers cover catalog" `Quick
+            test_runner_covers_catalog;
+        ] );
+    ]
