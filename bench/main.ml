@@ -220,11 +220,17 @@ let run_json file =
           if profile then Lfrc_obs.Profile.create ~metrics ()
           else Lfrc_obs.Profile.disabled
         in
+        (* Blame rides the instrumented pass only: it writes nothing to
+           the metrics registry and takes no scheduler steps, so the
+           counters stay byte-identical to the timing pass. *)
+        let blame =
+          if profile then Lfrc_obs.Blame.create () else Lfrc_obs.Blame.disabled
+        in
         let heap = Heap.create ~name:("bench-json-" ^ name) () in
         let env =
           Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
             ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) ~metrics ~profile:prof
-            heap
+            ~blame heap
         in
         let (), wall_ns =
           Clock.time_ns (fun () ->
@@ -233,20 +239,22 @@ let run_json file =
                    (Lfrc_sched.Strategy.Random seed)
                    (fun () -> workload ~workers ~ops_per_worker ~seed env)))
         in
-        (wall_ns, metrics, prof)
+        (wall_ns, metrics, prof, blame)
       in
-      let wall_ns, _, _ = run ~profile:false in
-      let _, metrics, profile = run ~profile:true in
+      let wall_ns, _, _, _ = run ~profile:false in
+      let _, metrics, profile, blame = run ~profile:true in
       let ops = workers * ops_per_worker in
       let ops_per_sec = float_of_int ops /. (float_of_int wall_ns /. 1e9) in
       Buffer.add_string buf
         (Printf.sprintf
            "%s\n    {\"structure\": \"%s\", \"workers\": %d, \"ops\": %d, \
             \"wall_ns\": %d, \"ops_per_sec\": %.1f, \"profile\": %s, \
-            \"metrics\": %s}"
+            \"blame\": %s, \"metrics\": %s}"
            (if i > 0 then "," else "")
            (json_escape name) workers ops wall_ns ops_per_sec
            (Lfrc_obs.Profile.to_json profile)
+           (if Lfrc_obs.Blame.enabled blame then Lfrc_obs.Blame.to_json blame
+            else "null")
            (Metrics.to_json (Metrics.snapshot metrics)));
       Printf.printf "workload %-22s %8.0f ops/sec (simulated, %d ops)\n%!"
         name ops_per_sec ops)
@@ -359,26 +367,17 @@ let run_json file =
   Printf.printf "wrote %s\n" file
 
 (* --- regression comparison: diff a fresh --json run against a committed
-   baseline (ops/sec per workload, plus counter drift) and gate on both.
-   Wall-clock is the noisy axis, so ops/sec only fails beyond a
-   configurable threshold (default 30%); the counters are deterministic
-   under the simulated scheduler, so any drift >= 5% on a matched
-   workload means behavior changed and fails the run too (workloads new
-   in the current file are reported but never gated). [--report-only]
-   downgrades every failure to a report. --- *)
+   baseline and gate on ops/sec regressions, counter drift, and histogram
+   observation-count drift. The policy lives in
+   {!Lfrc_harness.Bench_compare} (where it is unit-tested against
+   hand-edited baselines); this wrapper only does file I/O, rendering,
+   and exit codes. [--report-only] downgrades every failure to a report;
+   [--explain] attributes each regression to the counters, profile
+   sites, and blame pairs that moved. --- *)
 
-let compare_runs ~threshold ~report_only ~current ~baseline =
+let compare_runs ~threshold ~report_only ~explain ~current ~baseline =
   let module J = Lfrc_util.Json in
-  let workloads doc =
-    match Option.bind (J.member "workloads" doc) J.to_list with
-    | Some l -> l
-    | None -> []
-  in
-  let wl_name w = Option.bind (J.member "structure" w) J.to_str in
-  let counters w =
-    Option.map J.obj_fields (J.path [ "metrics"; "counters" ] w)
-    |> Option.value ~default:[]
-  in
+  let module C = Lfrc_harness.Bench_compare in
   match (J.parse_file baseline, J.parse_file current) with
   | Error e, _ ->
       Printf.eprintf "cannot read baseline %s: %s\n" baseline e;
@@ -387,117 +386,27 @@ let compare_runs ~threshold ~report_only ~current ~baseline =
       Printf.eprintf "cannot read current run %s: %s\n" current e;
       2
   | Ok base_doc, Ok cur_doc ->
-      let base_wls = workloads base_doc in
-      let find_base name =
-        List.find_opt (fun w -> wl_name w = Some name) base_wls
-      in
-      Printf.printf "# bench compare: %s vs baseline %s (threshold %.0f%%)\n"
-        current baseline threshold;
-      Printf.printf "%-14s %12s %12s %9s\n" "structure" "baseline" "current"
-        "delta";
-      let regressions = ref [] in
-      let counter_drift = ref [] in
-      (* Counters absent from the baseline (a new structure's series, a
-         new instrument) are information, not drift: report them, never
-         gate on them — otherwise every PR adding a workload or counter
-         would need its baseline regenerated in the same commit. *)
-      let counter_new = ref [] in
-      List.iter
-        (fun cur_wl ->
-          match wl_name cur_wl with
-          | None -> ()
-          | Some name -> (
-              let ops w =
-                Option.bind (J.member "ops_per_sec" w) J.to_num
-              in
-              match find_base name with
-              | None ->
-                  Printf.printf "%-14s %12s %12s %9s  (new workload)\n" name
-                    "-"
-                    (match ops cur_wl with
-                    | Some c -> Printf.sprintf "%.0f" c
-                    | None -> "?")
-                    "-"
-              | Some base_wl ->
-                  (match (ops base_wl, ops cur_wl) with
-                  | Some b, Some c when b > 0. ->
-                      let delta = (c -. b) /. b *. 100. in
-                      let flag =
-                        if delta < -.threshold then (
-                          regressions :=
-                            Printf.sprintf "%s ops/sec %+.1f%%" name delta
-                            :: !regressions;
-                          "  <-- REGRESSION")
-                        else ""
-                      in
-                      Printf.printf "%-14s %12.0f %12.0f %+8.1f%%%s\n" name b
-                        c delta flag
-                  | _ ->
-                      Printf.printf "%-14s (ops/sec missing on one side)\n"
-                        name);
-                  let base_counters = counters base_wl in
-                  List.iter
-                    (fun (key, v) ->
-                      match
-                        (J.to_num v,
-                         Option.bind (List.assoc_opt key base_counters)
-                           J.to_num)
-                      with
-                      | Some c, Some b when b > 0. ->
-                          let delta = (c -. b) /. b *. 100. in
-                          if Float.abs delta >= 5. then
-                            counter_drift :=
-                              Printf.sprintf "  %-14s %-24s %12.0f %12.0f %+8.1f%%"
-                                name key b c delta
-                              :: !counter_drift
-                      | Some c, None ->
-                          if c > 0. then
-                            counter_new :=
-                              Printf.sprintf "  %-14s %-24s %12s %12.0f      new"
-                                name key "-" c
-                              :: !counter_new
-                      | _ -> ())
-                    (counters cur_wl)))
-        (workloads cur_doc);
-      let drift = List.rev !counter_drift in
-      (match List.rev !counter_new with
-      | [] -> ()
-      | fresh ->
-          Printf.printf "new counters (absent from baseline; not gated):\n";
-          List.iter print_endline fresh);
-      (match drift with
-      | [] -> Printf.printf "counters: all within 5%% of baseline\n"
-      | drift ->
-          Printf.printf "counter drift (|delta| >= 5%%):\n";
-          List.iter print_endline drift);
-      if !regressions = [] && drift = [] then (
-        Printf.printf "no ops/sec regression beyond %.0f%%, no counter drift\n"
-          threshold;
+      let v = C.diff ~threshold ~current:cur_doc ~baseline:base_doc in
+      print_string
+        (C.render ~threshold ~current_file:current ~baseline_file:baseline v);
+      if explain then
+        print_string (C.explain ~current:cur_doc ~baseline:base_doc v);
+      if C.ok v then 0
+      else if report_only then (
+        Printf.printf "report-only mode: not failing the run\n";
         0)
-      else (
-        List.iter
-          (fun r -> Printf.printf "REGRESSION: %s (threshold %.0f%%)\n" r threshold)
-          (List.rev !regressions);
-        if drift <> [] then
-          Printf.printf
-            "COUNTER DRIFT: %d counter(s) moved >= 5%% on matched workloads \
-             (deterministic under the simulator, so this is a behavior \
-             change, not noise)\n"
-            (List.length drift);
-        if report_only then (
-          Printf.printf "report-only mode: not failing the run\n";
-          0)
-        else 1)
+      else 1
 
 let run_compare rest =
   let baseline = ref None
   and threshold = ref 30.0
   and report_only = ref false
-  and current = ref "BENCH_pr8.json" in
+  and explain = ref false
+  and current = ref "BENCH_pr9.json" in
   let usage () =
     prerr_endline
       "usage: bench --compare BASELINE.json [--current FILE] [--threshold \
-       PCT] [--report-only]";
+       PCT] [--report-only] [--explain]";
     exit 2
   in
   let rec go = function
@@ -510,6 +419,9 @@ let run_compare rest =
         | None -> usage ())
     | "--report-only" :: tl ->
         report_only := true;
+        go tl
+    | "--explain" :: tl ->
+        explain := true;
         go tl
     | "--current" :: f :: tl ->
         current := f;
@@ -526,7 +438,7 @@ let run_compare rest =
       if not (Sys.file_exists !current) then run_json !current;
       exit
         (compare_runs ~threshold:!threshold ~report_only:!report_only
-           ~current:!current ~baseline)
+           ~explain:!explain ~current:!current ~baseline)
 
 (* --- entry point --- *)
 
@@ -534,7 +446,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
-  | [ "--json" ] -> run_json "BENCH_pr8.json"
+  | [ "--json" ] -> run_json "BENCH_pr9.json"
   | [ "--json"; file ] -> run_json file
   | "--compare" :: rest -> run_compare rest
   | [] ->

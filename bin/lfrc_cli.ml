@@ -72,7 +72,16 @@ let config_term =
             "Attribute DCAS/CAS retries and op latencies to labeled call \
              sites and print a per-experiment contention table.")
   in
-  let build threads ops iters seed no_metrics fault profile deferred_rc =
+  let blame =
+    Arg.(
+      value & flag
+      & info [ "blame" ]
+          ~doc:
+            "Attribute every failed CAS/DCAS/rc-retry to the thread and \
+             call site whose write invalidated it, and print a ranked \
+             victim->culprit interference report per experiment.")
+  in
+  let build threads ops iters seed no_metrics fault profile blame deferred_rc =
     match
       Option.map
         (fun s ->
@@ -96,13 +105,14 @@ let config_term =
             metrics = not no_metrics;
             trace_capacity = 0;
             profile;
+            blame;
             deferred_rc;
           }
   in
   Term.(
     ret
       (const build $ threads $ ops $ iters $ seed $ no_metrics $ fault
-     $ profile $ deferred_rc_flag))
+     $ profile $ blame $ deferred_rc_flag))
 
 let experiments_cmd =
   let ids =
@@ -132,13 +142,13 @@ let structure_arg =
         ~doc:(Printf.sprintf "Structure to drive: %s."
                 (String.concat ", " (List.map fst names))))
 
-let run_workload ?lineage ?profile ?(rc_epoch = 0) ~workload ~workers
+let run_workload ?lineage ?profile ?blame ?(rc_epoch = 0) ~workload ~workers
     ~ops_per_worker ~seed ~metrics ~tracer () =
   let heap = Lfrc_simmem.Heap.create ~name:"cli-workload" () in
   let env =
     Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
       ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
-      ?lineage ?profile heap
+      ?lineage ?profile ?blame heap
   in
   ignore
     (Lfrc_sched.Sched.run ~max_steps:400_000_000
@@ -211,8 +221,30 @@ let trace_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run (_, workload) workers ops seed capacity format output deferred_rc =
+  let run (name, workload) workers ops seed capacity format output deferred_rc
+      =
     let tracer = Lfrc_obs.Tracer.create ~capacity in
+    (* Saved traces outlive the invocation that produced them: stamp the
+       run's provenance into the tracer so the chrome header / timeline
+       footer says what made it. *)
+    Lfrc_obs.Tracer.set_meta tracer
+      [
+        ("structure", name);
+        ( "tier",
+          match Lfrc_structures.Catalog.find name with
+          | Some e ->
+              Lfrc_structures.Catalog.tier_name
+                (Lfrc_structures.Catalog.tier e)
+          | None -> "?" );
+        ("workers", string_of_int workers);
+        ("ops_per_worker", string_of_int ops);
+        ("seed", string_of_int seed);
+        ( "rc_mode",
+          if deferred_rc then
+            Printf.sprintf "deferred-rc(%d)"
+              Lfrc_harness.Scenario.deferred_rc_epoch
+          else "eager" );
+      ];
     run_workload
       ~rc_epoch:(rc_epoch_of_flag deferred_rc)
       ~workload ~workers ~ops_per_worker:ops ~seed
@@ -285,6 +317,64 @@ let profile_cmd =
           attempts, scheduler-step latency), sorted by wasted attempts")
     Term.(const run $ structure_arg $ workers $ ops $ seed $ json
           $ deferred_rc_flag)
+
+let blame_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let ops =
+    Arg.(value & opt int 2_000 & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule and op-mix seed.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit totals, ranked pairs, and retry-chain stats as JSON \
+                (byte-deterministic for a given seed).")
+  in
+  let matrix =
+    Arg.(
+      value & flag
+      & info [ "matrix" ]
+          ~doc:"Print the victim x culprit wasted-attempt matrix instead \
+                of the ranked report.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Pairs to rank in the report.")
+  in
+  let run (name, workload) workers ops seed json matrix top deferred_rc =
+    let metrics = Lfrc_obs.Metrics.create () in
+    let blame = Lfrc_obs.Blame.create () in
+    run_workload ~blame
+      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
+      ~tracer:Lfrc_obs.Tracer.disabled ();
+    if json then print_endline (Lfrc_obs.Blame.to_json blame)
+    else if matrix then print_string (Lfrc_obs.Blame.matrix blame)
+    else begin
+      Printf.printf "# %s: %d threads x %d ops, seed %d%s\n" name workers ops
+        seed
+        (if deferred_rc then ", deferred-rc" else "");
+      print_string (Lfrc_obs.Blame.report ~top blame)
+    end
+  in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Run a structure workload with contention blame attribution on: \
+          every failed CAS/DCAS/rc-retry is charged to the thread and call \
+          site whose write invalidated it (exact under the deterministic \
+          scheduler). Prints the ranked victim->culprit report, the \
+          interference matrix ($(b,--matrix)), or machine-readable JSON \
+          ($(b,--json)).")
+    Term.(
+      const run $ structure_arg $ workers $ ops $ seed $ json $ matrix $ top
+      $ deferred_rc_flag)
 
 let forensics_cmd =
   let workers =
@@ -835,6 +925,7 @@ let main =
       stats_cmd;
       trace_cmd;
       profile_cmd;
+      blame_cmd;
       forensics_cmd;
       check_cmd;
       chaos_cmd;

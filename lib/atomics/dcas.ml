@@ -3,6 +3,7 @@ module Sched = Lfrc_sched.Sched
 module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
 module Profile = Lfrc_obs.Profile
+module Blame = Lfrc_obs.Blame
 module Shadow = Lfrc_sanitize.Shadow
 
 type impl = Atomic_step | Striped_lock | Software_mcas
@@ -45,6 +46,7 @@ type t = {
   mutable metrics : Metrics.t;
   mutable tracer : Tracer.t;
   mutable profile : Profile.t;
+  mutable blame : Blame.t; (* contention causality; one branch when off *)
   mutable san : Shadow.t; (* shadow-memory sanitizer; one branch when off *)
 }
 
@@ -70,15 +72,18 @@ let create kind =
     metrics = Metrics.disabled;
     tracer = Tracer.disabled;
     profile = Profile.disabled;
+    blame = Blame.disabled;
     san = Shadow.disabled;
   }
 
 let set_injector t i = t.injector <- i
 
-let attach_obs ?(profile = Profile.disabled) t ~metrics ~tracer =
+let attach_obs ?(profile = Profile.disabled) ?(blame = Blame.disabled) t
+    ~metrics ~tracer =
   t.metrics <- metrics;
   t.tracer <- tracer;
   t.profile <- profile;
+  t.blame <- blame;
   if t.kind = Software_mcas then Mcas.set_metrics metrics
 
 let attach_sanitizer t san = t.san <- san
@@ -133,7 +138,8 @@ let write t c v =
       (* A blind write must still cooperate with in-flight descriptors. *)
       let rec go () = if not (Mcas.cas c (Mcas.read c) v) then go () in
       go ());
-  Shadow.on_write t.san c v
+  Shadow.on_write t.san c v;
+  Blame.stamp t.blame Blame.Write (Cell.id c)
 
 let bump_streak ~streak ~streak_max ok =
   if ok then Atomic.set streak 0
@@ -182,7 +188,10 @@ let spurious_dcas t =
 
 let cas t c old_v new_v =
   Sched.point ();
-  if spurious_cas t then false
+  if spurious_cas t then begin
+    Blame.charge_spurious t.blame Blame.Cas;
+    false
+  end
   else begin
     let ok =
       match t.kind with
@@ -191,6 +200,8 @@ let cas t c old_v new_v =
       | Software_mcas -> Mcas.cas c old_v new_v
     in
     Shadow.on_cas t.san c ~old_v ~new_v ~ok;
+    if ok then Blame.stamp t.blame Blame.Cas (Cell.id c)
+    else Blame.charge t.blame Blame.Cas (Cell.id c);
     count_cas t ok
   end
 
@@ -208,6 +219,7 @@ let fetch_add t c d =
         go ()
   in
   Shadow.on_rmw t.san c;
+  Blame.stamp t.blame Blame.Rmw (Cell.id c);
   v
 
 let count_dcas t ok =
@@ -224,7 +236,10 @@ let count_dcas t ok =
 
 let dcas t c0 c1 ~old0 ~old1 ~new0 ~new1 =
   Sched.point ();
-  if spurious_dcas t then count_dcas t false
+  if spurious_dcas t then begin
+    Blame.charge_spurious t.blame Blame.Dcas;
+    count_dcas t false
+  end
   else begin
     let ok =
       match t.kind with
@@ -247,6 +262,21 @@ let dcas t c0 c1 ~old0 ~old1 ~new0 ~new1 =
       | Software_mcas -> Mcas.dcas c0 c1 old0 old1 new0 new1
     in
     Shadow.on_dcas t.san c0 c1 ~old0 ~old1 ~new0 ~new1 ~ok;
+    if Blame.enabled t.blame then
+      if ok then begin
+        Blame.stamp t.blame Blame.Dcas (Cell.id c0);
+        Blame.stamp t.blame Blame.Dcas (Cell.id c1)
+      end
+      else begin
+        (* The culprit cell is whichever word failed its compare; a raw
+           peek (no Sched.point) keeps the schedule identical to a
+           blame-free run. With both words stale, blaming the first is
+           still a true cause. *)
+        let cid =
+          if Cell.get c0 <> old0 then Cell.id c0 else Cell.id c1
+        in
+        Blame.charge t.blame Blame.Dcas cid
+      end;
     count_dcas t ok
   end
 

@@ -89,12 +89,17 @@ val set_injector : t -> injector option -> unit
     failed attempt emits a [Retry] event and each injected failure a
     [Fault] event; with an attached profiler, each failed attempt is
     charged to the innermost operation frame open on the failing thread
-    ({!Lfrc_obs.Profile.dcas_retry}). Detached (the default) the cost is
-    one branch per event. {!Lfrc_core.Env.create} attaches its
-    environment's observability here. *)
+    ({!Lfrc_obs.Profile.dcas_retry}); with an attached blame registry,
+    each successful write/CAS/DCAS/RMW stamps its cell(s) with the winner
+    and each failed compare is charged to the stamped culprit
+    ({!Lfrc_obs.Blame}) — on a failed DCAS the culprit is whichever word
+    failed its compare. Detached (the default) the cost is one branch per
+    event. {!Lfrc_core.Env.create} attaches its environment's
+    observability here. *)
 
 val attach_obs :
   ?profile:Lfrc_obs.Profile.t ->
+  ?blame:Lfrc_obs.Blame.t ->
   t ->
   metrics:Lfrc_obs.Metrics.t ->
   tracer:Lfrc_obs.Tracer.t ->

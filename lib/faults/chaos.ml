@@ -24,14 +24,15 @@ type report = {
 let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?(rc_epoch = 0)
     ?(dcas_impl = Lfrc_atomics.Dcas.Atomic_step) ?(recover = false) ?metrics
     ?(lineage = Lfrc_obs.Lineage.disabled)
-    ?(profile = Lfrc_obs.Profile.disabled) ~strategy ~spec body =
+    ?(profile = Lfrc_obs.Profile.disabled)
+    ?(blame = Lfrc_obs.Blame.disabled) ~strategy ~spec body =
   let heap = Heap.create ~name:"chaos" () in
   let metrics =
     match metrics with Some m -> m | None -> Lfrc_obs.Metrics.create ()
   in
   let env =
     Env.create ~dcas_impl ~policy ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) ~metrics
-      ~lineage ~profile heap
+      ~lineage ~profile ~blame heap
   in
   let plan = Fault_plan.make spec in
   Fault_plan.install plan env;
@@ -59,6 +60,12 @@ let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?(rc_epoch = 0)
   let audit, audit_advisory, recovery =
     match status with
     | Completed { crashed; _ } ->
+        (* Crashed threads' pending blame state (open op frames, open
+           retry chains) is adopted into the aggregates, mirroring the
+           recovery pass's orphan adoption — blamed work is never leaked
+           with its thread. *)
+        if crashed <> [] then
+          ignore (Lfrc_obs.Blame.adopt (Env.blame env) ~crashed);
         let recovery =
           if recover && crashed <> [] then Some (Recovery.run env ~crashed)
           else None

@@ -51,6 +51,7 @@ val run :
   ?metrics:Lfrc_obs.Metrics.t ->
   ?lineage:Lfrc_obs.Lineage.t ->
   ?profile:Lfrc_obs.Profile.t ->
+  ?blame:Lfrc_obs.Blame.t ->
   strategy:Lfrc_sched.Strategy.t ->
   spec:Fault_plan.spec ->
   (Lfrc_core.Env.t -> unit) ->
@@ -70,9 +71,12 @@ val run :
     defaults to a fresh enabled registry private to this run; pass a
     shared one to aggregate across a campaign of runs (the report's
     snapshot then covers everything recorded so far). [lineage] and
-    [profile] (default disabled) are threaded into the run's environment;
-    joining [lineage] against the audit's [leaked_ids] names the
-    operation that dropped each leaked object's last reference. *)
+    [profile] and [blame] (default disabled) are threaded into the run's
+    environment; joining [lineage] against the audit's [leaked_ids] names
+    the operation that dropped each leaked object's last reference. When
+    a completed run crashed threads, their pending blame state is adopted
+    ({!Lfrc_obs.Blame.adopt}) before recovery runs, so no blamed work is
+    leaked with its thread. *)
 
 val ok : report -> bool
 (** Completed and the (authoritative, non-advisory) audit found

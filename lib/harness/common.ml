@@ -3,6 +3,8 @@ module Rng = Lfrc_util.Rng
 module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
 module Profile = Lfrc_obs.Profile
+module Blame = Lfrc_obs.Blame
+module Obs = Lfrc_obs.Obs
 
 module Snark_gc = Lfrc_structures.Snark.Make (Lfrc_core.Gc_ops)
 module Snark_fixed_lfrc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)
@@ -12,32 +14,56 @@ type result = {
   table : Lfrc_util.Table.t;
   metrics : Metrics.snapshot;
   profile : Profile.t;
+  blame : Blame.t;
   notes : string list;
 }
 
+(* One master switch over every layer: `--no-metrics` (cfg.metrics =
+   false) returns the all-disabled bundle regardless of the per-layer
+   flags, so "obs off" is provably one branch everywhere. *)
 let obs (cfg : Scenario.config) =
-  let metrics =
-    if cfg.Scenario.metrics then Metrics.create () else Metrics.disabled
+  let o =
+    Obs.create ~master:cfg.Scenario.metrics
+      ~trace_capacity:cfg.Scenario.trace_capacity ~profile:cfg.Scenario.profile
+      ~blame:cfg.Scenario.blame ()
   in
-  let tracer =
-    if cfg.Scenario.trace_capacity > 0 then
-      Tracer.create ~capacity:cfg.Scenario.trace_capacity
-    else Tracer.disabled
-  in
-  let profile =
-    if cfg.Scenario.profile then Profile.create ~metrics ()
-    else Profile.disabled
-  in
-  (metrics, tracer, profile)
+  (* Saved traces must be self-describing: stamp the run's configuration
+     into the tracer so the chrome JSON header / timeline footer says
+     what produced it. *)
+  if Tracer.enabled o.Obs.tracer then
+    Tracer.set_meta o.Obs.tracer
+      [
+        ("seed", string_of_int cfg.Scenario.seed);
+        ( "rc_mode",
+          if cfg.Scenario.deferred_rc then
+            Printf.sprintf "deferred-rc(%d)" Scenario.deferred_rc_epoch
+          else "eager" );
+        ( "fault",
+          match cfg.Scenario.fault with
+          | None -> "none"
+          | Some s -> Lfrc_faults.Fault_plan.spec_to_string s );
+        ( "obs",
+          String.concat ","
+            (List.filter
+               (fun s -> s <> "")
+               [
+                 (if cfg.Scenario.metrics then "metrics" else "");
+                 (if cfg.Scenario.trace_capacity > 0 then "trace" else "");
+                 (if cfg.Scenario.profile then "profile" else "");
+                 (if cfg.Scenario.blame then "blame" else "");
+               ]) );
+      ];
+  o
 
-let result ~table ?(profile = Profile.disabled) ?(notes = []) metrics =
-  { table; metrics = Metrics.snapshot metrics; profile; notes }
+let result ~table ?(profile = Profile.disabled) ?(blame = Blame.disabled)
+    ?(notes = []) metrics =
+  { table; metrics = Metrics.snapshot metrics; profile; blame; notes }
 
 let fresh_env ?dcas_impl ?policy ?rc_mode ?gc_threshold ?metrics ?tracer
-    ?lineage ?profile ?sanitize ~name () =
+    ?lineage ?profile ?blame ?sanitize ~name () =
   let heap = Lfrc_simmem.Heap.create ~name () in
   Lfrc_core.Env.create ?dcas_impl ?policy ?rc_mode ?gc_threshold ?metrics
-    ?tracer ?lineage ?profile ?sanitize heap
+    ?tracer ?lineage ?profile ?blame ?sanitize heap
 
 let time_per_op_ns = Lfrc_util.Clock.time_per_op_ns
 

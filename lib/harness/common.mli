@@ -9,6 +9,11 @@ type result = {
       (** the call-site contention profiler the experiment threaded
           through its environments; the disabled singleton when the
           config's [profile] flag is off *)
+  blame : Lfrc_obs.Blame.t;
+      (** the contention-causality registry (victim→culprit interference
+          aggregates) blame-aware experiments threaded through their
+          environments; the disabled singleton when the config's [blame]
+          flag is off *)
   notes : string list;
       (** free-form addenda printed after the table — E5 uses this for
           its leak witnesses (the lineage's attribution of each leaked
@@ -17,16 +22,20 @@ type result = {
 (** What every experiment's [run] returns: the EXPERIMENTS.md table plus
     the observability snapshot gathered while producing it. *)
 
-val obs :
-  Scenario.config -> Lfrc_obs.Metrics.t * Lfrc_obs.Tracer.t * Lfrc_obs.Profile.t
-(** The registry, tracer and profiler an experiment should thread through
-    every environment it creates: enabled or disabled per the config. An
-    enabled profiler shares the config's metrics registry, so its per-call
-    bursts land in the snapshot's histograms. *)
+val obs : Scenario.config -> Lfrc_obs.Obs.t
+(** The observability bundle an experiment should thread through every
+    environment it creates, per the config — with [cfg.metrics] as the
+    {!Lfrc_obs.Obs.create} master switch, so [--no-metrics] provably
+    disables every layer (tracer, profiler, blame included) in one
+    branch. An enabled profiler shares the bundle's metrics registry, so
+    its per-call bursts land in the snapshot's histograms; an enabled
+    blame registry shares the bundle's tracer, so attributed failures
+    emit flow events. *)
 
 val result :
   table:Lfrc_util.Table.t ->
   ?profile:Lfrc_obs.Profile.t ->
+  ?blame:Lfrc_obs.Blame.t ->
   ?notes:string list ->
   Lfrc_obs.Metrics.t ->
   result
@@ -41,6 +50,7 @@ val fresh_env :
   ?tracer:Lfrc_obs.Tracer.t ->
   ?lineage:Lfrc_obs.Lineage.t ->
   ?profile:Lfrc_obs.Profile.t ->
+  ?blame:Lfrc_obs.Blame.t ->
   ?sanitize:Lfrc_sanitize.Shadow.t ->
   name:string ->
   unit ->

@@ -65,7 +65,7 @@ let run_skip n ~metrics ~tracer ~profile =
   cost
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let table =
     Table.create
       ~title:"E10: contains() cost vs set size (memory accesses per search)"

@@ -130,9 +130,9 @@ let fault_kinds_for (cfg : Scenario.config) =
 
 let run_one ?(workers = default_workers)
     ?(ops_per_worker = default_ops_per_worker) ?(rc_epoch = 0)
-    ?(recover = false) ?metrics ~structure ~fault ~seed () =
+    ?(recover = false) ?metrics ?blame ~structure ~fault ~seed () =
   let spec = fault.spec_for ~seed in
-  Chaos.run ?metrics ~rc_epoch ~recover ~max_steps:400_000
+  Chaos.run ?metrics ?blame ~rc_epoch ~recover ~max_steps:400_000
     ~strategy:(Strategy.Random seed)
     ~spec
     (fun env ->
@@ -149,7 +149,7 @@ let run (cfg : Scenario.config) =
   let ops_per_worker =
     max 1 (min cfg.Scenario.ops_per_thread default_ops_per_worker)
   in
-  let metrics, _tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; profile; blame; _ } = Common.obs cfg in
   let table =
     Table.create ~title:"E11: chaos matrix (faults injected per kind)"
       ~columns:
@@ -183,7 +183,7 @@ let run (cfg : Scenario.config) =
               let r =
                 run_one ~workers ~ops_per_worker
                   ~rc_epoch:(Scenario.rc_epoch_of cfg)
-                  ~metrics ~structure ~fault ~seed ()
+                  ~metrics ~blame ~structure ~fault ~seed ()
               in
               injected := !injected + r.Chaos.injected;
               (match r.Chaos.status with
@@ -208,7 +208,7 @@ let run (cfg : Scenario.config) =
                   let rr =
                     run_one ~workers ~ops_per_worker
                       ~rc_epoch:(Scenario.rc_epoch_of cfg)
-                      ~recover:true ~metrics ~structure ~fault ~seed ()
+                      ~recover:true ~metrics ~blame ~structure ~fault ~seed ()
                   in
                   rec_ran := true;
                   (match rr.Chaos.audit with
@@ -232,4 +232,4 @@ let run (cfg : Scenario.config) =
     (fun r ->
       Format.printf "@.chaos failure:@.%a@." Chaos.pp r)
     !failures;
-  Common.result ~table ~profile metrics
+  Common.result ~table ~profile ~blame metrics

@@ -27,6 +27,7 @@ val run_one :
   ?rc_epoch:int ->
   ?recover:bool ->
   ?metrics:Lfrc_obs.Metrics.t ->
+  ?blame:Lfrc_obs.Blame.t ->
   structure:structure ->
   fault:fault_kind ->
   seed:int ->

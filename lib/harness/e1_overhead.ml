@@ -17,7 +17,7 @@ let layout = Layout.make ~name:"e1-node" ~n_ptrs:2 ~n_vals:1
 
 let run (cfg : Scenario.config) =
   let iters = cfg.Scenario.iters in
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let env =
     Common.fresh_env ~dcas_impl:Dcas.Atomic_step
       ~rc_mode:(Scenario.rc_mode_of cfg) ~metrics ~tracer ~profile ~name:"e1"

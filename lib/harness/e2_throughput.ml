@@ -13,7 +13,7 @@ module Table = Lfrc_util.Table
 module Opmix = Lfrc_workload.Opmix
 
 let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~rc_epoch
-    ~threads ~ops_per_thread ~seed ~metrics ~tracer ~profile =
+    ~threads ~ops_per_thread ~seed ~metrics ~tracer ~profile ~blame =
   let steps = ref 0 and dcas_fail = ref 0.0 and gc_pauses = ref 0 in
   let body () =
     let heap = Lfrc_simmem.Heap.create ~name:"e2" () in
@@ -21,7 +21,7 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~rc_epoch
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
         ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
-        ~profile heap
+        ~profile ~blame heap
     in
     if gc then Lfrc_simmem.Gc_trace.reset_history heap;
     let d = D.create env in
@@ -65,7 +65,7 @@ let thread_counts ceiling =
 
 let run (cfg : Scenario.config) =
   let ops_per_thread = cfg.Scenario.ops_per_thread in
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; blame; _ } = Common.obs cfg in
   let table =
     Table.create ~title:"E2: deque contention (simulated steps per op)"
       ~columns:[ "impl"; "threads"; "steps/op"; "dcas fail %"; "gc runs" ]
@@ -78,7 +78,7 @@ let run (cfg : Scenario.config) =
             run_one impl ~gc
               ~rc_epoch:(Scenario.rc_epoch_of cfg)
               ~threads ~ops_per_thread ~seed:cfg.Scenario.seed ~metrics ~tracer
-              ~profile
+              ~profile ~blame
           in
           let total_ops = threads * ops_per_thread in
           Table.add_rowf table "%s|%d|%.1f|%.2f|%d" label threads
@@ -86,4 +86,4 @@ let run (cfg : Scenario.config) =
             fail gcs)
         (thread_counts cfg.Scenario.threads))
     (Common.deque_impls ());
-  Common.result ~table ~profile metrics
+  Common.result ~table ~profile ~blame metrics

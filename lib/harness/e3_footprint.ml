@@ -112,7 +112,7 @@ let probes ~metrics ~tracer ~profile () : probe list =
   ]
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let table =
     Table.create
       ~title:

@@ -80,7 +80,7 @@ let run (cfg : Scenario.config) =
   let threads = max 1 (min cfg.Scenario.threads 4) in
   let ops_per_thread = cfg.Scenario.ops_per_thread in
   let seed0 = cfg.Scenario.seed + 10 in
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let drive = drive ~threads ~ops_per_thread ~metrics ~tracer ~profile in
   let table =
     Table.create

@@ -19,9 +19,9 @@ module Cell = Lfrc_simmem.Cell
 module Dcas = Lfrc_atomics.Dcas
 module Table = Lfrc_util.Table
 
-let wall_row table impl ~iters ~metrics ~tracer ~profile =
+let wall_row table impl ~iters ~metrics ~tracer ~profile ~blame =
   let d = Dcas.create impl in
-  Dcas.attach_obs d ~metrics ~tracer ~profile;
+  Dcas.attach_obs d ~metrics ~tracer ~profile ~blame;
   let c0 = Cell.make 1 and c1 = Cell.make 2 in
   let ns =
     Common.time_per_op_ns ~iters (fun () ->
@@ -29,9 +29,10 @@ let wall_row table impl ~iters ~metrics ~tracer ~profile =
   in
   Table.add_rowf table "%s|1|%.1f|-|-|-" (Dcas.impl_name d) ns
 
-let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer ~profile =
+let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer
+    ~profile ~blame =
   let d = Dcas.create impl in
-  Dcas.attach_obs d ~metrics ~tracer ~profile;
+  Dcas.attach_obs d ~metrics ~tracer ~profile ~blame;
   let steps = ref 0 in
   let body () =
     let c0 = Cell.make 0 and c1 = Cell.make 0 in
@@ -75,7 +76,7 @@ let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer ~profil
    mode and with parked-delta coalescing, and reports single-word CAS
    attempts (the count updates) per op. *)
 let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
-    ~profile =
+    ~profile ~blame =
   let layout = Lfrc_simmem.Layout.make ~name:"e5-node" ~n_ptrs:1 ~n_vals:1 in
   let steps = ref 0 and attempts = ref 0 and failures = ref 0 in
   let body () =
@@ -83,7 +84,7 @@ let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
     let env =
       Lfrc_core.Env.create ~dcas_impl:Dcas.Atomic_step
         ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
-        ~profile heap
+        ~profile ~blame heap
     in
     let root = Heap.root heap ~name:"e5-root" () in
     let tids =
@@ -126,7 +127,8 @@ let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
    emulation's helping traffic on every LFRC count update, or the
    algorithmic detour Sundell's marker nodes represent. *)
 let deque_row table ~label (module D : Lfrc_structures.Deque_intf.DEQUE)
-    ~dcas_impl ~threads ~per_thread ~seed ~metrics ~tracer ~profile ~notes =
+    ~dcas_impl ~threads ~per_thread ~seed ~metrics ~tracer ~profile ~blame
+    ~notes =
   let steps = ref 0
   and attempts = ref 0
   and failures = ref 0
@@ -141,8 +143,8 @@ let deque_row table ~label (module D : Lfrc_structures.Deque_intf.DEQUE)
   let body () =
     let heap = Heap.create ~name:"e5-deque" () in
     let env =
-      Lfrc_core.Env.create ~dcas_impl ~metrics ~tracer ~profile ~lineage
-        ~sanitize heap
+      Lfrc_core.Env.create ~dcas_impl ~metrics ~tracer ~profile ~blame
+        ~lineage ~sanitize heap
     in
     let t = D.create env in
     let tids =
@@ -215,7 +217,7 @@ let deque_row table ~label (module D : Lfrc_structures.Deque_intf.DEQUE)
       Table.add_rowf table "%s|%d|unsafe|-|-|-" label threads
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; blame; _ } = Common.obs cfg in
   let seed = cfg.Scenario.seed + 20 in
   let table =
     Table.create ~title:"E5: DCAS substrates (wall ns/op at 1 thread; sim steps/op contended)"
@@ -223,7 +225,9 @@ let run (cfg : Scenario.config) =
         [ "substrate"; "threads"; "ns or steps /op"; "attempts/op"; "fail %"; "leaked" ]
   in
   List.iter
-    (fun impl -> wall_row table impl ~iters:cfg.Scenario.iters ~metrics ~tracer ~profile)
+    (fun impl ->
+      wall_row table impl ~iters:cfg.Scenario.iters ~metrics ~tracer ~profile
+        ~blame)
     [ Dcas.Atomic_step; Dcas.Striped_lock; Dcas.Software_mcas ];
   let contended_threads =
     List.filter (fun t -> t <= max 2 cfg.Scenario.threads) [ 2; 4; 8 ]
@@ -233,7 +237,8 @@ let run (cfg : Scenario.config) =
       List.iter
         (fun threads ->
           contended_row table impl ~threads
-            ~per_thread:cfg.Scenario.ops_per_thread ~seed ~metrics ~tracer ~profile)
+            ~per_thread:cfg.Scenario.ops_per_thread ~seed ~metrics ~tracer
+            ~profile ~blame)
         contended_threads)
     [ Dcas.Atomic_step; Dcas.Software_mcas ];
   (* The coalescing ablation always shows both modes side by side; the
@@ -245,7 +250,7 @@ let run (cfg : Scenario.config) =
       List.iter
         (fun threads ->
           lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics
-            ~tracer ~profile)
+            ~tracer ~profile ~blame)
         contended_threads)
     [ 0; Scenario.deferred_rc_epoch ];
   (* Deque head-to-head: what each primitive tier buys at the structure
@@ -277,7 +282,7 @@ let run (cfg : Scenario.config) =
       List.iter
         (fun threads ->
           deque_row table ~label impl ~dcas_impl ~threads ~per_thread ~seed
-            ~metrics ~tracer ~profile ~notes)
+            ~metrics ~tracer ~profile ~blame ~notes)
         contended_threads)
     deque_rows;
-  Common.result ~table ~profile ~notes:(List.rev !notes) metrics
+  Common.result ~table ~profile ~blame ~notes:(List.rev !notes) metrics

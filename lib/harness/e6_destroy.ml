@@ -70,7 +70,7 @@ let run_policy policy n ~metrics ~tracer ~profile =
       Ok (!total, !max_slice)
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let table =
     Table.create ~title:"E6: destroying a chain of N dead objects"
       ~columns:[ "policy"; "N"; "total ms"; "max pause ms"; "note" ]

@@ -67,7 +67,7 @@ let scenario env ~rings ~ring_size ~chains ~chain_len ~tails =
   root
 
 let run (cfg : Scenario.config) =
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let table =
     Table.create ~title:"E7: cyclic garbage and the backup tracer"
       ~columns:

@@ -108,7 +108,7 @@ let add_row table label pauses =
 
 let run (cfg : Scenario.config) =
   let batch = cfg.Scenario.ops_per_thread in
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let table =
     Table.create
       ~title:"E8: reclamation pause distribution (microseconds)"

@@ -65,7 +65,7 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~threads ~seed
 let run (cfg : Scenario.config) =
   let threads = max 1 (min cfg.Scenario.threads 4) in
   let seed = cfg.Scenario.seed + 30 in
-  let metrics, tracer, profile = Common.obs cfg in
+  let { Lfrc_obs.Obs.metrics; tracer; profile; _ } = Common.obs cfg in
   let run_one impl ~gc ~strategy =
     run_one impl ~gc ~threads ~seed ~metrics ~tracer ~profile ~strategy
   in

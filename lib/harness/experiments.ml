@@ -77,7 +77,9 @@ let print_result ~id ~csv (r : Common.result) =
       (Lfrc_obs.Metrics.to_json r.Common.metrics);
   if Lfrc_obs.Profile.enabled r.Common.profile then
     Printf.printf "\n[%s contention]\n%s" id
-      (Lfrc_obs.Profile.table r.Common.profile)
+      (Lfrc_obs.Profile.table r.Common.profile);
+  if Lfrc_obs.Blame.enabled r.Common.blame then
+    Printf.printf "\n[%s blame]\n%s" id (Lfrc_obs.Blame.report r.Common.blame)
 
 let run_and_print ?(config = Scenario.default_config) ?(csv = false) e =
   if csv then Printf.printf "# %s: %s\n" e.id e.title

@@ -16,6 +16,7 @@ type config = {
   metrics : bool;  (* collect a metrics snapshot alongside the table *)
   trace_capacity : int;  (* tracer ring size; 0 = tracing off *)
   profile : bool;  (* attribute retries/latency to call sites *)
+  blame : bool;  (* attribute failed CAS/DCAS to the winning write *)
   deferred_rc : bool;  (* coalesce rc traffic in per-thread buffers *)
 }
 
@@ -38,6 +39,7 @@ let default_config =
     metrics = true;
     trace_capacity = 0;
     profile = false;
+    blame = false;
     deferred_rc = false;
   }
 

@@ -32,6 +32,11 @@ type config = {
       (** attribute DCAS/CAS retries and op latencies to labeled call
           sites ({!Lfrc_obs.Profile}); the result then carries a
           contention table *)
+  blame : bool;
+      (** attribute every failed CAS/DCAS to the winning write that
+          invalidated it ({!Lfrc_obs.Blame}); blame-aware experiments
+          (E2, E5, E11) then carry an interference report (CLI
+          [--blame]) *)
   deferred_rc : bool;
       (** run LFRC environments in deferred-rc coalescing mode
           ({!Lfrc_core.Env.create} with [rc_epoch = deferred_rc_epoch]):
@@ -53,7 +58,8 @@ val rc_mode_of : config -> Lfrc_core.Env.rc_mode
 
 val default_config : config
 (** threads 8, 1500 ops/thread, 200k iters, seed 11, no fault override,
-    metrics on, tracing off, profiling off, eager (non-deferred) rc. *)
+    metrics on, tracing off, profiling off, blame off, eager
+    (non-deferred) rc. *)
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right
 

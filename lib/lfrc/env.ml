@@ -78,6 +78,7 @@ type t = {
   env_tracer : Lfrc_obs.Tracer.t;
   env_lineage : Lfrc_obs.Lineage.t;
   env_profile : Lfrc_obs.Profile.t;
+  env_blame : Lfrc_obs.Blame.t;
   env_sanitizer : Lfrc_sanitize.Shadow.t;
   env_symbolic : bool;
 }
@@ -87,6 +88,7 @@ let create ?dcas_impl ?(policy = Iterative) ?(rc_mode = Eager)
     ?(metrics = Lfrc_obs.Metrics.disabled) ?(tracer = Lfrc_obs.Tracer.disabled)
     ?(lineage = Lfrc_obs.Lineage.disabled)
     ?(profile = Lfrc_obs.Profile.disabled)
+    ?(blame = Lfrc_obs.Blame.disabled)
     ?(sanitize = Lfrc_sanitize.Shadow.disabled) ?(symbolic = false) heap =
   let rc_epoch =
     match rc_mode with Eager -> 0 | Deferred_rc { epoch } -> max 1 epoch
@@ -99,7 +101,11 @@ let create ?dcas_impl ?(policy = Iterative) ?(rc_mode = Eager)
         else Lfrc_atomics.Dcas.Striped_lock
   in
   let d = Lfrc_atomics.Dcas.create impl in
-  Lfrc_atomics.Dcas.attach_obs ~profile d ~metrics ~tracer;
+  (* A blame registry may outlive several environments; cell ids restart
+     per heap, so stale stamps must be dropped before they can be blamed
+     for this run's failures. *)
+  Lfrc_obs.Blame.new_run blame;
+  Lfrc_atomics.Dcas.attach_obs ~profile ~blame d ~metrics ~tracer;
   Lfrc_sanitize.Shadow.attach sanitize ~heap ~metrics ~tracer ~profile;
   Lfrc_atomics.Dcas.attach_sanitizer d sanitize;
   let obs_on =
@@ -153,6 +159,7 @@ let create ?dcas_impl ?(policy = Iterative) ?(rc_mode = Eager)
     env_tracer = tracer;
     env_lineage = lineage;
     env_profile = profile;
+    env_blame = blame;
     env_sanitizer = sanitize;
     env_symbolic = symbolic;
   }
@@ -166,6 +173,7 @@ let metrics t = t.env_metrics
 let tracer t = t.env_tracer
 let lineage t = t.env_lineage
 let profile t = t.env_profile
+let blame t = t.env_blame
 let sanitizer t = t.env_sanitizer
 
 let set_incremental t ~collector ~budget =

@@ -46,6 +46,7 @@ val create :
   ?tracer:Lfrc_obs.Tracer.t ->
   ?lineage:Lfrc_obs.Lineage.t ->
   ?profile:Lfrc_obs.Profile.t ->
+  ?blame:Lfrc_obs.Blame.t ->
   ?sanitize:Lfrc_sanitize.Shadow.t ->
   ?symbolic:bool ->
   Lfrc_simmem.Heap.t ->
@@ -58,6 +59,14 @@ val create :
     [rc_mode] selects eager Figure-2 counts or deferred-rc coalescing; see
     {!type:rc_mode}. (The pre-PR-7 [?rc_epoch] integer alias is gone;
     callers still holding an epoch convert with {!rc_mode_of_epoch}.)
+
+    [blame] (default disabled, one branch per event) wires the contention
+    causality layer: the DCAS substrate stamps every successful write and
+    charges every failed compare to its stamped culprit, and {!Lfrc}
+    binds reference-count cells to their owning object so rc contention
+    is named. Attaching a registry calls {!Lfrc_obs.Blame.new_run} first:
+    cell ids restart per heap, so stamps must not leak across
+    environments (aggregated pairs survive).
 
     [metrics], [tracer], [lineage] and [profile] default to the disabled
     singletons — the no-op
@@ -108,6 +117,11 @@ val profile : t -> Lfrc_obs.Profile.t
 (** The call-site contention profiler ({!Lfrc_obs.Profile}); {!Lfrc}'s
     spans open/close frames on it and the DCAS substrate charges failed
     attempts to the innermost frame. *)
+
+val blame : t -> Lfrc_obs.Blame.t
+(** The contention-causality registry ({!Lfrc_obs.Blame}); {!Lfrc}'s
+    spans open/close blame frames on it and bind rc cells to their
+    owners, the DCAS substrate stamps winners and charges losers. *)
 
 val sanitizer : t -> Lfrc_sanitize.Shadow.t
 (** The LFRC-San shadow-memory sanitizer this environment was created

@@ -6,6 +6,7 @@ module Metrics = Lfrc_obs.Metrics
 module Tracer = Lfrc_obs.Tracer
 module Lineage = Lfrc_obs.Lineage
 module Profile = Lfrc_obs.Profile
+module Blame = Lfrc_obs.Blame
 module Shadow = Lfrc_sanitize.Shadow
 
 type ptr = Heap.ptr
@@ -54,16 +55,21 @@ let span env name f =
   Metrics.incr (Env.metrics env) name;
   let tr = Env.tracer env
   and pr = Env.profile env
-  and ln = Env.lineage env in
+  and ln = Env.lineage env
+  and bl = Env.blame env in
   if
-    not (Tracer.enabled tr || Profile.enabled pr || Lineage.enabled ln)
+    not
+      (Tracer.enabled tr || Profile.enabled pr || Lineage.enabled ln
+      || Blame.enabled bl)
   then f ()
   else begin
     Tracer.emit tr Begin name;
     Profile.op_begin pr name;
     Lineage.op_begin ln name;
+    Blame.op_begin bl name;
     Fun.protect
       ~finally:(fun () ->
+        Blame.op_end bl;
         Lineage.op_end ln;
         Profile.op_end pr;
         Tracer.emit tr End name)
@@ -76,6 +82,7 @@ let add_to_rc env p v =
   guard env "add_to_rc";
   let rc = Heap.rc_cell (Env.heap env) p in
   let d = Env.dcas env in
+  Blame.bind_owner (Env.blame env) ~cell:(Cell.id rc) ~addr:p;
   let slow = per_retry_obs env in
   let rec go burst =
     let oldrc = Dcas.read d rc in
@@ -169,6 +176,7 @@ let flush_rc env =
     let rec apply addr =
       if addr <> null then begin
         let rc = Heap.rc_cell heap addr in
+        Blame.bind_owner (Env.blame env) ~cell:(Cell.id rc) ~addr;
         let oldrc = Dcas.read d rc in
         (* Fold in anything parked up to this instant so the CAS below
            applies the complete net and a success at zero means zero
@@ -469,6 +477,7 @@ let load env ~src ~dest =
     end
     else begin
       let rc = Heap.rc_cell heap a in
+      Blame.bind_owner (Env.blame env) ~cell:(Cell.id rc) ~addr:a;
       let r = Dcas.read d rc in
       (* Increment the count while atomically checking that [src] still
          points at [a]: the object cannot have been freed and recycled

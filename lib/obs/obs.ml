@@ -1,0 +1,44 @@
+(* The observability bundle: one master switch over every layer.
+
+   Before this module, `--no-metrics` disabled the metrics registry but
+   tracer/profile/lineage/blame were decided by their own flags — so "obs
+   off" was not provably off. [create ~master:false] returns the all-
+   disabled bundle no matter what the per-layer flags say, which makes
+   the disabled path exactly one branch per layer everywhere (each layer
+   already pattern-matches its own Disabled constructor). *)
+
+type t = {
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  lineage : Lineage.t;
+  profile : Profile.t;
+  blame : Blame.t;
+}
+
+let disabled =
+  {
+    metrics = Metrics.disabled;
+    tracer = Tracer.disabled;
+    lineage = Lineage.disabled;
+    profile = Profile.disabled;
+    blame = Blame.disabled;
+  }
+
+let enabled t =
+  Metrics.enabled t.metrics || Tracer.enabled t.tracer
+  || Lineage.enabled t.lineage || Profile.enabled t.profile
+  || Blame.enabled t.blame
+
+let create ?(master = true) ?(metrics = true) ?(trace_capacity = 0)
+    ?(lineage_ring = 0) ?(profile = false) ?(blame = false) () =
+  if not master then disabled
+  else
+    let metrics = if metrics then Metrics.create () else Metrics.disabled in
+    let tracer = Tracer.create ~capacity:trace_capacity in
+    let lineage =
+      if lineage_ring > 0 then Lineage.create ~ring:lineage_ring ()
+      else Lineage.disabled
+    in
+    let profile = if profile then Profile.create ~metrics () else Profile.disabled in
+    let blame = if blame then Blame.create ~tracer () else Blame.disabled in
+    { metrics; tracer; lineage; profile; blame }

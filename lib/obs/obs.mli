@@ -1,0 +1,36 @@
+(** The observability bundle: metrics, tracer, lineage, profiler and
+    blame under one master switch.
+
+    [create ~master:false] returns {!disabled} regardless of the
+    per-layer flags, so a single configuration bit ([--no-metrics] in the
+    harness) provably turns every layer into its one-branch disabled
+    form. Layers the flags leave off are individually disabled within an
+    enabled bundle. *)
+
+type t = {
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  lineage : Lineage.t;
+  profile : Profile.t;
+  blame : Blame.t;
+}
+
+val disabled : t
+(** Every layer in its disabled form. *)
+
+val enabled : t -> bool
+(** True iff at least one layer is live. *)
+
+val create :
+  ?master:bool ->
+  ?metrics:bool ->
+  ?trace_capacity:int ->
+  ?lineage_ring:int ->
+  ?profile:bool ->
+  ?blame:bool ->
+  unit ->
+  t
+(** Defaults: [master = true], [metrics = true], everything else off.
+    When [blame] is set the blame registry is created over this bundle's
+    tracer, so attributed failures emit flow events whenever the tracer
+    is live. *)

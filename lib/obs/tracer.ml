@@ -1,6 +1,6 @@
 module Sched = Lfrc_sched.Sched
 
-type kind = Begin | End | Retry | Free | Fault | Instant
+type kind = Begin | End | Retry | Free | Fault | Instant | Flow_out | Flow_in
 
 type event = { step : int; tid : int; kind : kind; name : string; arg : int }
 
@@ -9,6 +9,7 @@ type ring = {
   cap : int;
   buf : event array;
   mutable total : int;  (* events ever emitted; buf index = total mod cap *)
+  mutable meta : (string * string) list;  (* run metadata, export headers *)
 }
 
 type t = Disabled | On of ring
@@ -24,23 +25,36 @@ let create ~capacity =
         cap = capacity;
         buf = Array.make capacity dummy;
         total = 0;
+        meta = [];
       }
 
 let disabled = Disabled
 
 let enabled = function Disabled -> false | On _ -> true
 
+let push r ev =
+  Mutex.lock r.lock;
+  r.buf.(r.total mod r.cap) <- ev;
+  r.total <- r.total + 1;
+  Mutex.unlock r.lock
+
 let emit t ?(arg = 0) kind name =
   match t with
   | Disabled -> ()
   | On r ->
-      let ev =
+      push r
         { step = Sched.steps_so_far (); tid = Sched.tid (); kind; name; arg }
-      in
-      Mutex.lock r.lock;
-      r.buf.(r.total mod r.cap) <- ev;
-      r.total <- r.total + 1;
-      Mutex.unlock r.lock
+
+(* Backdated emission: flow events point at the culprit's *past* winning
+   write, so the blame layer needs to place an event at an explicit
+   (step, tid) rather than "now". *)
+let emit_at t ~step ~tid ?(arg = 0) kind name =
+  match t with Disabled -> () | On r -> push r { step; tid; kind; name; arg }
+
+let set_meta t kvs =
+  match t with Disabled -> () | On r -> r.meta <- kvs
+
+let meta = function Disabled -> [] | On r -> r.meta
 
 let events = function
   | Disabled -> []
@@ -70,6 +84,8 @@ let kind_name = function
   | Free -> "free"
   | Fault -> "fault"
   | Instant -> "instant"
+  | Flow_out -> "flow-out"
+  | Flow_in -> "flow-in"
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -91,9 +107,19 @@ let json_escape s =
 
    The pairing works over any event list (not just this ring's) so the
    lineage forensics can reuse it for per-object timelines. *)
-let chrome_json_of_events evs =
+let chrome_json_of_events ?(meta = []) evs =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",";
+  (* Run metadata up front so a saved trace is self-describing: seed,
+     rc mode, fault plan, obs flags — everything needed to replay it. *)
+  Buffer.add_string buf "\"metadata\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    meta;
+  Buffer.add_string buf "},\"traceEvents\":[";
   let first = ref true in
   let record fields =
     if !first then first := false else Buffer.add_char buf ',';
@@ -177,7 +203,33 @@ let chrome_json_of_events evs =
       | Retry -> instant ev "retry"
       | Free -> instant ev "free"
       | Fault -> instant ev "fault"
-      | Instant -> instant ev "instant")
+      | Instant -> instant ev "instant"
+      | Flow_out ->
+          (* Chrome flow-event arrows: "s" (start) at the winning write,
+             "f" (finish, binding to the enclosing slice) at the doomed
+             attempt; [arg] carries the flow id that pairs them. *)
+          record
+            [
+              ("name", quoted ev.name);
+              ("cat", quoted "flow");
+              ("ph", "\"s\"");
+              ("id", string_of_int ev.arg);
+              ("ts", string_of_int ev.step);
+              ("pid", "1");
+              ("tid", string_of_int ev.tid);
+            ]
+      | Flow_in ->
+          record
+            [
+              ("name", quoted ev.name);
+              ("cat", quoted "flow");
+              ("ph", "\"f\"");
+              ("bp", "\"e\"");
+              ("id", string_of_int ev.arg);
+              ("ts", string_of_int ev.step);
+              ("pid", "1");
+              ("tid", string_of_int ev.tid);
+            ])
     evs;
   (* Spans still open when the trace was cut: render as points too. *)
   Hashtbl.iter
@@ -186,9 +238,9 @@ let chrome_json_of_events evs =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
-let to_chrome_json t = chrome_json_of_events (events t)
+let to_chrome_json t = chrome_json_of_events ~meta:(meta t) (events t)
 
-let timeline_of_events ?(dropped = 0) evs =
+let timeline_of_events ?(dropped = 0) ?(meta = []) evs =
   let buf = Buffer.create 1024 in
   if dropped > 0 then
     Buffer.add_string buf
@@ -201,8 +253,12 @@ let timeline_of_events ?(dropped = 0) evs =
     evs;
   Buffer.add_string buf
     (Printf.sprintf "-- %d retained, %d dropped\n" (List.length evs) dropped);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf "-- meta %s=%s\n" k v))
+    meta;
   Buffer.contents buf
 
-let to_timeline t = timeline_of_events ~dropped:(dropped t) (events t)
+let to_timeline t = timeline_of_events ~dropped:(dropped t) ~meta:(meta t) (events t)
 
 let pp ppf t = Format.pp_print_string ppf (to_timeline t)

@@ -19,6 +19,11 @@ type kind =
   | Free  (** an object went back to the allocator *)
   | Fault  (** an injected fault fired (spurious failure, OOM, crash) *)
   | Instant  (** anything else worth a point mark *)
+  | Flow_out
+      (** start of a causal arrow (e.g. a winning write that dooms another
+          thread's CAS); [arg] is the flow id pairing it with its
+          {!Flow_in} *)
+  | Flow_in  (** end of a causal arrow, at the doomed attempt *)
 
 type event = { step : int; tid : int; kind : kind; name : string; arg : int }
 
@@ -37,6 +42,18 @@ val emit : t -> ?arg:int -> kind -> string -> unit
 (** Record one event stamped with the current scheduler step and
     simulated thread id. No-op on the disabled tracer. *)
 
+val emit_at : t -> step:int -> tid:int -> ?arg:int -> kind -> string -> unit
+(** Like {!emit} but with an explicit (step, tid) — used by the blame
+    layer to backdate a {!Flow_out} to the culprit's winning write. *)
+
+val set_meta : t -> (string * string) list -> unit
+(** Attach run metadata (seed, rc mode, fault plan token, obs flags …);
+    exported in the chrome JSON [metadata] header and as [-- meta k=v]
+    footer lines of the text timeline, so saved traces are
+    self-describing. *)
+
+val meta : t -> (string * string) list
+
 val events : t -> event list
 (** Retained events, oldest first (at most [capacity]). *)
 
@@ -50,7 +67,7 @@ val clear : t -> unit
 
 val kind_name : kind -> string
 
-val chrome_json_of_events : event list -> string
+val chrome_json_of_events : ?meta:(string * string) list -> event list -> string
 (** The Chrome trace-event format over an arbitrary event list:
     [{"traceEvents": [...]}] with Begin/End pairs re-paired into ["X"]
     (complete-span) records and everything else as ["i"] (instant)
@@ -65,10 +82,11 @@ val chrome_json_of_events : event list -> string
 val to_chrome_json : t -> string
 (** [chrome_json_of_events] over this tracer's retained events. *)
 
-val timeline_of_events : ?dropped:int -> event list -> string
+val timeline_of_events :
+  ?dropped:int -> ?meta:(string * string) list -> event list -> string
 (** One line per event: [step  tid  kind  name  arg], with a
     [-- N retained, M dropped] accounting footer (and a leading marker
-    when [dropped > 0]). *)
+    when [dropped > 0]), then one [-- meta k=v] line per metadata pair. *)
 
 val to_timeline : t -> string
 (** [timeline_of_events] over this tracer's retained events and drop
