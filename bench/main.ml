@@ -190,23 +190,27 @@ let run_json file =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "{\n  \"workloads\": [";
   let workers = 4 and ops_per_worker = 2_000 and seed = 11 in
-  (* Each workload runs in both rc modes on the same seed: the eager entry
-     keeps its historical name (and, because the eager path is untouched,
-     its exact counters) for cross-PR comparison, and the deferred-rc
-     entry carries a "+deferred-rc" suffix so [--compare] treats it as a
-     new workload family rather than drift on the eager one. *)
+  (* Each workload runs in all three rc modes on the same seed: the eager
+     entry keeps its historical name (and, because the eager path is
+     untouched, its exact counters) for cross-PR comparison, and the
+     deferred-rc / wait-free-rc entries carry a "+deferred-rc" /
+     "+wait-free-rc" suffix so [--compare] treats each as its own
+     workload family rather than drift on the eager one. *)
   let entries =
     List.concat_map
       (fun (name, workload) ->
-        [ (name, 0, workload);
+        [ (name, Env.Eager, workload);
           ( name ^ "+deferred-rc",
-            Lfrc_harness.Scenario.deferred_rc_epoch,
+            Env.Deferred_rc { epoch = Lfrc_harness.Scenario.deferred_rc_epoch },
+            workload );
+          ( name ^ "+wait-free-rc",
+            Env.Wait_free { weight = Lfrc_harness.Scenario.wait_free_weight },
             workload );
         ])
       Lfrc_harness.Common.workloads
   in
   List.iteri
-    (fun i (name, rc_epoch, workload) ->
+    (fun i (name, rc_mode, workload) ->
       (* Two passes over the same deterministic schedule: a profile-free
          pass supplies wall_ns/ops_per_sec (the profiler costs ~35% and
          would poison cross-PR comparison against profile-free
@@ -228,9 +232,8 @@ let run_json file =
         in
         let heap = Heap.create ~name:("bench-json-" ^ name) () in
         let env =
-          Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
-            ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) ~metrics ~profile:prof
-            ~blame heap
+          Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_mode
+            ~metrics ~profile:prof ~blame heap
         in
         let (), wall_ns =
           Clock.time_ns (fun () ->
@@ -260,7 +263,7 @@ let run_json file =
         name ops_per_sec ops)
     entries;
   (* Crash-recovery counters: replay E11's crash and multi-crash cells
-     with adoption on, eager and deferred-rc, aggregating into one
+     with adoption on, in all three rc modes, aggregating into one
      synthetic workload entry. The adopt_* counters are deterministic
      under the simulated scheduler, so [--compare] gates recovery-
      behavior drift exactly like any structural counter. *)
@@ -282,12 +285,18 @@ let run_json file =
                   List.iter
                     (fun seed ->
                       List.iter
-                        (fun rc_epoch ->
+                        (fun rc_mode ->
                           incr runs;
                           ignore
-                            (E11.run_one ~rc_epoch ~recover:true ~metrics
+                            (E11.run_one ~rc_mode ~recover:true ~metrics
                                ~structure ~fault ~seed ()))
-                        [ 0; Lfrc_harness.Scenario.deferred_rc_epoch ])
+                        [
+                          Env.Eager;
+                          Env.Deferred_rc
+                            { epoch = Lfrc_harness.Scenario.deferred_rc_epoch };
+                          Env.Wait_free
+                            { weight = Lfrc_harness.Scenario.wait_free_weight };
+                        ])
                     [ 1; 2; 3 ])
                 faults)
             E11.structures)
@@ -361,6 +370,43 @@ let run_json file =
         "deferred-rc: E2 dcas.cas_attempts %d eager -> %d deferred \
          (%.1f%% fewer)\n%!"
         e d reduction);
+  Buffer.add_string buf ",\n  \"wait_free_rc\": ";
+  (* The wait-free headline: the same E2 re-run with weighted counts.
+     Two numbers matter — the count path never retries (rc_retry must be
+     exactly 0: copy/destroy are single fetch-adds), and the CAS traffic
+     lands below even deferred-rc because borrow/share handoffs touch no
+     shared count word at all. [dcas.rmw] is reported so the fetch-add
+     volume that replaced the CAS loops is visible next to the drop. *)
+  (match !e2_eager with
+  | None -> Buffer.add_string buf "null"
+  | Some eager ->
+      let wait_free =
+        (List.find
+           (fun (e : Lfrc_harness.Experiments.experiment) ->
+             e.Lfrc_harness.Experiments.id = "E2")
+           Lfrc_harness.Experiments.all)
+          .Lfrc_harness.Experiments.run
+          { Lfrc_harness.Scenario.default_config with wait_free_rc = true }
+      in
+      let counter snap key = Metrics.counter_value snap key in
+      let wf = wait_free.Lfrc_harness.Common.metrics in
+      let e = counter eager "dcas.cas_attempts"
+      and w = counter wf "dcas.cas_attempts"
+      and rc_retry = counter wf "lfrc.rc_retry"
+      and rmw = counter wf "dcas.rmw" in
+      let reduction =
+        if e > 0 then 100.0 *. float_of_int (e - w) /. float_of_int e else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"experiment\": \"E2\", \"counter\": \"dcas.cas_attempts\", \
+            \"eager\": %d, \"wait_free\": %d, \"reduction_pct\": %.1f, \
+            \"rc_retry\": %d, \"rmw\": %d}"
+           e w reduction rc_retry rmw);
+      Printf.printf
+        "wait-free-rc: E2 dcas.cas_attempts %d eager -> %d wait-free \
+         (%.1f%% fewer), rc_retry %d, fetch-adds %d\n%!"
+        e w reduction rc_retry rmw);
   Buffer.add_string buf "\n}\n";
   Out_channel.with_open_text file (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
@@ -446,7 +492,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "micro" ] -> run_micro ()
-  | [ "--json" ] -> run_json "BENCH_pr9.json"
+  | [ "--json" ] -> run_json "BENCH_pr10.json"
   | [ "--json"; file ] -> run_json file
   | "--compare" :: rest -> run_compare rest
   | [] ->

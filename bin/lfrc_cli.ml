@@ -18,8 +18,30 @@ let deferred_rc_flag =
            adjustments park in per-thread buffers and are applied as \
            netted CASes at bounded epochs (and at quiescent points).")
 
+let wait_free_rc_flag =
+  Arg.(
+    value & flag
+    & info [ "wait-free-rc" ]
+        ~doc:
+          "Run LFRC environments in wait-free weighted-rc mode: split \
+           reference counts adjusted by single fetch-adds, weight \
+           borrowing on pointer handoff, DCAS only as the \
+           weight-exhaustion fallback. Wins over $(b,--deferred-rc).")
+
 let rc_epoch_of_flag deferred_rc =
   if deferred_rc then Lfrc_harness.Scenario.deferred_rc_epoch else 0
+
+(* The rc mode the two flags select, matching Scenario.rc_mode_of. *)
+let rc_mode_of_flags ~deferred_rc ~wait_free_rc =
+  if wait_free_rc then
+    Lfrc_core.Env.Wait_free { weight = Lfrc_harness.Scenario.wait_free_weight }
+  else Lfrc_core.Env.rc_mode_of_epoch (rc_epoch_of_flag deferred_rc)
+
+(* Header suffix naming the selected mode in the workload commands. *)
+let rc_mode_suffix ~deferred_rc ~wait_free_rc =
+  if wait_free_rc then ", wait-free-rc"
+  else if deferred_rc then ", deferred-rc"
+  else ""
 
 let config_term =
   let d = Lfrc_harness.Scenario.default_config in
@@ -81,7 +103,8 @@ let config_term =
              call site whose write invalidated it, and print a ranked \
              victim->culprit interference report per experiment.")
   in
-  let build threads ops iters seed no_metrics fault profile blame deferred_rc =
+  let build threads ops iters seed no_metrics fault profile blame deferred_rc
+      wait_free_rc =
     match
       Option.map
         (fun s ->
@@ -107,12 +130,13 @@ let config_term =
             profile;
             blame;
             deferred_rc;
+            wait_free_rc;
           }
   in
   Term.(
     ret
       (const build $ threads $ ops $ iters $ seed $ no_metrics $ fault
-     $ profile $ blame $ deferred_rc_flag))
+     $ profile $ blame $ deferred_rc_flag $ wait_free_rc_flag))
 
 let experiments_cmd =
   let ids =
@@ -142,13 +166,12 @@ let structure_arg =
         ~doc:(Printf.sprintf "Structure to drive: %s."
                 (String.concat ", " (List.map fst names))))
 
-let run_workload ?lineage ?profile ?blame ?(rc_epoch = 0) ~workload ~workers
-    ~ops_per_worker ~seed ~metrics ~tracer () =
+let run_workload ?lineage ?profile ?blame ?(rc_mode = Lfrc_core.Env.Eager)
+    ~workload ~workers ~ops_per_worker ~seed ~metrics ~tracer () =
   let heap = Lfrc_simmem.Heap.create ~name:"cli-workload" () in
   let env =
-    Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
-      ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
-      ?lineage ?profile ?blame heap
+    Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ~rc_mode
+      ~metrics ~tracer ?lineage ?profile ?blame heap
   in
   ignore
     (Lfrc_sched.Sched.run ~max_steps:400_000_000
@@ -165,10 +188,10 @@ let stats_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule and op-mix seed.")
   in
-  let run (name, workload) workers ops seed deferred_rc =
+  let run (name, workload) workers ops seed deferred_rc wait_free_rc =
     let metrics = Lfrc_obs.Metrics.create () in
     run_workload
-      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~rc_mode:(rc_mode_of_flags ~deferred_rc ~wait_free_rc)
       ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
       ~tracer:Lfrc_obs.Tracer.disabled ();
     let tier =
@@ -181,7 +204,7 @@ let stats_cmd =
     in
     Printf.printf "# %s%s: %d threads x %d ops, seed %d%s\n%s\n" name tier
       workers ops seed
-      (if deferred_rc then ", deferred-rc" else "")
+      (rc_mode_suffix ~deferred_rc ~wait_free_rc)
       (Lfrc_obs.Metrics.to_json (Lfrc_obs.Metrics.snapshot metrics))
   in
   Cmd.v
@@ -190,7 +213,9 @@ let stats_cmd =
          "Run a structure workload under the simulator and print its \
           metrics snapshot as JSON (DCAS traffic, LFRC op/retry counts, \
           heap alloc/free balance)")
-    Term.(const run $ structure_arg $ workers $ ops $ seed $ deferred_rc_flag)
+    Term.(
+      const run $ structure_arg $ workers $ ops $ seed $ deferred_rc_flag
+      $ wait_free_rc_flag)
 
 let trace_cmd =
   let workers =
@@ -222,7 +247,7 @@ let trace_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
   let run (name, workload) workers ops seed capacity format output deferred_rc
-      =
+      wait_free_rc =
     let tracer = Lfrc_obs.Tracer.create ~capacity in
     (* Saved traces outlive the invocation that produced them: stamp the
        run's provenance into the tracer so the chrome header / timeline
@@ -240,13 +265,15 @@ let trace_cmd =
         ("ops_per_worker", string_of_int ops);
         ("seed", string_of_int seed);
         ( "rc_mode",
-          if deferred_rc then
+          if wait_free_rc then
+            Printf.sprintf "wait-free(%d)" Lfrc_harness.Scenario.wait_free_weight
+          else if deferred_rc then
             Printf.sprintf "deferred-rc(%d)"
               Lfrc_harness.Scenario.deferred_rc_epoch
           else "eager" );
       ];
     run_workload
-      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~rc_mode:(rc_mode_of_flags ~deferred_rc ~wait_free_rc)
       ~workload ~workers ~ops_per_worker:ops ~seed
       ~metrics:Lfrc_obs.Metrics.disabled ~tracer ();
     let rendered =
@@ -272,7 +299,7 @@ let trace_cmd =
           timeline (chrome://tracing JSON or text)")
     Term.(
       const run $ structure_arg $ workers $ ops $ seed $ capacity $ format
-      $ output $ deferred_rc_flag)
+      $ output $ deferred_rc_flag $ wait_free_rc_flag)
 
 let profile_cmd =
   let workers =
@@ -291,11 +318,11 @@ let profile_cmd =
           ~doc:"Emit the per-site records (plus the metrics snapshot with \
                 its retry/latency histograms) as JSON.")
   in
-  let run (name, workload) workers ops seed json deferred_rc =
+  let run (name, workload) workers ops seed json deferred_rc wait_free_rc =
     let metrics = Lfrc_obs.Metrics.create () in
     let profile = Lfrc_obs.Profile.create ~metrics () in
     run_workload ~profile
-      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~rc_mode:(rc_mode_of_flags ~deferred_rc ~wait_free_rc)
       ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
       ~tracer:Lfrc_obs.Tracer.disabled ();
     if json then
@@ -316,7 +343,7 @@ let profile_cmd =
           on and print the per-site table (calls, retries, failed DCAS \
           attempts, scheduler-step latency), sorted by wasted attempts")
     Term.(const run $ structure_arg $ workers $ ops $ seed $ json
-          $ deferred_rc_flag)
+          $ deferred_rc_flag $ wait_free_rc_flag)
 
 let blame_cmd =
   let workers =
@@ -347,11 +374,12 @@ let blame_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"N" ~doc:"Pairs to rank in the report.")
   in
-  let run (name, workload) workers ops seed json matrix top deferred_rc =
+  let run (name, workload) workers ops seed json matrix top deferred_rc
+      wait_free_rc =
     let metrics = Lfrc_obs.Metrics.create () in
     let blame = Lfrc_obs.Blame.create () in
     run_workload ~blame
-      ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+      ~rc_mode:(rc_mode_of_flags ~deferred_rc ~wait_free_rc)
       ~workload ~workers ~ops_per_worker:ops ~seed ~metrics
       ~tracer:Lfrc_obs.Tracer.disabled ();
     if json then print_endline (Lfrc_obs.Blame.to_json blame)
@@ -359,7 +387,7 @@ let blame_cmd =
     else begin
       Printf.printf "# %s: %d threads x %d ops, seed %d%s\n" name workers ops
         seed
-        (if deferred_rc then ", deferred-rc" else "");
+        (rc_mode_suffix ~deferred_rc ~wait_free_rc);
       print_string (Lfrc_obs.Blame.report ~top blame)
     end
   in
@@ -374,7 +402,7 @@ let blame_cmd =
           ($(b,--json)).")
     Term.(
       const run $ structure_arg $ workers $ ops $ seed $ json $ matrix $ top
-      $ deferred_rc_flag)
+      $ deferred_rc_flag $ wait_free_rc_flag)
 
 let forensics_cmd =
   let workers =
@@ -433,7 +461,7 @@ let forensics_cmd =
              lifecycles (one track per object) to FILE.")
   in
   let run (name, workload) workers ops seed ring fault addr leaks top chrome
-      deferred_rc =
+      deferred_rc wait_free_rc =
     let parsed =
       Option.map
         (fun s ->
@@ -463,7 +491,7 @@ let forensics_cmd =
         let lineage = Lfrc_obs.Lineage.create ~ring () in
         let r =
           Lfrc_faults.Chaos.run ~lineage
-            ~rc_epoch:(rc_epoch_of_flag deferred_rc)
+            ~rc_mode:(rc_mode_of_flags ~deferred_rc ~wait_free_rc)
             ~max_steps:400_000
             ~strategy:(Lfrc_sched.Strategy.Random seed) ~spec
             (fun env ->
@@ -533,7 +561,7 @@ let forensics_cmd =
     Term.(
       ret
         (const run $ structure_arg $ workers $ ops $ seed $ ring $ fault
-       $ addr $ leaks $ top $ chrome $ deferred_rc_flag))
+       $ addr $ leaks $ top $ chrome $ deferred_rc_flag $ wait_free_rc_flag))
 
 let check_cmd =
   let variant =
@@ -619,7 +647,8 @@ let chaos_cmd =
              and the run fails on $(i,any) remaining leak, not just an \
              unaccounted one.")
   in
-  let run structure fault seeds verbose recover =
+  let run structure fault seeds verbose recover deferred_rc wait_free_rc =
+    let rc_mode = rc_mode_of_flags ~deferred_rc ~wait_free_rc in
     let structures =
       match structure with Some s -> [ s ] | None -> E11.structures
     in
@@ -630,7 +659,9 @@ let chaos_cmd =
         List.iter
           (fun f ->
             for seed = 1 to seeds do
-              let r = E11.run_one ~recover ~structure:s ~fault:f ~seed () in
+              let r =
+                E11.run_one ~rc_mode ~recover ~structure:s ~fault:f ~seed ()
+              in
               let bad = not (Lfrc_faults.Chaos.ok r) in
               if bad then failed := true;
               if bad || verbose then
@@ -649,7 +680,9 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Fault-injection runs (spurious CAS/DCAS, OOM, crashes) with post-mortem heap audit")
-    Term.(const run $ structure $ fault $ seeds $ verbose $ recover)
+    Term.(
+      const run $ structure $ fault $ seeds $ verbose $ recover
+      $ deferred_rc_flag $ wait_free_rc_flag)
 
 let analyze_cmd =
   let module Checker = Lfrc_analysis.Checker in
@@ -846,8 +879,9 @@ let sanitize_cmd =
       print_newline ()
     end
   in
-  let run structure json fixtures full workers ops =
+  let run structure json fixtures full workers ops deferred_rc wait_free_rc =
     let full = full || Sys.getenv_opt "LFRC_SAN_FULL" = Some "1" in
+    let rc_mode = rc_mode_of_flags ~deferred_rc ~wait_free_rc in
     let schedules = San.schedules ~full in
     let results =
       if fixtures then
@@ -866,7 +900,8 @@ let sanitize_cmd =
         List.map
           (fun n ->
             match
-              San.run_structure ~workers ~ops_per_worker:ops ~schedules n
+              San.run_structure ~workers ~ops_per_worker:ops ~schedules
+                ~rc_mode n
             with
             | Ok o -> o
             | Error msg -> raise (Failure msg))
@@ -914,7 +949,9 @@ let sanitize_cmd =
           any finding; with --fixtures the gate inverts (the seeded bugs \
           must all be caught).")
     Term.(
-      ret (const run $ structure $ json $ fixtures_flag $ full $ workers $ ops))
+      ret
+        (const run $ structure $ json $ fixtures_flag $ full $ workers $ ops
+        $ deferred_rc_flag $ wait_free_rc_flag))
 
 let main =
   Cmd.group

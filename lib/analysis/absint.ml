@@ -42,6 +42,11 @@ type cls =
       (** a plain (non-atomic) value-cell access on a published object is
           concurrent with a plain write of the same cell harvested from
           another recorded path — see {!check_interference} *)
+  | Weight_unbalanced
+      (** the per-object mint/consume ledger did not balance on a
+          completed path: a weight-bearing reference minted by a
+          load/copy/alloc was never consumed by a retire or ownership
+          transfer *)
 
 let cls_name = function
   | Leak -> "leak"
@@ -53,6 +58,7 @@ let cls_name = function
   | Lfrc_bypass -> "lfrc-bypass"
   | Dcas_in_cas_tier -> "dcas-in-cas-tier"
   | Racy_plain_access -> "racy-plain-access"
+  | Weight_unbalanced -> "weight-unbalanced"
 
 let cls_obligation = function
   | Leak ->
@@ -88,6 +94,13 @@ let cls_obligation = function
        the publishing release there is no happens-before edge ordering \
        plain accesses from concurrent operations (the dynamic \
        sanitizer's data-race obligation, discharged statically)"
+  | Weight_unbalanced ->
+      "every weight-bearing reference an operation mints (load, copy, \
+       alloc) must be consumed exactly once by a retire or an ownership \
+       transfer — under wait-free weighted rc the count IS the sum of \
+       outstanding weights, so an unmatched split strands weight on the \
+       object and it can never reach zero (DESIGN.md §17 conservation \
+       invariant)"
 
 type violation = {
   cls : cls;
@@ -139,6 +152,38 @@ let check ?(tier = Lfrc_structures.Catalog.Dcas) (path : Ir.path) :
   let owned p =
     Hashtbl.fold (fun _ s acc -> acc || s = LOwned p) states false
   in
+  (* Weight ledger: every op that charges the count on an object's behalf
+     mints one weight-bearing reference; every retire / transfer /
+     overwrite consumes one. Consumes are only recorded when the owning
+     mint was seen on this path, so consume(p) <= mint(p) and the
+     completed-path check below is a pure surplus check. Objects are
+     renumbered in first-seen order for stable grouping keys, like
+     locals. *)
+  let minted : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let consumed : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let onorm : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let oname p =
+    let n =
+      match Hashtbl.find_opt onorm p with
+      | Some n -> n
+      | None ->
+          let n = Hashtbl.length onorm in
+          Hashtbl.add onorm p n;
+          n
+    in
+    Printf.sprintf "O%d" n
+  in
+  let bump tbl p =
+    if p <> 0 then begin
+      ignore (oname p);
+      Hashtbl.replace tbl p
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl p))
+    end
+  in
+  let mint p = bump minted p in
+  (* Consume whatever the local currently owns (overwrite, retire,
+     transfer, clear). *)
+  let release l = match state l with LOwned q -> bump consumed q | _ -> () in
   (* A raw pointer operand must be backed by a live owner. [what] names
      the consuming op for the report. *)
   let operand ~i ~what ~store p =
@@ -165,7 +210,11 @@ let check ?(tier = Lfrc_structures.Catalog.Dcas) (path : Ir.path) :
              (nname l))
     | _ -> ()
   in
-  let assign l p = set l (if p = 0 then LNull else LOwned p) in
+  let assign l p =
+    release l;
+    mint p;
+    set l (if p = 0 then LNull else LOwned p)
+  in
   (* Raw pointers handed out by [get], for the flush obligation: once the
      owners of a borrowed object are all dead, the borrow must not
      survive a flush (under deferred-rc that is exactly where the parked
@@ -184,7 +233,9 @@ let check ?(tier = Lfrc_structures.Catalog.Dcas) (path : Ir.path) :
           | LRetired ->
               flag Double_destroy ~i ~key:(nname local)
                 (Printf.sprintf "local %s retired twice" (nname local))
-          | _ -> set local LRetired)
+          | _ ->
+              release local;
+              set local LRetired)
       | Get { local; ptr } ->
           touch ~i ~what:"get" local;
           if ptr <> 0 then Hashtbl.replace borrows ptr ()
@@ -200,10 +251,14 @@ let check ?(tier = Lfrc_structures.Catalog.Dcas) (path : Ir.path) :
       | Store { cell = _; ptr } -> operand ~i ~what:"store" ~store:true ptr
       | Store_alloc { cell = _; local } ->
           touch ~i ~what:"store_alloc" local;
-          (* Ownership transfers to the heap cell; the local is cleared. *)
+          (* Ownership transfers to the heap cell; the local is cleared.
+             The ledger counts the transfer as the consume: the weight
+             rides along to the heap slot. *)
+          release local;
           set local LNull
       | Set_null { local } ->
           touch ~i ~what:"set_null" local;
+          release local;
           set local LNull
       | Cas { cell = _; old_ptr; new_ptr; ok = _ } ->
           operand ~i ~what:"cas(old)" ~store:false old_ptr;
@@ -263,7 +318,31 @@ let check ?(tier = Lfrc_structures.Catalog.Dcas) (path : Ir.path) :
                 (Printf.sprintf
                    "local %s still live at operation exit (never retired)"
                    (nname local)))
-        declared_here
+        declared_here;
+      (* Weight conservation (wait-free mode's §17 invariant): every
+         weight-bearing reference minted on a completed path must be
+         consumed, except those still held by locals declared outside
+         the window — their retire belongs to a later operation. *)
+      Hashtbl.iter
+        (fun p m ->
+          let c = Option.value ~default:0 (Hashtbl.find_opt consumed p) in
+          let carried =
+            Hashtbl.fold
+              (fun l s acc ->
+                if s = LOwned p && not (Hashtbl.mem declared_here l) then
+                  acc + 1
+                else acc)
+              states 0
+          in
+          if m - c - carried > 0 then
+            flag Weight_unbalanced ~i:(-1) ~key:(oname p)
+              (Printf.sprintf
+                 "object %s: %d weight-bearing reference(s) minted on \
+                  this path but only %d consumed — a split (copy) or \
+                  acquisition without its matching drop strands weight \
+                  on the count"
+                 (oname p) m c))
+        minted
   | Ir.Bypass op ->
       flag Lfrc_bypass ~i:(-1) ~key:op
         (Printf.sprintf

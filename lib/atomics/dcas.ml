@@ -11,6 +11,7 @@ type impl = Atomic_step | Striped_lock | Software_mcas
 type counters = {
   reads : int;
   writes : int;
+  rmw_ops : int;
   cas_attempts : int;
   cas_failures : int;
   dcas_attempts : int;
@@ -29,6 +30,7 @@ type t = {
   mutable injector : injector option;
   c_reads : int Atomic.t;
   c_writes : int Atomic.t;
+  c_rmw : int Atomic.t;
   c_cas : int Atomic.t;
   c_cas_fail : int Atomic.t;
   c_dcas : int Atomic.t;
@@ -59,6 +61,7 @@ let create kind =
     injector = None;
     c_reads = Atomic.make 0;
     c_writes = Atomic.make 0;
+    c_rmw = Atomic.make 0;
     c_cas = Atomic.make 0;
     c_cas_fail = Atomic.make 0;
     c_dcas = Atomic.make 0;
@@ -207,6 +210,8 @@ let cas t c old_v new_v =
 
 let fetch_add t c d =
   Sched.point ();
+  Atomic.incr t.c_rmw;
+  Metrics.incr t.metrics "dcas.rmw";
   let v =
     match t.kind with
     | Atomic_step -> Cell.fetch_and_add c d
@@ -284,6 +289,7 @@ let counters t =
   {
     reads = Atomic.get t.c_reads;
     writes = Atomic.get t.c_writes;
+    rmw_ops = Atomic.get t.c_rmw;
     cas_attempts = Atomic.get t.c_cas;
     cas_failures = Atomic.get t.c_cas_fail;
     dcas_attempts = Atomic.get t.c_dcas;
@@ -297,6 +303,7 @@ let counters t =
 let reset_counters t =
   Atomic.set t.c_reads 0;
   Atomic.set t.c_writes 0;
+  Atomic.set t.c_rmw 0;
   Atomic.set t.c_cas 0;
   Atomic.set t.c_cas_fail 0;
   Atomic.set t.c_dcas 0;

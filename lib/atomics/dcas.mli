@@ -50,6 +50,9 @@ val dcas :
 type counters = {
   reads : int;
   writes : int;
+  rmw_ops : int;
+      (** fetch-and-add operations — the wait-free weighted-rc hot path;
+          also counted as [dcas.rmw] in an attached metrics registry *)
   cas_attempts : int;
   cas_failures : int;
   dcas_attempts : int;

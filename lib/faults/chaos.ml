@@ -22,17 +22,22 @@ type report = {
 }
 
 let run ?(max_steps = 2_000_000) ?(policy = Env.Iterative) ?(rc_epoch = 0)
-    ?(dcas_impl = Lfrc_atomics.Dcas.Atomic_step) ?(recover = false) ?metrics
-    ?(lineage = Lfrc_obs.Lineage.disabled)
+    ?rc_mode ?(dcas_impl = Lfrc_atomics.Dcas.Atomic_step) ?(recover = false)
+    ?metrics ?(lineage = Lfrc_obs.Lineage.disabled)
     ?(profile = Lfrc_obs.Profile.disabled)
     ?(blame = Lfrc_obs.Blame.disabled) ~strategy ~spec body =
   let heap = Heap.create ~name:"chaos" () in
   let metrics =
     match metrics with Some m -> m | None -> Lfrc_obs.Metrics.create ()
   in
+  let rc_mode =
+    match rc_mode with
+    | Some m -> m
+    | None -> Env.rc_mode_of_epoch rc_epoch
+  in
   let env =
-    Env.create ~dcas_impl ~policy ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) ~metrics
-      ~lineage ~profile ~blame heap
+    Env.create ~dcas_impl ~policy ~rc_mode ~metrics ~lineage ~profile ~blame
+      heap
   in
   let plan = Fault_plan.make spec in
   Fault_plan.install plan env;

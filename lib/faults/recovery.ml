@@ -20,23 +20,6 @@ type report = {
 
 let null = Heap.null
 
-(* Finish a destroy whose owner crashed after taking the count to zero.
-   Under the slot-nulling discipline every committed child drop also
-   nulled its slot, so the husk's remaining non-null slots are exactly
-   the drops never committed: perform each one, then free the husk. *)
-let finish_teardown env p =
-  let heap = Env.heap env in
-  for i = 0 to Heap.n_ptr_slots heap p - 1 do
-    let cell = Heap.ptr_cell heap p i in
-    let child = Cell.get cell in
-    if child <> null then begin
-      Cell.set cell null;
-      Lfrc.destroy env child
-    end
-  done;
-  Metrics.incr (Env.metrics env) "lfrc.frees";
-  Heap.free heap p
-
 let run env ~crashed =
   let heap = Env.heap env in
   let metrics = Env.metrics env in
@@ -51,7 +34,14 @@ let run env ~crashed =
      them now for the report. *)
   let restaged = Env.rc_recover_flush env ~crashed in
   let parked = Env.rc_parked_of env ~tids:crashed in
-  let rc_settled = restaged + parked in
+  (* Wait-free mode: merge the dead threads' weight pouches into the
+     adopter's before any adoption destroy runs, so each orphaned
+     reference released below finds its pooled weight and the ledger
+     balances exactly as in a live release. *)
+  let pouches_adopted = Env.wf_adopt_pools env ~tids:crashed in
+  if pouches_adopted > 0 then
+    Metrics.add (Env.metrics env) "lfrc.adopt_weight" pouches_adopted;
+  let rc_settled = restaged + parked + pouches_adopted in
 
   (* 2. Help every MCAS descriptor the dead threads left in flight to a
      decision, so no DCAS is ever half-applied and the audit sees plain
@@ -93,16 +83,21 @@ let run env ~crashed =
             incr destroys_completed;
             Lineage.record lineage ~op:"recover" ~addr:p
               (Lineage.Adopt { owner });
-            if Cell.get (Heap.rc_cell heap p) = 0 then finish_teardown env p
+            if Cell.get (Heap.rc_cell heap p) = 0 then
+              Lfrc.finish_teardown env p
             else Lfrc.destroy env p
           end)
         (Env.adopt_destroying env ~tids:[ owner ]);
-      (* Speculative +1s made ahead of a publishing CAS that never
-         resolved: compensate each with a destroy. *)
+      (* Speculative count raises made ahead of a publishing CAS that
+         never resolved: compensate each with a destroy. In wait-free
+         mode the registry entry carries the whole published weight
+         batch; pouching it first makes the adoption destroy return
+         exactly what the fetch-add minted. *)
       List.iter
-        (fun p ->
+        (fun (p, w) ->
           if p <> null && Heap.is_live heap p then begin
             incr publications_compensated;
+            if Env.wf_on env then Env.wf_pool_add env ~addr:p ~w ~n:1;
             adopt_one ~owner p
           end)
         (Env.adopt_publications env ~tids:[ owner ]);

@@ -96,7 +96,19 @@ let diff ~threshold ~current ~baseline =
                            :: !gated_out
         | Some _ -> ()
         | None -> if c > 0. then new_out := on_new key c :: !new_out)
-      cur_kvs
+      cur_kvs;
+    (* Registries only serialize non-zero series, so a known counter the
+       current run drives all the way to zero (wait-free mode's
+       lfrc.rc_retry, say) is simply absent from the current JSON. That
+       is the strongest possible drift, not a missing instrument: compare
+       it as 0, i.e. a -100% move on the matched key. *)
+    List.iter
+      (fun (key, b) ->
+        if b > 0. && List.assoc_opt key cur_kvs = None then
+          gated_out :=
+            { workload = name; key; base = b; cur = 0.; pct = -100. }
+            :: !gated_out)
+      base_kvs
   in
   let rows =
     List.filter_map

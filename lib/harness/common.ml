@@ -35,7 +35,9 @@ let obs (cfg : Scenario.config) =
       [
         ("seed", string_of_int cfg.Scenario.seed);
         ( "rc_mode",
-          if cfg.Scenario.deferred_rc then
+          if cfg.Scenario.wait_free_rc then
+            Printf.sprintf "wait-free(%d)" Scenario.wait_free_weight
+          else if cfg.Scenario.deferred_rc then
             Printf.sprintf "deferred-rc(%d)" Scenario.deferred_rc_epoch
           else "eager" );
         ( "fault",

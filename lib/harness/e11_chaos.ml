@@ -129,10 +129,10 @@ let fault_kinds_for (cfg : Scenario.config) =
       ]
 
 let run_one ?(workers = default_workers)
-    ?(ops_per_worker = default_ops_per_worker) ?(rc_epoch = 0)
+    ?(ops_per_worker = default_ops_per_worker) ?(rc_epoch = 0) ?rc_mode
     ?(recover = false) ?metrics ?blame ~structure ~fault ~seed () =
   let spec = fault.spec_for ~seed in
-  Chaos.run ?metrics ?blame ~rc_epoch ~recover ~max_steps:400_000
+  Chaos.run ?metrics ?blame ~rc_epoch ?rc_mode ~recover ~max_steps:400_000
     ~strategy:(Strategy.Random seed)
     ~spec
     (fun env ->
@@ -182,7 +182,7 @@ let run (cfg : Scenario.config) =
             (fun seed ->
               let r =
                 run_one ~workers ~ops_per_worker
-                  ~rc_epoch:(Scenario.rc_epoch_of cfg)
+                  ~rc_mode:(Scenario.rc_mode_of cfg)
                   ~metrics ~blame ~structure ~fault ~seed ()
               in
               injected := !injected + r.Chaos.injected;
@@ -207,7 +207,7 @@ let run (cfg : Scenario.config) =
               | Chaos.Completed { crashed = _ :: _; _ } ->
                   let rr =
                     run_one ~workers ~ops_per_worker
-                      ~rc_epoch:(Scenario.rc_epoch_of cfg)
+                      ~rc_mode:(Scenario.rc_mode_of cfg)
                       ~recover:true ~metrics ~blame ~structure ~fault ~seed ()
                   in
                   rec_ran := true;

@@ -12,7 +12,7 @@ module Sched = Lfrc_sched.Sched
 module Table = Lfrc_util.Table
 module Opmix = Lfrc_workload.Opmix
 
-let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~rc_epoch
+let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~rc_mode
     ~threads ~ops_per_thread ~seed ~metrics ~tracer ~profile ~blame =
   let steps = ref 0 and dcas_fail = ref 0.0 and gc_pauses = ref 0 in
   let body () =
@@ -20,8 +20,7 @@ let run_one (module D : Lfrc_structures.Deque_intf.DEQUE) ~gc ~rc_epoch
     let env =
       Lfrc_core.Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
         ~gc_threshold:(if gc then 2048 else 0)
-        ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
-        ~profile ~blame heap
+        ~rc_mode ~metrics ~tracer ~profile ~blame heap
     in
     if gc then Lfrc_simmem.Gc_trace.reset_history heap;
     let d = D.create env in
@@ -76,7 +75,7 @@ let run (cfg : Scenario.config) =
         (fun threads ->
           let steps, fail, gcs =
             run_one impl ~gc
-              ~rc_epoch:(Scenario.rc_epoch_of cfg)
+              ~rc_mode:(Scenario.rc_mode_of cfg)
               ~threads ~ops_per_thread ~seed:cfg.Scenario.seed ~metrics ~tracer
               ~profile ~blame
           in
@@ -85,5 +84,39 @@ let run (cfg : Scenario.config) =
             (Float.of_int steps /. Float.of_int total_ops)
             fail gcs)
         (thread_counts cfg.Scenario.threads))
+    (Common.deque_impls ());
+  (* Three-way rc-mode ablation: the LFRC deques again at the top thread
+     count under deferred-rc and wait-free (the base rows above are the
+     eager leg when the config is default). These rows use a private
+     throwaway metrics registry so the shared aggregate — which
+     bench/main's deferred-rc and wait-free headlines compare across
+     whole-config runs — stays pure to the configured mode. *)
+  let top_threads =
+    List.fold_left max 1 (thread_counts cfg.Scenario.threads)
+  in
+  List.iter
+    (fun (label, impl, gc) ->
+      if not gc && label <> "locked" then
+        List.iter
+          (fun (suffix, rc_mode) ->
+            let steps, fail, gcs =
+              run_one impl ~gc ~rc_mode ~threads:top_threads ~ops_per_thread
+                ~seed:cfg.Scenario.seed
+                ~metrics:(Lfrc_obs.Metrics.create ())
+                ~tracer ~profile ~blame
+            in
+            let total_ops = top_threads * ops_per_thread in
+            Table.add_rowf table "%s[%s]|%d|%.1f|%.2f|%d" label suffix
+              top_threads
+              (Float.of_int steps /. Float.of_int total_ops)
+              fail gcs)
+          [
+            ("eager", Lfrc_core.Env.Eager);
+            ( "deferred-rc",
+              Lfrc_core.Env.Deferred_rc { epoch = Scenario.deferred_rc_epoch }
+            );
+            ( "wait-free",
+              Lfrc_core.Env.Wait_free { weight = Scenario.wait_free_weight } );
+          ])
     (Common.deque_impls ());
   Common.result ~table ~profile ~blame metrics

@@ -73,18 +73,20 @@ let contended_row table impl ~threads ~per_thread ~seed ~metrics ~tracer
    operation pays an increment and (eventually) a decrement. The raw rows
    above cannot show deferred-rc coalescing — there is no count at the
    substrate level — so this row family runs the same workload in eager
-   mode and with parked-delta coalescing, and reports single-word CAS
-   attempts (the count updates) per op. *)
-let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
-    ~profile ~blame =
+   mode, with parked-delta coalescing, and with wait-free weighted
+   counts, and reports single-word CAS attempts (the count updates —
+   plus the unavoidable pointer-install CAS) per op. The wait-free row's
+   count traffic is fetch-adds, which never retry; its CAS column is the
+   pointer installs alone. *)
+let lfrc_rc_row table ~label ~rc_mode ~threads ~per_thread ~seed ~metrics
+    ~tracer ~profile ~blame =
   let layout = Lfrc_simmem.Layout.make ~name:"e5-node" ~n_ptrs:1 ~n_vals:1 in
   let steps = ref 0 and attempts = ref 0 and failures = ref 0 in
   let body () =
     let heap = Heap.create ~name:"e5-lfrc" () in
     let env =
-      Lfrc_core.Env.create ~dcas_impl:Dcas.Atomic_step
-        ~rc_mode:(Lfrc_core.Env.rc_mode_of_epoch rc_epoch) ~metrics ~tracer
-        ~profile ~blame heap
+      Lfrc_core.Env.create ~dcas_impl:Dcas.Atomic_step ~rc_mode ~metrics
+        ~tracer ~profile ~blame heap
     in
     let root = Heap.root heap ~name:"e5-root" () in
     let tids =
@@ -109,9 +111,7 @@ let lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics ~tracer
   in
   steps := outcome.Sched.steps;
   let total_ops = threads * per_thread in
-  Table.add_rowf table "%s|%d|%.1f|%.2f|%.1f|0"
-    (if rc_epoch > 0 then "lfrc-rc deferred" else "lfrc-rc eager")
-    threads
+  Table.add_rowf table "%s|%d|%.1f|%.2f|%.1f|0" label threads
     (Float.of_int !steps /. Float.of_int total_ops)
     (Float.of_int !attempts /. Float.of_int total_ops)
     (if !attempts = 0 then 0.0
@@ -241,18 +241,24 @@ let run (cfg : Scenario.config) =
             ~profile ~blame)
         contended_threads)
     [ Dcas.Atomic_step; Dcas.Software_mcas ];
-  (* The coalescing ablation always shows both modes side by side; the
+  (* The rc-mode ablation always shows all three modes side by side; the
      per-thread op count is clamped so the ablation stays a footnote next
      to the substrate comparison this experiment is really about. *)
   let per_thread = min 500 cfg.Scenario.ops_per_thread in
   List.iter
-    (fun rc_epoch ->
+    (fun (label, rc_mode) ->
       List.iter
         (fun threads ->
-          lfrc_rc_row table ~rc_epoch ~threads ~per_thread ~seed ~metrics
-            ~tracer ~profile ~blame)
+          lfrc_rc_row table ~label ~rc_mode ~threads ~per_thread ~seed
+            ~metrics ~tracer ~profile ~blame)
         contended_threads)
-    [ 0; Scenario.deferred_rc_epoch ];
+    [
+      ("lfrc-rc eager", Lfrc_core.Env.Eager);
+      ( "lfrc-rc deferred",
+        Lfrc_core.Env.Deferred_rc { epoch = Scenario.deferred_rc_epoch } );
+      ( "lfrc-rc wait-free",
+        Lfrc_core.Env.Wait_free { weight = Scenario.wait_free_weight } );
+    ];
   (* Deque head-to-head: what each primitive tier buys at the structure
      level. Same clamped op budget as the coalescing ablation. *)
   let module Snark_lfrc = Lfrc_structures.Snark_fixed.Make (Lfrc_core.Lfrc_ops)

@@ -127,7 +127,7 @@ let merge_sites acc sites =
       (site, prev + n) :: List.remove_assoc site acc)
     acc sites
 
-let run_under ~structure ~strategy ~seed body =
+let run_under ?rc_mode ~structure ~strategy ~seed body =
   let token = Strategy.describe strategy in
   let metrics = Metrics.create () in
   let profile = Profile.create ~metrics () in
@@ -135,8 +135,8 @@ let run_under ~structure ~strategy ~seed body =
   let sanitize = Shadow.create () in
   let heap = Heap.create ~name:("sanitize:" ^ structure) () in
   let env =
-    Env.create ~dcas_impl:Dcas.Atomic_step ~metrics ~profile ~lineage
-      ~sanitize heap
+    Env.create ~dcas_impl:Dcas.Atomic_step ?rc_mode ~metrics ~profile
+      ~lineage ~sanitize heap
   in
   ignore (Sched.run ~max_steps:4_000_000 strategy (fun () -> body ~seed env));
   let witnesses =
@@ -152,11 +152,13 @@ let run_under ~structure ~strategy ~seed body =
   in
   (token, Shadow.totals sanitize, witnesses, Shadow.aba_by_site sanitize)
 
-let run_body ~structure ~schedules body =
+let run_body ?rc_mode ~structure ~schedules body =
   let tokens, totals, witnesses, sites =
     List.fold_left
       (fun (tks, tot, ws, sites) (i, strategy) ->
-        let tk, t, w, s = run_under ~structure ~strategy ~seed:(i + 1) body in
+        let tk, t, w, s =
+          run_under ?rc_mode ~structure ~strategy ~seed:(i + 1) body
+        in
         (tk :: tks, add_totals tot t, ws @ w, merge_sites sites s))
       ([], empty_totals, [], [])
       (List.mapi (fun i s -> (i, s)) schedules)
@@ -171,12 +173,12 @@ let run_body ~structure ~schedules body =
   }
 
 let run_structure ?(workers = 3) ?(ops_per_worker = 40)
-    ?(schedules = schedules ~full:false) name =
+    ?(schedules = schedules ~full:false) ?rc_mode name =
   match List.assoc_opt name drivers with
   | None -> Error (Printf.sprintf "unknown structure %S" name)
   | Some driver ->
       Ok
-        (run_body ~structure:name ~schedules (fun ~seed env ->
+        (run_body ?rc_mode ~structure:name ~schedules (fun ~seed env ->
              driver ~workers ~ops_per_worker ~seed env))
 
 (* --- seeded-bug fixtures ---
@@ -276,9 +278,41 @@ let fixture_aba_pop ~seed:_ env =
     Heap.free heap leftover
   end
 
+(* A torn weight handoff: the wait-free mode's discipline is that count
+   weight only moves through atomic fetch-adds on the count cell or
+   inside a thread-local pouch. This fixture breaks it — two threads
+   split the same weight word (modeled as a value slot of a published
+   object) with a plain read-modify-write, so one of the two splits is
+   lost. The sanitizer sees the unsynchronized slot accesses as a data
+   race; the lost update is exactly the torn handoff the weight
+   invariant forbids. *)
+let fixture_torn_weight ~seed:_ env =
+  let heap = Env.heap env in
+  let d = Env.dcas env in
+  let layout = Layout.make ~name:"san-torn-weight" ~n_ptrs:0 ~n_vals:1 in
+  let root = Heap.root heap ~name:"weight-root" () in
+  let p = Lfrc.alloc env layout in
+  Lfrc.store env ~dst:root p;
+  Lfrc.destroy env p;
+  (* the value slot stands in for the object's weight word *)
+  let wc = Heap.val_cell heap p 0 in
+  Dcas.write d wc 64;
+  let tids =
+    List.init 2 (fun w ->
+        Sched.spawn ~name:(Printf.sprintf "splitter-%d" w) (fun () ->
+            (* plain read-modify-write: take half the weight for a
+               handoff, leave the rest — not a fetch-add, so the two
+               splits can interleave and tear *)
+            let cur = Dcas.read d wc in
+            Dcas.write d wc (cur - (cur / 2))))
+  in
+  Sched.join tids;
+  Lfrc.store env ~dst:root Heap.null
+
 let fixtures =
   [
     ("plain-race", [ Shadow.Race ]);
+    ("torn-weight", [ Shadow.Race ]);
     ("use-after-retire", [ Shadow.Use_after_retire; Shadow.Use_after_free ]);
     ("aba-pop", [ Shadow.Aba ]);
   ]
@@ -286,6 +320,7 @@ let fixtures =
 let fixture_bodies =
   [
     ("plain-race", fixture_plain_race);
+    ("torn-weight", fixture_torn_weight);
     ("use-after-retire", fixture_use_after_retire);
     ("aba-pop", fixture_aba_pop);
   ]

@@ -39,11 +39,15 @@ val run_structure :
   ?workers:int ->
   ?ops_per_worker:int ->
   ?schedules:Lfrc_sched.Strategy.t list ->
+  ?rc_mode:Lfrc_core.Env.rc_mode ->
   string ->
   (outcome, string) result
 (** Drive one catalog structure under the sanitizer; [Error] for an
     unknown name. Defaults: 3 workers, 40 ops each, the non-[full]
-    schedule matrix. *)
+    schedule matrix, the environment's default (eager) count-delivery
+    mode — [rc_mode] reruns the same workload under deferred or
+    wait-free counts, whose extra machinery (parked deltas, weight
+    tables) must be just as race-free. *)
 
 (** {2 Seeded-bug fixtures}
 

@@ -18,6 +18,7 @@ type config = {
   profile : bool;  (* attribute retries/latency to call sites *)
   blame : bool;  (* attribute failed CAS/DCAS to the winning write *)
   deferred_rc : bool;  (* coalesce rc traffic in per-thread buffers *)
+  wait_free_rc : bool;  (* weighted split counts, fetch-add rc path *)
 }
 
 (* Parked-adjustment budget used whenever [deferred_rc] is on: large
@@ -25,9 +26,16 @@ type config = {
    window of dead objects turns over well inside a worker's op script. *)
 let deferred_rc_epoch = 64
 
+(* Weight batch minted per fetch-add in wait-free mode: big enough that
+   borrow/share fast paths dominate, small enough that the exhaustion
+   fallback is actually exercised by long runs. *)
+let wait_free_weight = 64
+
 let rc_epoch_of cfg = if cfg.deferred_rc then deferred_rc_epoch else 0
 
-let rc_mode_of cfg = Lfrc_core.Env.rc_mode_of_epoch (rc_epoch_of cfg)
+let rc_mode_of cfg =
+  if cfg.wait_free_rc then Lfrc_core.Env.Wait_free { weight = wait_free_weight }
+  else Lfrc_core.Env.rc_mode_of_epoch (rc_epoch_of cfg)
 
 let default_config =
   {
@@ -41,6 +49,7 @@ let default_config =
     profile = false;
     blame = false;
     deferred_rc = false;
+    wait_free_rc = false;
   }
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right

@@ -42,24 +42,35 @@ type config = {
           ({!Lfrc_core.Env.create} with [rc_epoch = deferred_rc_epoch]):
           count adjustments park in per-thread buffers and flush as
           netted CASes (CLI [--deferred-rc]) *)
+  wait_free_rc : bool;
+      (** run LFRC environments in wait-free weighted-rc mode
+          ({!Lfrc_core.Env.Wait_free} with [weight = wait_free_weight]):
+          count adjustments are single fetch-adds over split weights
+          (CLI [--wait-free-rc]); wins over [deferred_rc] when both are
+          set *)
 }
 
 val deferred_rc_epoch : int
 (** The parked-adjustment budget every harness user applies when
     [deferred_rc] is on (64). *)
 
+val wait_free_weight : int
+(** The weight batch every harness user mints per fetch-add when
+    [wait_free_rc] is on (64). *)
+
 val rc_epoch_of : config -> int
 (** [deferred_rc_epoch] when [deferred_rc] is set, else 0. *)
 
 val rc_mode_of : config -> Lfrc_core.Env.rc_mode
-(** The same choice as {!rc_epoch_of}, expressed as the environment's
-    {!Lfrc_core.Env.rc_mode}: [Deferred_rc {epoch = deferred_rc_epoch}]
+(** The environment mode the flags select: [Wait_free
+    {weight = wait_free_weight}] when [wait_free_rc] is set (it wins
+    over [deferred_rc]), else [Deferred_rc {epoch = deferred_rc_epoch}]
     when [deferred_rc] is set, else [Eager]. *)
 
 val default_config : config
 (** threads 8, 1500 ops/thread, 200k iters, seed 11, no fault override,
     metrics on, tracing off, profiling off, blame off, eager
-    (non-deferred) rc. *)
+    (non-deferred, non-wait-free) rc. *)
 
 type op = Push_left of int | Push_right of int | Pop_left | Pop_right
 

@@ -3,11 +3,16 @@ type policy =
   | Iterative
   | Deferred of { budget_per_op : int }
 
-(* Count-update mode: eager Figure-2 CASes, or deferred-rc coalescing
-   with a parked-adjustment budget. The environment stores the resolved
-   epoch (0 = eager) — the variant exists so callers say what they mean
-   instead of passing a magic integer. *)
-type rc_mode = Eager | Deferred_rc of { epoch : int }
+(* Count-update mode: eager Figure-2 CASes, deferred-rc coalescing with a
+   parked-adjustment budget, or wait-free weighted (split) counts where
+   the count word holds total weight and the hot path is a single
+   fetch-and-add. The environment stores the resolved knobs (epoch 0 =
+   not deferred, weight 0 = not weighted) — the variant exists so callers
+   say what they mean instead of passing magic integers. *)
+type rc_mode =
+  | Eager
+  | Deferred_rc of { epoch : int }
+  | Wait_free of { weight : int }
 
 let rc_mode_of_epoch n = if n > 0 then Deferred_rc { epoch = n } else Eager
 
@@ -42,7 +47,7 @@ type t = {
      publishing CAS, and a crash in between leaves a +1 no destroy will
      ever compensate. Keyed by thread id so recovery can compensate a
      crashed thread's pending publications. *)
-  publishing : (int, int list ref) Hashtbl.t;
+  publishing : (int, (int * int) list ref) Hashtbl.t;
   publishing_lock : Mutex.t;
   (* Thread-local pointer variables published for the same auditor (their
      heap-frame analogue, kept off the heap for the same reason). Each
@@ -72,6 +77,21 @@ type t = {
      them here (not in the flusher's OCaml locals) means a crashed flusher
      loses nothing — recovery re-parks them and a later flush lands them. *)
   rc_applying : (int, int) Hashtbl.t;
+  (* Wait-free weighted rc (Blelloch–Wei-style split counts): the count
+     word holds the object's *total weight* — the sum of the weights
+     carried by every live reference. [wf_pools] is the per-thread weight
+     pouch: addr -> (pooled weight w, covered refs n), the side-table
+     stand-in for the weight bits a real implementation packs into each
+     local pointer word (invariant w >= n >= 1; refs with no entry carry
+     implicit weight 1). [wf_slots] plays the same role for heap pointer
+     slots, keyed by cell id (absent = weight 1); entries are removed in
+     the same atomic step that nulls or overwrites the slot, so recycled
+     cell ids can never inherit stale weight. All operations are
+     mutex-only — atomic under the simulator. *)
+  env_wf_weight : int;  (* batch weight; 0 = wait-free mode off *)
+  wf_pools : (int, (int, int * int) Hashtbl.t) Hashtbl.t;
+  wf_slots : (int, int) Hashtbl.t;
+  wf_lock : Mutex.t;
   env_gc_threshold : int;
   mutable env_incremental : (Lfrc_simmem.Gc_incr.t * int) option;
   env_metrics : Lfrc_obs.Metrics.t;
@@ -90,8 +110,11 @@ let create ?dcas_impl ?(policy = Iterative) ?(rc_mode = Eager)
     ?(profile = Lfrc_obs.Profile.disabled)
     ?(blame = Lfrc_obs.Blame.disabled)
     ?(sanitize = Lfrc_sanitize.Shadow.disabled) ?(symbolic = false) heap =
-  let rc_epoch =
-    match rc_mode with Eager -> 0 | Deferred_rc { epoch } -> max 1 epoch
+  let rc_epoch, wf_weight =
+    match rc_mode with
+    | Eager -> (0, 0)
+    | Deferred_rc { epoch } -> (max 1 epoch, 0)
+    | Wait_free { weight } -> (0, max 2 weight)
   in
   let impl =
     match dcas_impl with
@@ -153,6 +176,10 @@ let create ?dcas_impl ?(policy = Iterative) ?(rc_mode = Eager)
     rc_in_flush = false;
     rc_flush_tid = -1;
     rc_applying = Hashtbl.create 32;
+    env_wf_weight = wf_weight;
+    wf_pools = Hashtbl.create 8;
+    wf_slots = Hashtbl.create 64;
+    wf_lock = Mutex.create ();
     env_gc_threshold = gc_threshold;
     env_incremental = None;
     env_metrics = metrics;
@@ -215,9 +242,14 @@ let deferred_pending t =
    is either fully visible to a concurrent drain/steal or not parked yet,
    never half-recorded. *)
 
-let rc_mode t = rc_mode_of_epoch t.env_rc_epoch
+let rc_mode t =
+  if t.env_wf_weight > 0 then Wait_free { weight = t.env_wf_weight }
+  else rc_mode_of_epoch t.env_rc_epoch
+
 let rc_epoch t = t.env_rc_epoch
 let rc_deferred t = t.env_rc_epoch > 0
+let wf_on t = t.env_wf_weight > 0
+let wf_weight t = t.env_wf_weight
 
 let rc_park t ~addr ~delta =
   let tid = Lfrc_sched.Sched.tid () in
@@ -431,6 +463,183 @@ let rc_parked_of t ~tids =
   Mutex.unlock t.rc_lock;
   !n
 
+(* --- wait-free weighted-rc side tables ---
+
+   Mutex-only, like the rc buffers above: each operation is atomic with
+   respect to simulated interleaving, which is exactly the atomicity a
+   real implementation gets from packing the weight bits into the pointer
+   word it updates with one RMW. *)
+
+let wf_pool_of t tid =
+  match Hashtbl.find_opt t.wf_pools tid with
+  | Some p -> p
+  | None ->
+      let p = Hashtbl.create 16 in
+      Hashtbl.add t.wf_pools tid p;
+      p
+
+let wf_pool_add t ~addr ~w ~n =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  let pool = wf_pool_of t tid in
+  (match Hashtbl.find_opt pool addr with
+  | Some (w0, n0) -> Hashtbl.replace pool addr (w0 + w, n0 + n)
+  | None -> Hashtbl.add pool addr (w, n));
+  Mutex.unlock t.wf_lock
+
+let wf_pool_try_share t ~addr =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  let ok =
+    match Hashtbl.find_opt (wf_pool_of t tid) addr with
+    | Some (w, n) when w > n ->
+        Hashtbl.replace (wf_pool_of t tid) addr (w, n + 1);
+        true
+    | _ -> false
+  in
+  Mutex.unlock t.wf_lock;
+  ok
+
+let wf_pool_try_drop_shared t ~addr =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  let ok =
+    match Hashtbl.find_opt (wf_pool_of t tid) addr with
+    | Some (w, n) when n > 1 ->
+        Hashtbl.replace (wf_pool_of t tid) addr (w, n - 1);
+        true
+    | _ -> false
+  in
+  Mutex.unlock t.wf_lock;
+  ok
+
+let wf_pool_weight t ~addr =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  let w =
+    match Hashtbl.find_opt (wf_pool_of t tid) addr with
+    | Some (w, _) -> w
+    | None -> 1
+  in
+  Mutex.unlock t.wf_lock;
+  w
+
+let wf_pool_remove t ~addr =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  Hashtbl.remove (wf_pool_of t tid) addr;
+  Mutex.unlock t.wf_lock
+
+let wf_pool_give t ~addr ~w =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  let ok =
+    match Hashtbl.find_opt (wf_pool_of t tid) addr with
+    | Some (w0, n0) ->
+        Hashtbl.replace (wf_pool_of t tid) addr (w0 + w, n0);
+        true
+    | None -> false
+  in
+  Mutex.unlock t.wf_lock;
+  ok
+
+let wf_pool_take_for_transfer t ~addr =
+  let tid = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  let pool = wf_pool_of t tid in
+  let w =
+    match Hashtbl.find_opt pool addr with
+    | Some (w, 1) ->
+        Hashtbl.remove pool addr;
+        w
+    | Some (w, n) ->
+        (* Other covered refs keep their pooled weight; the transferred
+           reference leaves with the minimum (w >= n keeps every
+           remaining ref covered). *)
+        Hashtbl.replace pool addr (w - 1, n - 1);
+        1
+    | None -> 1
+  in
+  Mutex.unlock t.wf_lock;
+  w
+
+let wf_slot_take t ~cell =
+  let id = Lfrc_simmem.Cell.id cell in
+  Mutex.lock t.wf_lock;
+  let w =
+    match Hashtbl.find_opt t.wf_slots id with
+    | Some w ->
+        Hashtbl.remove t.wf_slots id;
+        w
+    | None -> 1
+  in
+  Mutex.unlock t.wf_lock;
+  w
+
+let wf_slot_set t ~cell ~w =
+  let id = Lfrc_simmem.Cell.id cell in
+  Mutex.lock t.wf_lock;
+  if w = 1 then Hashtbl.remove t.wf_slots id
+  else Hashtbl.replace t.wf_slots id w;
+  Mutex.unlock t.wf_lock
+
+let wf_slot_give t ~cell ~w =
+  let id = Lfrc_simmem.Cell.id cell in
+  Mutex.lock t.wf_lock;
+  let w0 =
+    match Hashtbl.find_opt t.wf_slots id with Some w0 -> w0 | None -> 1
+  in
+  Hashtbl.replace t.wf_slots id (w0 + w);
+  Mutex.unlock t.wf_lock
+
+let wf_slot_try_borrow t ~cell =
+  let id = Lfrc_simmem.Cell.id cell in
+  Mutex.lock t.wf_lock;
+  let ok =
+    match Hashtbl.find_opt t.wf_slots id with
+    | Some w when w >= 2 ->
+        if w - 1 = 1 then Hashtbl.remove t.wf_slots id
+        else Hashtbl.replace t.wf_slots id (w - 1);
+        true
+    | _ -> false
+  in
+  Mutex.unlock t.wf_lock;
+  ok
+
+let wf_pooled t =
+  Mutex.lock t.wf_lock;
+  let addrs =
+    Hashtbl.fold
+      (fun _tid pool acc ->
+        Hashtbl.fold (fun addr _ acc -> addr :: acc) pool acc)
+      t.wf_pools []
+  in
+  Mutex.unlock t.wf_lock;
+  addrs
+
+let wf_adopt_pools t ~tids =
+  let me = Lfrc_sched.Sched.tid () in
+  Mutex.lock t.wf_lock;
+  let mine = wf_pool_of t me in
+  let merged = ref 0 in
+  List.iter
+    (fun tid ->
+      if tid <> me then
+        match Hashtbl.find_opt t.wf_pools tid with
+        | Some pool ->
+            Hashtbl.iter
+              (fun addr (w, n) ->
+                incr merged;
+                match Hashtbl.find_opt mine addr with
+                | Some (w0, n0) -> Hashtbl.replace mine addr (w0 + w, n0 + n)
+                | None -> Hashtbl.add mine addr (w, n))
+              pool;
+            Hashtbl.remove t.wf_pools tid
+        | None -> ())
+    tids;
+  Mutex.unlock t.wf_lock;
+  !merged
+
 let begin_destroy t p =
   let tid = Lfrc_sched.Sched.tid () in
   Mutex.lock t.destroying_lock;
@@ -475,13 +684,13 @@ let adopt_destroying t ~tids =
   Mutex.unlock t.destroying_lock;
   !out
 
-let begin_publish t p =
+let begin_publish ?(weight = 1) t p =
   if p <> Lfrc_simmem.Heap.null then begin
     let tid = Lfrc_sched.Sched.tid () in
     Mutex.lock t.publishing_lock;
     (match Hashtbl.find_opt t.publishing tid with
-    | Some l -> l := p :: !l
-    | None -> Hashtbl.add t.publishing tid (ref [ p ]));
+    | Some l -> l := (p, weight) :: !l
+    | None -> Hashtbl.add t.publishing tid (ref [ (p, weight) ]));
     Mutex.unlock t.publishing_lock
   end
 
@@ -493,7 +702,8 @@ let end_publish t p =
     | Some l ->
         let rec remove = function
           | [] -> []
-          | x :: rest -> if x = p then rest else x :: remove rest
+          | (x, _) :: rest when x = p -> rest
+          | x :: rest -> x :: remove rest
         in
         l := remove !l
     | None -> ());
@@ -502,7 +712,9 @@ let end_publish t p =
 
 let publishing_now t =
   Mutex.lock t.publishing_lock;
-  let ps = Hashtbl.fold (fun _ l acc -> !l @ acc) t.publishing [] in
+  let ps =
+    Hashtbl.fold (fun _ l acc -> List.map fst !l @ acc) t.publishing []
+  in
   Mutex.unlock t.publishing_lock;
   ps
 
@@ -576,4 +788,5 @@ let anchors t =
   destroying_now t @ pend
   @ rc_parked t
   @ rc_applying_addrs t
+  @ wf_pooled t
   @ publishing_now t @ locals

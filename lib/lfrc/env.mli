@@ -28,8 +28,20 @@ type policy =
       the [rc_*] accessors below) instead of CASing the heap count, and a
       global flush applies the netted deltas once [epoch] adjustments have
       been parked (or earlier, at forced flush points). [epoch] must be
-      positive. *)
-type rc_mode = Eager | Deferred_rc of { epoch : int }
+      positive.
+    - [Wait_free { weight }] — weighted (split) reference counts,
+      Blelloch–Wei style: the count word holds the object's {e total
+      weight} (the sum over every live reference of the weight it
+      carries), [copy]/[destroy] adjust it with a single
+      {!Lfrc_atomics.Dcas.fetch_add} — no retry loop — and pointer
+      handoffs move weight instead of touching the count at all. The
+      Figure-2 DCAS survives only as [load]'s fallback when a heap slot's
+      weight is exhausted; [weight] (clamped to >= 2) is the batch minted
+      per refill. See the [wf_*] accessors below and DESIGN.md §17. *)
+type rc_mode =
+  | Eager
+  | Deferred_rc of { epoch : int }
+  | Wait_free of { weight : int }
 
 val rc_mode_of_epoch : int -> rc_mode
 (** [Eager] for 0 (and anything non-positive), [Deferred_rc { epoch }]
@@ -221,6 +233,83 @@ val rc_parked_of : t -> tids:int list -> int
 (** Number of addresses with parked deltas in the given threads' buffers
     (adoption accounting aid). *)
 
+(** {2 Wait-free weighted-rc side tables}
+
+    Raw weight plumbing for {!Lfrc}'s [Wait_free] mode; structure code
+    never calls these. The count word holds total weight; each thread's
+    {e pouch} maps addr -> (pooled weight [w], covered refs [n]) — the
+    side-table stand-in for the weight bits a real implementation packs
+    into each local pointer word (invariant [w >= n >= 1]; a reference
+    with no pouch entry carries implicit weight 1). [wf_slot_*] does the
+    same for heap pointer slots, keyed by cell id (absent = weight 1);
+    callers remove a slot's entry in the same atomic step that nulls or
+    overwrites the slot, so recycled cell ids never inherit stale weight.
+    Every operation here is mutex-only — atomic under the simulator. *)
+
+val wf_on : t -> bool
+(** Whether this environment runs weighted (wait-free) counts. *)
+
+val wf_weight : t -> int
+(** The batch weight minted per refill/publication; [0] when off. *)
+
+val wf_pool_add : t -> addr:int -> w:int -> n:int -> unit
+(** Merge [w] weight covering [n] more references into the calling
+    thread's pouch entry for [addr] (creating it if absent). *)
+
+val wf_pool_try_share : t -> addr:int -> bool
+(** If the calling thread's pouch entry for [addr] has spare weight
+    ([w > n]), cover one more reference from the pool ([n + 1]) and
+    return [true] — the copy fast path that never touches the heap. *)
+
+val wf_pool_try_drop_shared : t -> addr:int -> bool
+(** If the entry covers more than one reference, drop one ([n - 1]),
+    leaving its weight pooled for the survivors, and return [true] — the
+    destroy fast path that never touches the heap. *)
+
+val wf_pool_weight : t -> addr:int -> int
+(** Peek the pooled weight for [addr] in the calling thread's pouch
+    (1 if absent — the implicit weight of an untracked reference). *)
+
+val wf_pool_remove : t -> addr:int -> unit
+(** Drop the calling thread's pouch entry for [addr] (after its weight
+    landed on the heap count). *)
+
+val wf_pool_give : t -> addr:int -> w:int -> bool
+(** Merge [w] weight into an existing entry {e without} covering a new
+    reference — returning unspent publication weight to a pouch that
+    still holds the pointer. [false] if no entry exists (the caller must
+    then return the weight through the count word instead). *)
+
+val wf_pool_take_for_transfer : t -> addr:int -> int
+(** Surrender the weight a reference to [addr] hands off to a heap slot:
+    the whole pool if this was the last covered reference (entry
+    removed), else 1 (leaving [w - 1 >= n - 1] pooled). 1 if absent. *)
+
+val wf_slot_take : t -> cell:Lfrc_simmem.Cell.t -> int
+(** Remove and return the weight carried by this heap slot (1 if
+    untracked). Call in the same atomic step that claims or nulls the
+    slot's pointer. *)
+
+val wf_slot_set : t -> cell:Lfrc_simmem.Cell.t -> w:int -> unit
+(** The slot now carries weight [w] (for the pointer just installed). *)
+
+val wf_slot_give : t -> cell:Lfrc_simmem.Cell.t -> w:int -> unit
+(** Add [w] to the slot's carried weight — [load]'s exhaustion-refill
+    deposits the freshly minted batch here. *)
+
+val wf_slot_try_borrow : t -> cell:Lfrc_simmem.Cell.t -> bool
+(** If the slot carries weight >= 2, take 1 and return [true] — [load]'s
+    borrow-on-handoff fast path. [false] on an exhausted slot. *)
+
+val wf_pooled : t -> int list
+(** Addresses with pouch entries, across all threads; folded into
+    {!anchors}. *)
+
+val wf_adopt_pools : t -> tids:int list -> int
+(** Merge the given (crashed) threads' pouches into the calling thread's,
+    so the recovery pass's adoption destroys consume the orphaned weight.
+    Returns the number of entries merged. *)
+
 val defer : t -> int -> unit
 (** Enqueue a dead object for deferred freeing. Only valid under the
     [Deferred] policy. *)
@@ -264,10 +353,12 @@ val adopt_destroying : t -> tids:int list -> int list
     (crashed) threads. Each entry is one distinct committed-but-unfinished
     drop; duplicates are multiple pending drops and are all returned. *)
 
-val begin_publish : t -> int -> unit
+val begin_publish : ?weight:int -> t -> int -> unit
 (** Record a speculative count increment the current thread has made ahead
     of a publishing CAS (store/cas/dcas raise the new pointer's count
-    first). No-op on null. *)
+    first). [weight] (default 1) is the size of the increment — wait-free
+    mode publishes whole weight batches — and is what a recovery pass
+    must compensate. No-op on null. *)
 
 val end_publish : t -> int -> unit
 (** The publication resolved — the CAS landed, or the compensating destroy
@@ -276,9 +367,9 @@ val end_publish : t -> int -> unit
 val publishing_now : t -> int list
 (** All pending publications, across threads (auditing aid). *)
 
-val adopt_publications : t -> tids:int list -> int list
+val adopt_publications : t -> tids:int list -> (int * int) list
 (** Surrender and clear the pending publications of the given (crashed)
-    threads, one entry per uncompensated +1. *)
+    threads, one [(addr, weight)] entry per uncompensated increment. *)
 
 type local_frame
 
@@ -308,5 +399,6 @@ val run_recovery_hooks : t -> crashed:int list -> int
 val anchors : t -> int list
 (** Everything the auditor may treat as a lost-reference anchor: in-flight
     destroys, the deferred queue's contents, addresses with parked or
-    flush-staged rc deltas, pending publications, and all registered
-    locals (with duplicates and nulls possible; the caller filters). *)
+    flush-staged rc deltas, pouched weight entries, pending publications,
+    and all registered locals (with duplicates and nulls possible; the
+    caller filters). *)

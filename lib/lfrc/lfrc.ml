@@ -138,6 +138,79 @@ let free_obj env counter p =
   Metrics.incr (Env.metrics env) counter;
   Heap.free (Env.heap env) p
 
+(* --- wait-free weighted rc (Blelloch–Wei split counts) ---
+
+   With [Env.wf_on], the count word holds the object's *total weight*:
+   the sum over every live reference of the weight that reference
+   carries. Heap slots carry weight in [Env.wf_slot_*] (absent = 1);
+   each thread's locals pool theirs in its pouch [Env.wf_pool_*]
+   (addr -> (w, n): n covered refs sharing w pooled weight, w >= n;
+   untracked refs carry implicit weight 1). Count adjustments are single
+   [Dcas.fetch_add]s — no retry loop anywhere on the rc path — and most
+   copies/destroys move weight between carriers without touching the
+   count at all. The Figure-2 DCAS survives only as [load]'s fallback on
+   an exhausted slot. The weight invariant, fallback conditions and
+   crash-recovery adoption are argued in DESIGN.md §17. *)
+
+(* Drop one reference to [p], whose pending drop the caller registered in
+   the destroy registry. Fast path: the ref was pool-covered alongside
+   others — uncover it, weight stays pooled, no heap traffic. Slow path:
+   flush the ref's whole carried weight with one fetch-add. Zero-detect
+   is exact: only the add that returns prev = w observed every other
+   carrier's weight already gone. Returns whether [p] died (the caller
+   tears it down; the registration stays until then). *)
+let wf_release env p =
+  if Env.wf_pool_try_drop_shared env ~addr:p then begin
+    Metrics.incr (Env.metrics env) "lfrc.weight_absorb";
+    false
+  end
+  else begin
+    let w = Env.wf_pool_weight env ~addr:p in
+    let rc = Heap.rc_cell (Env.heap env) p in
+    Blame.bind_owner (Env.blame env) ~cell:(Cell.id rc) ~addr:p;
+    let prev = Dcas.fetch_add (Env.dcas env) rc (-w) in
+    (* No yield since the add landed: removing the pouch entry is atomic
+       with it, so a crashed thread can never double-spend its weight
+       (a crash at the add's own yield point means nothing happened and
+       the pouch is intact). *)
+    Env.wf_pool_remove env ~addr:p;
+    Metrics.incr (Env.metrics env) "lfrc.weight_release";
+    Lineage.record_rc (Env.lineage env) ~addr:p ~old_rc:prev ~delta:(-w) ();
+    let died = prev = w in
+    if died then Shadow.note_dying (Env.sanitizer env) p;
+    died
+  end
+
+(* Tear down a dead object (count at zero, registered by the caller):
+   same slot-nulling discipline as the eager work-list destroy, except
+   each claimed child converts its slot weight into a pouch entry in the
+   same atomic step, so the weight ledger never dangles. *)
+let wf_teardown_registered env p =
+  let heap = Env.heap env in
+  let d = Env.dcas env in
+  let work = ref [ p ] in
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | q :: rest ->
+        work := rest;
+        let n = Heap.n_ptr_slots heap q in
+        for i = 0 to n - 1 do
+          let cell = Heap.ptr_cell heap q i in
+          let child = Dcas.read d cell in
+          if child <> null then begin
+            Env.begin_destroy env child;
+            let ws = Env.wf_slot_take env ~cell in
+            Env.wf_pool_add env ~addr:child ~w:ws ~n:1;
+            Cell.set cell null;
+            if wf_release env child then work := child :: !work
+            else Env.end_destroy env child
+          end
+        done;
+        free_obj env "lfrc.frees" q;
+        Env.end_destroy env q
+  done
+
 (* --- deferred-rc coalescing ---
 
    With [Env.rc_epoch > 0], the ±1 count traffic from store/copy/cas/dcas
@@ -404,8 +477,19 @@ let pump_deferred env ~budget =
           let child = Dcas.read d cell in
           if child <> null then begin
             Env.begin_destroy env child;
-            Cell.set cell null;
-            if release_one env child then defer_dead env child;
+            if Env.wf_on env then begin
+              (* Weighted drop: the slot's carried weight moves to the
+                 pouch atomically with the claim, then flushes in one
+                 fetch-add inside [wf_release]. *)
+              let ws = Env.wf_slot_take env ~cell in
+              Env.wf_pool_add env ~addr:child ~w:ws ~n:1;
+              Cell.set cell null;
+              if wf_release env child then defer_dead env child
+            end
+            else begin
+              Cell.set cell null;
+              if release_one env child then defer_dead env child
+            end;
             Env.end_destroy env child
           end
         done;
@@ -414,11 +498,28 @@ let pump_deferred env ~budget =
   done;
   !freed
 
+(* Wait-free commit of a drop whose registration the caller already
+   placed: released references either uncover from the pouch or flush
+   their weight; a death cascades through the weighted teardown (or the
+   deferred queue under that policy). *)
+let wf_commit_drop env p =
+  match Env.policy env with
+  | Env.Deferred { budget_per_op } ->
+      if wf_release env p then defer_dead env p;
+      Env.end_destroy env p;
+      ignore (pump_deferred env ~budget:budget_per_op)
+  | Env.Recursive | Env.Iterative ->
+      (* Recursion depth is an eager-mode concern; the weighted teardown
+         is always the explicit work list. *)
+      if wf_release env p then wf_teardown_registered env p
+      else Env.end_destroy env p
+
 (* Commit a drop whose registry entry the caller already placed (atomically
    with the CAS that removed the reference from the heap); [p <> null]. *)
 let destroy_registered env p =
   Metrics.incr (Env.metrics env) "lfrc.destroy";
-  if Env.rc_deferred env then begin
+  if Env.wf_on env then wf_commit_drop env p
+  else if Env.rc_deferred env then begin
     let metrics = Env.metrics env in
     Metrics.incr metrics "lfrc.defer_dec";
     Lineage.record (Env.lineage env) ~addr:p Lineage.Defer_dec;
@@ -445,7 +546,18 @@ let flush env =
 let destroy env p =
   guard env "destroy";
   span env "lfrc.destroy" @@ fun () ->
-  if Env.rc_deferred env then
+  if Env.wf_on env then begin
+    if p <> null then begin
+      Env.begin_destroy env p;
+      wf_commit_drop env p
+    end
+    else
+      match Env.policy env with
+      | Env.Deferred { budget_per_op } ->
+          ignore (pump_deferred env ~budget:budget_per_op)
+      | Env.Recursive | Env.Iterative -> ()
+  end
+  else if Env.rc_deferred env then
     (* Park the decrement; zero detection (and the free) happens in the
        flush, which alone may move a heap count downward in this mode. *)
     defer_rc env p (-1)
@@ -461,10 +573,122 @@ let destroy env p =
         end;
         ignore (pump_deferred env ~budget:budget_per_op)
 
+(* Weight-batch publication for the wait-free CAS publishing sites: mint
+   a whole batch with one fetch-add; the registry entry carries the batch
+   size so a crash before the CAS resolves is compensated weight-exactly
+   by recovery. *)
+let wf_publish env p =
+  if p <> null then begin
+    let wt = Env.wf_weight env in
+    let rc = Heap.rc_cell (Env.heap env) p in
+    Blame.bind_owner (Env.blame env) ~cell:(Cell.id rc) ~addr:p;
+    let prev = Dcas.fetch_add (Env.dcas env) rc wt in
+    (* Atomic with the add: the speculative batch is never unanchored. *)
+    Env.begin_publish ~weight:wt env p;
+    Metrics.incr (Env.metrics env) "lfrc.weight_pub";
+    Lineage.record_rc (Env.lineage env) ~addr:p ~old_rc:prev ~delta:wt ()
+  end
+
+(* Return an unspent publication batch after a failed CAS. Preferred:
+   merge it into the thread's pouch entry for [p] (the caller's local
+   still covers it). With no entry to absorb into, return it through the
+   count word as a phantom-reference drop — which also handles the case
+   where the publication was the last thing keeping [p] alive. *)
+let wf_give_back env p =
+  if p <> null then begin
+    let wt = Env.wf_weight env in
+    if not (Env.wf_pool_give env ~addr:p ~w:wt) then begin
+      Env.begin_destroy env p;
+      Env.wf_pool_add env ~addr:p ~w:wt ~n:1;
+      wf_commit_drop env p
+    end
+  end
+
+(* Bookkeeping for a winning publish CAS over [cell] that replaced
+   [oldv]: claim the old pointer's slot weight into the pouch (and
+   register its pending drop), then install the new slot weight — all in
+   the same atomic step as the CAS itself. Claiming old-first keeps the
+   ledger right when the CAS reinstalls the same pointer. *)
+let wf_swap_slot env ~cell ~oldv ~neww =
+  if oldv <> null then begin
+    Env.begin_destroy env oldv;
+    let ws = Env.wf_slot_take env ~cell in
+    Env.wf_pool_add env ~addr:oldv ~w:ws ~n:1
+  end
+  else ignore (Env.wf_slot_take env ~cell);
+  match neww with Some w -> Env.wf_slot_set env ~cell ~w | None -> ()
+
+(* The committed drop a [wf_swap_slot] registered. *)
+let wf_drop_swapped env oldv =
+  if oldv <> null then begin
+    Metrics.incr (Env.metrics env) "lfrc.destroy";
+    wf_commit_drop env oldv
+  end
+
+(* Wait-free LFRCLoad: the pointer read and the weight borrow are one
+   atomic step — the simulator analogue of the single RMW a real
+   implementation issues on the packed (pointer, weight) word. The
+   Figure-2 DCAS survives only as the exhausted-slot fallback, which
+   refills the slot with a fresh batch so the next [weight] loads borrow
+   again; its retries count as [lfrc.load_retry] (so [lfrc.rc_retry]
+   stays exactly 0 in this mode). The borrow fast path is disabled under
+   [Software_mcas], whose cells can transiently hold descriptor words a
+   raw peek must not trust. *)
+let wf_load env ~src ~dest =
+  let heap = Env.heap env in
+  let d = Env.dcas env in
+  let olddest = !dest in
+  let can_borrow = Dcas.impl d <> Dcas.Software_mcas in
+  let wt = Env.wf_weight env in
+  let slow = per_retry_obs env in
+  let rec go burst =
+    let a = Dcas.read d src in
+    if a = null then begin
+      dest := null;
+      burst
+    end
+    else if can_borrow && Env.wf_slot_try_borrow env ~cell:src then begin
+      (* Same no-yield window as the read: the slot still holds [a], so
+         the borrowed unit provably covers a live reference. *)
+      Env.wf_pool_add env ~addr:a ~w:1 ~n:1;
+      dest := a;
+      Metrics.incr (Env.metrics env) "lfrc.weight_borrow";
+      Lineage.record (Env.lineage env) ~addr:a Lineage.Wborrow;
+      burst
+    end
+    else begin
+      let rc = Heap.rc_cell heap a in
+      Blame.bind_owner (Env.blame env) ~cell:(Cell.id rc) ~addr:a;
+      let r = Dcas.read d rc in
+      (* Exhaustion fallback: mint [wt + 1] while atomically checking the
+         slot still holds [a] — [wt] refills the slot, 1 covers the new
+         reference. *)
+      if Dcas.dcas d src rc ~old0:a ~old1:r ~new0:a ~new1:(r + wt + 1) then begin
+        Env.wf_slot_give env ~cell:src ~w:wt;
+        Env.wf_pool_add env ~addr:a ~w:1 ~n:1;
+        dest := a;
+        Metrics.incr (Env.metrics env) "lfrc.weight_exhaust";
+        Lineage.record_rc (Env.lineage env) ~addr:a ~old_rc:r ~delta:(wt + 1)
+          ();
+        burst
+      end
+      else begin
+        if slow then retry_slow env "lfrc.load_retry";
+        go (burst + 1)
+      end
+    end
+  in
+  let burst = go 0 in
+  record_retries env "lfrc.load_retry" burst;
+  Metrics.observe (Env.metrics env) "lfrc.load.retries" (float_of_int burst);
+  destroy env olddest
+
 (* LFRCLoad (Figure 2, lines 1..12). *)
 let load env ~src ~dest =
   guard env "load";
   span env "lfrc.load" @@ fun () ->
+  if Env.wf_on env then wf_load env ~src ~dest
+  else
   let heap = Env.heap env in
   let d = Env.dcas env in
   let olddest = !dest in
@@ -500,10 +724,38 @@ let load env ~src ~dest =
   Metrics.observe (Env.metrics env) "lfrc.load.retries" (float_of_int burst);
   destroy env olddest
 
+let wf_store env ~dst v =
+  wf_publish env v;
+  let d = Env.dcas env in
+  let wt = Env.wf_weight env in
+  let slow = per_retry_obs env in
+  let rec go burst =
+    let oldval = Dcas.read d dst in
+    if Dcas.cas d dst oldval v then begin
+      (* All of this rides the winning CAS's atomic step: the published
+         batch becomes the slot's carried weight, the displaced pointer's
+         slot weight moves to the pouch with its drop registered. *)
+      Env.end_publish env v;
+      wf_swap_slot env ~cell:dst ~oldv:oldval
+        ~neww:(if v <> null then Some wt else None);
+      record_retries env "lfrc.store_retry" burst;
+      Metrics.observe (Env.metrics env) "lfrc.store.retries"
+        (float_of_int burst);
+      wf_drop_swapped env oldval
+    end
+    else begin
+      if slow then retry_slow env "lfrc.store_retry";
+      go (burst + 1)
+    end
+  in
+  go 0
+
 (* LFRCStore (Figure 2, lines 21..28). *)
 let store env ~dst v =
   guard env "store";
   span env "lfrc.store" @@ fun () ->
+  if Env.wf_on env then wf_store env ~dst v
+  else begin
   rc_incr_for_publish env v;
   let d = Env.dcas env in
   let slow = per_retry_obs env in
@@ -524,12 +776,41 @@ let store env ~dst v =
     end
   in
   go 0
+  end
+
+(* Wait-free store of an owned allocation: no publication — the local
+   reference's carried weight transfers to the slot on the winning CAS.
+   [clear] (for the crash-safe [_from] variant) nulls the source local in
+   the same atomic step. *)
+let wf_store_alloc env ~dst v ~clear =
+  let d = Env.dcas env in
+  let slow = per_retry_obs env in
+  let rec go burst =
+    let oldval = Dcas.read d dst in
+    if Dcas.cas d dst oldval v then begin
+      clear ();
+      let wtk =
+        if v <> null then Env.wf_pool_take_for_transfer env ~addr:v else 1
+      in
+      wf_swap_slot env ~cell:dst ~oldv:oldval
+        ~neww:(if v <> null then Some wtk else None);
+      record_retries env "lfrc.store_retry" burst;
+      wf_drop_swapped env oldval
+    end
+    else begin
+      if slow then retry_slow env "lfrc.store_retry";
+      go (burst + 1)
+    end
+  in
+  go 0
 
 (* LFRCStoreAlloc (paper Figure 1, line 35): consume the allocation's
    count instead of raising it. *)
 let store_alloc env ~dst v =
   guard env "store_alloc";
   span env "lfrc.store_alloc" @@ fun () ->
+  if Env.wf_on env then wf_store_alloc env ~dst v ~clear:ignore
+  else
   let d = Env.dcas env in
   let slow = per_retry_obs env in
   let rec go burst =
@@ -553,6 +834,8 @@ let store_alloc_from env ~dst r =
   span env "lfrc.store_alloc" @@ fun () ->
   let d = Env.dcas env in
   let v = !r in
+  if Env.wf_on env then wf_store_alloc env ~dst v ~clear:(fun () -> r := null)
+  else
   let slow = per_retry_obs env in
   let rec go burst =
     let oldval = Dcas.read d dst in
@@ -568,45 +851,120 @@ let store_alloc_from env ~dst r =
   in
   go 0
 
+(* Wait-free LFRCCopy: cover the new reference from the thread's pooled
+   weight when the pouch has spare units (no shared-memory traffic at
+   all); refill the pouch with a whole fetch-add batch otherwise. Either
+   way, no compare loop. *)
+let wf_copy env ~dest w =
+  if w <> null then begin
+    if Env.wf_pool_try_share env ~addr:w then begin
+      Metrics.incr (Env.metrics env) "lfrc.weight_share";
+      Lineage.record (Env.lineage env) ~addr:w Lineage.Wshare
+    end
+    else begin
+      let wt = Env.wf_weight env in
+      let rc = Heap.rc_cell (Env.heap env) w in
+      Blame.bind_owner (Env.blame env) ~cell:(Cell.id rc) ~addr:w;
+      let prev = Dcas.fetch_add (Env.dcas env) rc wt in
+      (* Atomic with the add: pouch the batch before any yield. *)
+      Env.wf_pool_add env ~addr:w ~w:wt ~n:1;
+      Metrics.incr (Env.metrics env) "lfrc.weight_refill";
+      Lineage.record_rc (Env.lineage env) ~addr:w ~old_rc:prev ~delta:wt ()
+    end
+  end;
+  let old = !dest in
+  dest := w;
+  destroy env old
+
 (* LFRCCopy (Figure 2, lines 29..32). *)
 let copy env ~dest w =
   guard env "copy";
   span env "lfrc.copy" @@ fun () ->
-  (* The deferred-mode increment can trigger a flush (which yields) before
-     [dest] holds [w], so the +1 rides the publication registry until the
-     assignment lands. *)
-  rc_incr_for_publish env w;
-  let old = !dest in
-  dest := w;
-  Env.end_publish env w;
-  destroy env old
+  if Env.wf_on env then wf_copy env ~dest w
+  else begin
+    (* The deferred-mode increment can trigger a flush (which yields) before
+       [dest] holds [w], so the +1 rides the publication registry until the
+       assignment lands. *)
+    rc_incr_for_publish env w;
+    let old = !dest in
+    dest := w;
+    Env.end_publish env w;
+    destroy env old
+  end
+
+(* Wait-free LFRCDCAS: publish whole weight batches with two fetch-adds,
+   attempt the DCAS once per call from the caller's retry loop, and move
+   slot weights on success. A failure returns both unspent batches — one
+   at a time, so [new1]'s batch stays registered (crash-anchored) across
+   any destroy cascade [new0]'s give-back triggers. *)
+let wf_dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
+  let wt = Env.wf_weight env in
+  wf_publish env new0;
+  wf_publish env new1;
+  if Dcas.dcas (Env.dcas env) c0 c1 ~old0 ~old1 ~new0 ~new1 then begin
+    Env.end_publish env new0;
+    Env.end_publish env new1;
+    wf_swap_slot env ~cell:c0 ~oldv:old0
+      ~neww:(if new0 <> null then Some wt else None);
+    wf_swap_slot env ~cell:c1 ~oldv:old1
+      ~neww:(if new1 <> null then Some wt else None);
+    wf_drop_swapped env old0;
+    wf_drop_swapped env old1;
+    true
+  end
+  else begin
+    Env.end_publish env new0;
+    wf_give_back env new0;
+    Env.end_publish env new1;
+    wf_give_back env new1;
+    false
+  end
 
 (* LFRCDCAS (Figure 2, lines 33..39). *)
 let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
   guard env "dcas";
   span env "lfrc.dcas" @@ fun () ->
-  rc_incr_for_publish env new0;
-  rc_incr_for_publish env new1;
-  if Dcas.dcas (Env.dcas env) c0 c1 ~old0 ~old1 ~new0 ~new1 then begin
-    Env.end_publish env new0;
-    Env.end_publish env new1;
-    (* Register BOTH committed drops atomically with the DCAS, then commit
-       them one at a time: the second stays anchored while the first's
-       cascade yields. *)
-    if old0 <> null then Env.begin_destroy env old0;
-    if old1 <> null then Env.begin_destroy env old1;
-    if old0 <> null then destroy_registered env old0;
-    if old1 <> null then destroy_registered env old1;
+  if Env.wf_on env then wf_dcas env c0 c1 ~old0 ~old1 ~new0 ~new1
+  else begin
+    rc_incr_for_publish env new0;
+    rc_incr_for_publish env new1;
+    if Dcas.dcas (Env.dcas env) c0 c1 ~old0 ~old1 ~new0 ~new1 then begin
+      Env.end_publish env new0;
+      Env.end_publish env new1;
+      (* Register BOTH committed drops atomically with the DCAS, then commit
+         them one at a time: the second stays anchored while the first's
+         cascade yields. *)
+      if old0 <> null then Env.begin_destroy env old0;
+      if old1 <> null then Env.begin_destroy env old1;
+      if old0 <> null then destroy_registered env old0;
+      if old1 <> null then destroy_registered env old1;
+      true
+    end
+    else begin
+      (* Resolve one publication at a time: [new1] stays registered across
+         [new0]'s destroy cascade (which can yield), so a crash inside it
+         never leaves [new1]'s speculative +1 unanchored. *)
+      Env.end_publish env new0;
+      destroy env new0;
+      Env.end_publish env new1;
+      destroy env new1;
+      false
+    end
+  end
+
+(* Wait-free LFRCCAS: single-cell [wf_dcas] shape. *)
+let wf_cas env c ~old_ptr ~new_ptr =
+  wf_publish env new_ptr;
+  if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
+    Env.end_publish env new_ptr;
+    wf_swap_slot env ~cell:c ~oldv:old_ptr
+      ~neww:(if new_ptr <> null then Some (Env.wf_weight env) else None);
+    wf_drop_swapped env old_ptr;
     true
   end
   else begin
-    (* Resolve one publication at a time: [new1] stays registered across
-       [new0]'s destroy cascade (which can yield), so a crash inside it
-       never leaves [new1]'s speculative +1 unanchored. *)
-    Env.end_publish env new0;
-    destroy env new0;
-    Env.end_publish env new1;
-    destroy env new1;
+    Env.end_publish env new_ptr;
+    wf_give_back env new_ptr;
     false
   end
 
@@ -614,16 +972,19 @@ let dcas env c0 c1 ~old0 ~old1 ~new0 ~new1 =
 let cas env c ~old_ptr ~new_ptr =
   guard env "cas";
   span env "lfrc.cas" @@ fun () ->
-  rc_incr_for_publish env new_ptr;
-  if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
-    Env.end_publish env new_ptr;
-    destroy env old_ptr;
-    true
-  end
+  if Env.wf_on env then wf_cas env c ~old_ptr ~new_ptr
   else begin
-    Env.end_publish env new_ptr;
-    destroy env new_ptr;
-    false
+    rc_incr_for_publish env new_ptr;
+    if Dcas.cas (Env.dcas env) c old_ptr new_ptr then begin
+      Env.end_publish env new_ptr;
+      destroy env old_ptr;
+      true
+    end
+    else begin
+      Env.end_publish env new_ptr;
+      destroy env new_ptr;
+      false
+    end
   end
 
 (* Extension: DCAS over one pointer cell and one plain-value cell.
@@ -631,20 +992,69 @@ let cas env c ~old_ptr ~new_ptr =
 let dcas_ptr_val env ~ptr_cell ~val_cell ~old_ptr ~new_ptr ~old_val ~new_val =
   guard env "dcas_ptr_val";
   span env "lfrc.dcas_ptr_val" @@ fun () ->
-  rc_incr_for_publish env new_ptr;
-  if
-    Dcas.dcas (Env.dcas env) ptr_cell val_cell ~old0:old_ptr ~old1:old_val
-      ~new0:new_ptr ~new1:new_val
-  then begin
-    Env.end_publish env new_ptr;
-    destroy env old_ptr;
-    true
+  if Env.wf_on env then begin
+    (* Weight tables track the pointer word only; the value word carries
+       no references. *)
+    wf_publish env new_ptr;
+    if
+      Dcas.dcas (Env.dcas env) ptr_cell val_cell ~old0:old_ptr ~old1:old_val
+        ~new0:new_ptr ~new1:new_val
+    then begin
+      Env.end_publish env new_ptr;
+      wf_swap_slot env ~cell:ptr_cell ~oldv:old_ptr
+        ~neww:(if new_ptr <> null then Some (Env.wf_weight env) else None);
+      wf_drop_swapped env old_ptr;
+      true
+    end
+    else begin
+      Env.end_publish env new_ptr;
+      wf_give_back env new_ptr;
+      false
+    end
   end
   else begin
-    Env.end_publish env new_ptr;
-    destroy env new_ptr;
-    false
+    rc_incr_for_publish env new_ptr;
+    if
+      Dcas.dcas (Env.dcas env) ptr_cell val_cell ~old0:old_ptr ~old1:old_val
+        ~new0:new_ptr ~new1:new_val
+    then begin
+      Env.end_publish env new_ptr;
+      destroy env old_ptr;
+      true
+    end
+    else begin
+      Env.end_publish env new_ptr;
+      destroy env new_ptr;
+      false
+    end
   end
+
+(* Finish a destroy whose owner crashed after taking the count to zero
+   (used by crash recovery). Under the slot-nulling discipline every
+   committed child drop also nulled its slot, so the husk's remaining
+   non-null slots are exactly the drops never committed: perform each
+   one, then free the husk. In wait-free mode each claimed child's slot
+   weight moves to the adopter's pouch before its drop commits, so the
+   weight ledger balances exactly as in a live teardown. *)
+let finish_teardown env p =
+  let heap = Env.heap env in
+  for i = 0 to Heap.n_ptr_slots heap p - 1 do
+    let cell = Heap.ptr_cell heap p i in
+    let child = Cell.get cell in
+    if child <> null then
+      if Env.wf_on env then begin
+        Env.begin_destroy env child;
+        let ws = Env.wf_slot_take env ~cell in
+        Env.wf_pool_add env ~addr:child ~w:ws ~n:1;
+        Cell.set cell null;
+        wf_commit_drop env child
+      end
+      else begin
+        Cell.set cell null;
+        destroy env child
+      end
+  done;
+  free_obj env "lfrc.frees" p
 
 let with_locals env n f =
   let locals = Array.init n (fun _ -> ref null) in

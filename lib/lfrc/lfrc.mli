@@ -16,7 +16,16 @@
 
     All operations are lock-free given a lock-free DCAS substrate: every
     internal loop re-runs only if a shared value changed, and whichever
-    thread changed it completed an operation. *)
+    thread changed it completed an operation.
+
+    Under {!Env.Wait_free} the count path is stronger than lock-free:
+    the count word holds the object's total {e weight} (every live
+    reference carries part of it — heap slots in the environment's slot
+    table, locals pooled per-thread), copy and destroy adjust it with a
+    single {!Lfrc_atomics.Dcas.fetch_add} (no retry loop — [rc_retry]
+    is exactly 0), and the Figure-2 DCAS survives only as {!load}'s
+    fallback on a weight-exhausted slot. DESIGN.md §17 states the weight
+    invariant and the fallback/recovery argument. *)
 
 type ptr = Lfrc_simmem.Heap.ptr
 
@@ -121,6 +130,13 @@ val flush : Env.t -> int
     after a peer crashes — and the chaos runner forces it before an
     audit — so parked deltas and deferred garbage do not masquerade as
     leaks. *)
+
+val finish_teardown : Env.t -> ptr -> unit
+(** Finish a teardown whose owner crashed after taking the count to zero
+    (crash recovery's adoption path): commit the drop of every child
+    still in a slot — in wait-free mode claiming each slot's carried
+    weight first — then free the husk. Callable only on a live object
+    whose count is zero. *)
 
 val with_locals : Env.t -> int -> (ptr ref array -> 'a) -> 'a
 (** [with_locals env n f] runs [f] with [n] null-initialized local pointer

@@ -10,6 +10,8 @@ type kind =
   | Flush of { net : int }
   | Free of { gen : int }
   | Adopt of { owner : int }
+  | Wborrow
+  | Wshare
 
 type event = { step : int; tid : int; kind : kind; op : string }
 
@@ -144,8 +146,11 @@ let record t ?op ~addr kind =
           (* Parked deltas do not move the heap count; the paired Rc event
              emitted when a flush applies them does. Likewise an adoption
              only re-homes a reference — the adopter's own destroy/flush
-             records any count movement. *)
-          | Retire | Defer | Defer_inc | Defer_dec | Flush _ | Adopt _ -> ());
+             records any count movement — and a weight borrow/share moves
+             weight between carriers without touching the total. *)
+          | Retire | Defer | Defer_inc | Defer_dec | Flush _ | Adopt _
+          | Wborrow | Wshare ->
+              ());
           push r e { step; tid; kind; op })
 
 let record_rc t ?op ~addr ~old_rc ~delta () =
@@ -238,6 +243,8 @@ let kind_name = function
   | Flush { net } -> Printf.sprintf "flush net%+d" net
   | Free { gen } -> Printf.sprintf "free#%d" gen
   | Adopt { owner } -> Printf.sprintf "adopt(owner=t%d)" owner
+  | Wborrow -> "weight-borrow"
+  | Wshare -> "weight-share"
 
 let pp_event ppf ev =
   Format.fprintf ppf "%8d  t%-3d %-16s %s" ev.step ev.tid (kind_name ev.kind)
@@ -346,6 +353,22 @@ let tracer_events t ~addr =
             kind = Tracer.Instant;
             name = name (Printf.sprintf "adopt(owner=t%d)" owner);
             arg = owner;
+          }
+      | Wborrow ->
+          {
+            Tracer.step = ev.step;
+            tid = addr;
+            kind = Tracer.Instant;
+            name = name "weight-borrow";
+            arg = 1;
+          }
+      | Wshare ->
+          {
+            Tracer.step = ev.step;
+            tid = addr;
+            kind = Tracer.Instant;
+            name = name "weight-share";
+            arg = 1;
           })
     (events t ~addr)
 

@@ -38,6 +38,12 @@ type kind =
           orphaned by crashed thread [owner]; the event's [tid] is the
           adopter. Count movement, if any, is recorded separately by the
           adopter's destroy/flush. *)
+  | Wborrow
+      (** wait-free mode: a load took the new reference's weight from the
+          heap slot it read (borrow-on-handoff) — no count movement *)
+  | Wshare
+      (** wait-free mode: a copy covered the new reference from the
+          thread's pooled weight — no count movement *)
 
 type event = { step : int; tid : int; kind : kind; op : string }
 (** [op] is the innermost instrumented operation running on [tid] when

@@ -187,6 +187,62 @@ let test_borrow_with_live_owner_spans_flush () =
   in
   checki "owned borrow across flush is clean" 0 (errors_of r)
 
+(* The unbalanced split: the copy mints a second weight-bearing
+   reference to the loaded object and only the original is ever retired.
+   Under wait-free weighted rc that strands weight on the count forever
+   (the object can never reach zero), so the per-object mint/consume
+   ledger must flag it — on the non-null path only, like escaping-get. *)
+let test_flags_weight_unbalanced () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-weight-split"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              (if O.get l <> Heap.null then
+                 let m = O.declare ctx in
+                 O.copy ctx m (O.get l)
+                 (* the split is never dropped: its weight strands *));
+              O.retire ctx l );
+        ])
+  in
+  checkb "weight-unbalanced flagged" true
+    (has_class Absint.Weight_unbalanced r);
+  checkb "weight imbalance is an error" true (errors_of r > 0)
+
+(* The balanced sibling of the fixture above (split, then drop both
+   sides) must stay ledger-clean: conservation is about matching, not
+   about forbidding splits. *)
+let test_balanced_split_clean () =
+  let r =
+    Checker.analyze_actions ~limits ~name:"fixture-weight-balanced"
+      (fun (module O : Lfrc_core.Ops_intf.OPS) env ->
+        let ctx = O.make_ctx env in
+        let anchor = O.declare ctx in
+        O.alloc ctx fixture_layout anchor;
+        let cell = Heap.ptr_cell (Env.heap env) (O.get anchor) 0 in
+        [
+          ( "op",
+            fun () ->
+              let l = O.declare ctx in
+              O.load ctx cell l;
+              (if O.get l <> Heap.null then
+                 let m = O.declare ctx in
+                 O.copy ctx m (O.get l);
+                 O.retire ctx m);
+              O.retire ctx l );
+        ])
+  in
+  checkb "balanced split not flagged" false
+    (has_class Absint.Weight_unbalanced r);
+  checki "balanced split fixture clean" 0 (errors_of r)
+
 (* --- OPS bypass --- *)
 
 let test_flags_lfrc_bypass () =
@@ -407,6 +463,8 @@ let () =
           Alcotest.test_case "unowned-store" `Quick test_flags_unowned_store;
           Alcotest.test_case "borrow-across-flush" `Quick
             test_flags_borrow_across_flush;
+          Alcotest.test_case "weight-unbalanced" `Quick
+            test_flags_weight_unbalanced;
           Alcotest.test_case "lfrc-bypass" `Quick test_flags_lfrc_bypass;
           Alcotest.test_case "dcas-in-cas-tier" `Quick
             test_flags_dcas_in_cas_tier;
@@ -431,6 +489,8 @@ let () =
             test_clean_fixture_passes;
           Alcotest.test_case "owned borrow spans flush" `Quick
             test_borrow_with_live_owner_spans_flush;
+          Alcotest.test_case "balanced split stays clean" `Quick
+            test_balanced_split_clean;
           Alcotest.test_case "all shipped structures pass" `Quick
             test_shipped_structures_clean;
         ] );

@@ -299,6 +299,44 @@ let test_compare_counter_and_ops_policy () =
      let rec go i = i + la <= ls && (String.sub e i la = a || go (i + 1)) in
      go 0)
 
+let test_compare_vanished_counter_is_zero () =
+  (* Registries only serialize non-zero series, so a mode that newly
+     reports lfrc.rc_retry = 0 simply omits the key. The diff must read
+     the omission as 0 on a matched key — a -100% drift on the baseline
+     value — not as a missing instrument. *)
+  let baseline =
+    doc
+      {|{"workloads":[
+          {"structure":"treiber","ops_per_sec":1000.0,
+           "metrics":{"counters":{"dcas.cas_attempts":100,"lfrc.rc_retry":40}}}]}|}
+  in
+  let current =
+    doc
+      {|{"workloads":[
+          {"structure":"treiber","ops_per_sec":1000.0,
+           "metrics":{"counters":{"dcas.cas_attempts":100}}}]}|}
+  in
+  let v = Bc.diff ~threshold:30.0 ~current ~baseline in
+  checkb "vanished counter gates as drift" false (Bc.ok v);
+  checki "exactly one counter drift" 1 (List.length v.Bc.counter_drift);
+  let d = List.hd v.Bc.counter_drift in
+  checks "key" "lfrc.rc_retry" d.Bc.key;
+  checkb "current side compares as 0" true (d.Bc.cur = 0.);
+  checkb "pct is -100%" true (Float.abs (d.Bc.pct +. 100.0) < 0.01);
+  (* The matched, unchanged counter stays quiet, and nothing lands in the
+     report-only new-counter bucket. *)
+  checki "no new counters" 0 (List.length v.Bc.counter_new);
+  (* Symmetric case: identical docs with an explicit zero on both sides
+     stay green. *)
+  let both_zero =
+    doc
+      {|{"workloads":[
+          {"structure":"treiber","ops_per_sec":1000.0,
+           "metrics":{"counters":{"dcas.cas_attempts":100,"lfrc.rc_retry":0}}}]}|}
+  in
+  let v0 = Bc.diff ~threshold:30.0 ~current ~baseline:both_zero in
+  checkb "zero baseline never gates" true (Bc.ok v0)
+
 (* --- tracer metadata: saved traces are self-describing --- *)
 
 let test_tracer_meta_in_exports () =
@@ -364,6 +402,8 @@ let () =
             test_compare_histogram_n_drift_gates;
           Alcotest.test_case "counter/ops policy" `Quick
             test_compare_counter_and_ops_policy;
+          Alcotest.test_case "vanished counter compares as 0" `Quick
+            test_compare_vanished_counter_is_zero;
         ] );
       ( "tracer-meta",
         [

@@ -236,7 +236,8 @@ let test_figure2_replay_deferred () =
                 checki (Printf.sprintf "addr %d: freed only at rc 0" addr) 0
                   !rc
             | Lineage.Retire | Lineage.Defer | Lineage.Defer_inc
-            | Lineage.Defer_dec | Lineage.Flush _ | Lineage.Adopt _ ->
+            | Lineage.Defer_dec | Lineage.Flush _ | Lineage.Adopt _
+            | Lineage.Wborrow | Lineage.Wshare ->
                 ())
           evs
       end)

@@ -2,7 +2,7 @@
    skiplist), closing the coverage gap left by test_lin_stack_queue
    (stack/queue) and test_structures (deque): randomized scheduling and
    PCT sweeps, full Wing–Gong checking against a functional set model,
-   in both eager and deferred-rc modes. After the workers join, thread 0
+   in eager, deferred-rc and wait-free modes. After the workers join, thread 0
    probes every key quiescently so lost or resurrected elements make the
    history non-linearizable. *)
 
@@ -45,13 +45,13 @@ module Set_checker = Lfrc_linearize.Checker.Make (Set_spec)
 let key_space = [ 1; 2; 3 ]
 
 let run_set_scenario (module S : Lfrc_structures.Container_intf.SET)
-    ~rc_epoch ~preload ~threads strategy =
+    ~rc_mode ~preload ~threads strategy =
   let history = History.create () in
   let body () =
     let heap = Heap.create ~name:("lin-" ^ S.name) () in
     let env =
       Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
-      ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) heap
+      ~rc_mode heap
     in
     let t = S.create env in
     let h0 = S.register t in
@@ -106,20 +106,25 @@ let scenarios =
       ([ 1; 2 ], [ [ Remove 1; Remove 2 ]; [ Insert 1 ]; [ Remove 1 ] ]);
     ]
 
-let modes = [ ("eager", 0); ("deferred", Scenario.deferred_rc_epoch) ]
+let modes =
+  [
+    ("eager", Env.Eager);
+    ("deferred", Env.Deferred_rc { epoch = Scenario.deferred_rc_epoch });
+    ("wait-free", Env.Wait_free { weight = Scenario.wait_free_weight });
+  ]
 
 let impls : (string * (module Lfrc_structures.Container_intf.SET)) list =
   [ ("dlist-set", (module Dset)); ("skiplist", (module Skipset)) ]
 
 let test_randomized (name, impl) () =
   List.iter
-    (fun (mode, rc_epoch) ->
+    (fun (mode, rc_mode) ->
       List.iteri
         (fun i (preload, threads) ->
           for seed = 0 to 99 do
             if
               not
-                (run_set_scenario impl ~rc_epoch ~preload ~threads
+                (run_set_scenario impl ~rc_mode ~preload ~threads
                    (Strategy.Random seed))
             then
               Alcotest.failf "%s/%s scenario %d seed %d not linearizable"
@@ -131,11 +136,11 @@ let test_randomized (name, impl) () =
 let test_pct (name, impl) () =
   let preload, threads = List.hd scenarios in
   List.iter
-    (fun (mode, rc_epoch) ->
+    (fun (mode, rc_mode) ->
       for seed = 0 to 299 do
         if
           not
-            (run_set_scenario impl ~rc_epoch ~preload ~threads
+            (run_set_scenario impl ~rc_mode ~preload ~threads
                (Strategy.Pct { seed; change_points = 3 }))
         then
           Alcotest.failf "%s/%s: PCT seed %d not linearizable" name mode seed

@@ -75,11 +75,11 @@ module Queue_checker = Lfrc_linearize.Checker.Make (Queue_spec)
 
 (* --- generic scenario runner --- *)
 
-let run_stack_scenario ~preload ~threads strategy =
+let run_stack_scenario ?rc_mode ~preload ~threads strategy =
   let history = History.create () in
   let body () =
     let heap = Heap.create ~name:"lin-stack" () in
-    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ?rc_mode heap in
     let s = Stack.create env in
     let h0 = Stack.register s in
     List.iter
@@ -127,11 +127,11 @@ let run_stack_scenario ~preload ~threads strategy =
   | Stack_checker.Linearizable _ -> true
   | Stack_checker.Not_linearizable -> false
 
-let run_queue_scenario ~preload ~threads strategy =
+let run_queue_scenario ?rc_mode ~preload ~threads strategy =
   let history = History.create () in
   let body () =
     let heap = Heap.create ~name:"lin-queue" () in
-    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step heap in
+    let env = Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step ?rc_mode heap in
     let q = Queue_.create env in
     let h0 = Queue_.register q in
     List.iter
@@ -178,7 +178,17 @@ let run_queue_scenario ~preload ~threads strategy =
   | Queue_checker.Linearizable _ -> true
   | Queue_checker.Not_linearizable -> false
 
-(* --- randomized sweeps --- *)
+(* --- randomized sweeps ---
+
+   Every sweep runs in all three count-delivery modes: eager, deferred-rc
+   at the harness epoch, and the wait-free weighted fast path. *)
+
+let rc_modes =
+  [
+    ("eager", None);
+    ("deferred-64", Some (Env.Deferred_rc { epoch = 64 }));
+    ("wait-free", Some (Env.Wait_free { weight = 64 }));
+  ]
 
 let test_stack_randomized () =
   let scenarios =
@@ -189,15 +199,22 @@ let test_stack_randomized () =
         ([ 1; 2 ], [ [ Pop; Push 3 ]; [ Pop; Pop ] ]);
       ]
   in
-  List.iteri
-    (fun i (preload, threads) ->
-      for seed = 0 to 249 do
-        if not (run_stack_scenario ~preload ~threads (Strategy.Random seed))
-        then
-          Alcotest.fail
-            (Printf.sprintf "stack scenario %d seed %d not linearizable" i seed)
-      done)
-    scenarios
+  List.iter
+    (fun (mode, rc_mode) ->
+      List.iteri
+        (fun i (preload, threads) ->
+          for seed = 0 to 249 do
+            if
+              not
+                (run_stack_scenario ?rc_mode ~preload ~threads
+                   (Strategy.Random seed))
+            then
+              Alcotest.fail
+                (Printf.sprintf "stack/%s scenario %d seed %d not linearizable"
+                   mode i seed)
+          done)
+        scenarios)
+    rc_modes
 
 let test_queue_randomized () =
   let scenarios =
@@ -208,34 +225,48 @@ let test_queue_randomized () =
         ([ 1; 2 ], [ [ Deq; Enq 3 ]; [ Deq; Deq ] ]);
       ]
   in
-  List.iteri
-    (fun i (preload, threads) ->
-      for seed = 0 to 249 do
-        if not (run_queue_scenario ~preload ~threads (Strategy.Random seed))
-        then
-          Alcotest.fail
-            (Printf.sprintf "queue scenario %d seed %d not linearizable" i seed)
-      done)
-    scenarios
+  List.iter
+    (fun (mode, rc_mode) ->
+      List.iteri
+        (fun i (preload, threads) ->
+          for seed = 0 to 249 do
+            if
+              not
+                (run_queue_scenario ?rc_mode ~preload ~threads
+                   (Strategy.Random seed))
+            then
+              Alcotest.fail
+                (Printf.sprintf "queue/%s scenario %d seed %d not linearizable"
+                   mode i seed)
+          done)
+        scenarios)
+    rc_modes
 
 (* --- PCT sweeps on the smallest configurations (the strategy that found
    the published Snark's race) --- *)
 
 let explore_ok name run =
-  for seed = 0 to 499 do
-    if not (run (Strategy.Pct { seed; change_points = 3 })) then
-      Alcotest.fail (Printf.sprintf "%s: PCT seed %d not linearizable" name seed)
-  done
+  List.iter
+    (fun (mode, rc_mode) ->
+      for seed = 0 to 499 do
+        if not (run ?rc_mode (Strategy.Pct { seed; change_points = 3 })) then
+          Alcotest.fail
+            (Printf.sprintf "%s/%s: PCT seed %d not linearizable" name mode
+               seed)
+      done)
+    rc_modes
 
 let test_stack_pct () =
-  explore_ok "stack"
-    (run_stack_scenario ~preload:[ 1 ]
-       ~threads:Stack_spec.[ [ Pop ]; [ Pop ]; [ Push 2 ] ])
+  explore_ok "stack" (fun ?rc_mode strategy ->
+      run_stack_scenario ?rc_mode ~preload:[ 1 ]
+        ~threads:Stack_spec.[ [ Pop ]; [ Pop ]; [ Push 2 ] ]
+        strategy)
 
 let test_queue_pct () =
-  explore_ok "queue"
-    (run_queue_scenario ~preload:[ 1 ]
-       ~threads:Queue_spec.[ [ Deq ]; [ Deq ]; [ Enq 2 ] ])
+  explore_ok "queue" (fun ?rc_mode strategy ->
+      run_queue_scenario ?rc_mode ~preload:[ 1 ]
+        ~threads:Queue_spec.[ [ Deq ]; [ Deq ]; [ Enq 2 ] ]
+        strategy)
 
 (* --- a broken implementation must be caught (oracle sanity) --- *)
 
@@ -262,13 +293,13 @@ let () =
     [
       ( "stack",
         [
-          Alcotest.test_case "randomized scenarios" `Slow test_stack_randomized;
-          Alcotest.test_case "pct scenarios" `Slow test_stack_pct;
+          Alcotest.test_case "randomized scenarios (3 rc modes)" `Slow test_stack_randomized;
+          Alcotest.test_case "pct scenarios (3 rc modes)" `Slow test_stack_pct;
         ] );
       ( "queue",
         [
-          Alcotest.test_case "randomized scenarios" `Slow test_queue_randomized;
-          Alcotest.test_case "pct scenarios" `Slow test_queue_pct;
+          Alcotest.test_case "randomized scenarios (3 rc modes)" `Slow test_queue_randomized;
+          Alcotest.test_case "pct scenarios (3 rc modes)" `Slow test_queue_pct;
         ] );
       ( "oracle",
         [ Alcotest.test_case "catches broken" `Quick test_oracle_catches_broken_stack ] );

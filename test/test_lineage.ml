@@ -109,7 +109,8 @@ let test_snark_cycle_figure2 () =
                   (Printf.sprintf "addr %d: freed only at rc 0" addr)
                   0 !rc
             | Lineage.Retire | Lineage.Defer | Lineage.Defer_inc
-            | Lineage.Defer_dec | Lineage.Flush _ | Lineage.Adopt _ ->
+            | Lineage.Defer_dec | Lineage.Flush _ | Lineage.Adopt _
+            | Lineage.Wborrow | Lineage.Wshare ->
                 ())
           evs;
         (* Every count transition is attributed to an LFRC operation —

@@ -1,12 +1,13 @@
 (* Property-based differential testing of every catalog structure against
-   its sequential model, in both rc modes.
+   its sequential model, in all four rc modes.
 
    Each case draws a seeded operation sequence from Workload.opmix (the
    same generator the benchmarks use), maps it onto one structure family
    (stack / queue / deque / set), and replays it single-threaded against
    the concurrent implementation and the functional model side by side —
    once eagerly, once with deferred-rc coalescing at the harness epoch,
-   and once with a tiny epoch that forces a flush every few operations.
+   once with a tiny epoch that forces a flush every few operations, and
+   once on the wait-free weighted fast path.
    Any result mismatch, post-destroy leak, or unexpected raise fails the
    property; the failing sequence is then shrunk greedily (drop one
    operation at a time while the failure persists) before being reported,
@@ -51,11 +52,11 @@ let gen_ops ~seed n =
    whole lifecycle runs per call so a shrunk candidate is a fresh
    deterministic execution. *)
 
-let with_run name rc_epoch f =
+let with_run name rc_mode f =
   let heap = Heap.create ~name () in
   let env =
     Env.create ~dcas_impl:Lfrc_atomics.Dcas.Atomic_step
-      ~rc_mode:(Env.rc_mode_of_epoch rc_epoch) heap
+      ~rc_mode heap
   in
   match f env with
   | Error _ as e -> e
@@ -73,8 +74,8 @@ let check i what got want err =
            (match got with Some v -> string_of_int v | None -> "empty")
            (match want with Some v -> string_of_int v | None -> "empty"))
 
-let run_stack ~rc_epoch ops =
-  with_run "qc-stack" rc_epoch @@ fun env ->
+let run_stack ~rc_mode ops =
+  with_run "qc-stack" rc_mode @@ fun env ->
   let t = Stack.create env in
   let h = Stack.register t in
   let model = ref Spec.Stack.empty in
@@ -100,8 +101,8 @@ let run_stack ~rc_epoch ops =
   Stack.destroy t;
   match !err with None -> Ok () | Some e -> Error e
 
-let run_queue ~rc_epoch ops =
-  with_run "qc-queue" rc_epoch @@ fun env ->
+let run_queue ~rc_mode ops =
+  with_run "qc-queue" rc_mode @@ fun env ->
   let t = Queue_.create env in
   let h = Queue_.register t in
   let model = ref Spec.Queue.empty in
@@ -127,9 +128,9 @@ let run_queue ~rc_epoch ops =
   Queue_.destroy t;
   match !err with None -> Ok () | Some e -> Error e
 
-let run_deque (module D : Lfrc_structures.Deque_intf.DEQUE) name ~rc_epoch ops
+let run_deque (module D : Lfrc_structures.Deque_intf.DEQUE) name ~rc_mode ops
     =
-  with_run name rc_epoch @@ fun env ->
+  with_run name rc_mode @@ fun env ->
   let t = D.create env in
   let h = D.register t in
   let model = ref Spec.Deque.empty in
@@ -172,9 +173,9 @@ let run_deque (module D : Lfrc_structures.Deque_intf.DEQUE) name ~rc_epoch ops
    contains / remove / contains so membership answers are checked on both
    the hit and miss sides; the final to_list must equal the model's
    sorted elements. *)
-let run_set (module S : Lfrc_structures.Container_intf.SET) name ~rc_epoch ops
+let run_set (module S : Lfrc_structures.Container_intf.SET) name ~rc_mode ops
     =
-  with_run name rc_epoch @@ fun env ->
+  with_run name rc_mode @@ fun env ->
   let t = S.create env in
   let h = S.register t in
   let model = ref IntSet.empty in
@@ -217,7 +218,7 @@ let run_set (module S : Lfrc_structures.Container_intf.SET) name ~rc_epoch ops
   match !err with None -> Ok () | Some e -> Error e
 
 let structures :
-    (string * (rc_epoch:int -> op list -> (unit, string) result)) list =
+    (string * (rc_mode:Env.rc_mode -> op list -> (unit, string) result)) list =
   [
     ("treiber", run_stack);
     ("msqueue", run_queue);
@@ -245,23 +246,26 @@ let shrink run ops =
 
 let modes =
   [
-    ("eager", 0);
-    ("deferred", Scenario.deferred_rc_epoch);
+    ("eager", Env.Eager);
+    ("deferred", Env.Deferred_rc { epoch = Scenario.deferred_rc_epoch });
     (* A flush every few parks: short sequences still cross many epoch
        boundaries, so flush-time frees interleave with live operations. *)
-    ("deferred-tiny", 4);
+    ("deferred-tiny", Env.Deferred_rc { epoch = 4 });
+    (* The weighted fast path: splits, borrows and exhaustion refills
+       must be observationally identical to the other modes. *)
+    ("wait-free", Env.Wait_free { weight = Scenario.wait_free_weight });
   ]
 
 let test_structure (name, runner) () =
   List.iter
-    (fun (mode, rc_epoch) ->
+    (fun (mode, rc_mode) ->
       for seed = 0 to seeds - 1 do
         let ops = gen_ops ~seed ops_len in
-        match runner ~rc_epoch ops with
+        match runner ~rc_mode ops with
         | Ok () -> ()
         | Error first ->
             let run ops =
-              match runner ~rc_epoch ops with
+              match runner ~rc_mode ops with
               | (Ok () | Error _) as r -> r
             in
             let small = shrink run ops in
@@ -281,7 +285,7 @@ let test_structure (name, runner) () =
 (* Oracle sanity: a deliberately wrong pairing (stack implementation vs
    queue model) must fail and shrink to a near-minimal sequence. *)
 let test_shrinker_catches_and_shrinks () =
-  let broken ~rc_epoch:_ ops =
+  let broken ~rc_mode:_ ops =
     (* Treiber against the FIFO model: diverges as soon as two pushes
        precede a pop. *)
     let t = ref Spec.Queue.empty and s = ref Spec.Stack.empty in
@@ -317,13 +321,13 @@ let test_shrinker_catches_and_shrinks () =
     if seed > 200 then Alcotest.fail "no failing sequence found"
     else
       let ops = gen_ops ~seed 60 in
-      match broken ~rc_epoch:0 ops with
+      match broken ~rc_mode:Env.Eager ops with
       | Error _ -> ops
       | Ok () -> find_failing (seed + 1)
   in
   let ops = find_failing 0 in
-  let small = shrink (broken ~rc_epoch:0) ops in
-  (match broken ~rc_epoch:0 small with
+  let small = shrink (broken ~rc_mode:Env.Eager) ops in
+  (match broken ~rc_mode:Env.Eager small with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "shrunk sequence no longer fails");
   (* Minimal divergence is push;push;pop — greedy must get there. *)
@@ -335,7 +339,7 @@ let () =
        (fun (name, runner) ->
          ( name,
            [
-             Alcotest.test_case "eager+deferred vs model" `Slow
+             Alcotest.test_case "4 rc modes vs model" `Slow
                (test_structure (name, runner));
            ] ))
        structures

@@ -140,6 +140,8 @@ let () =
         [
           Alcotest.test_case "plain-race detected" `Quick
             (test_fixture_detected "plain-race");
+          Alcotest.test_case "torn-weight detected" `Quick
+            (test_fixture_detected "torn-weight");
           Alcotest.test_case "use-after-retire detected" `Quick
             (test_fixture_detected "use-after-retire");
           Alcotest.test_case "aba-pop detected" `Quick

@@ -128,6 +128,7 @@ let rc_modes =
     ("eager", None);
     ("deferred-4", Some (Env.Deferred_rc { epoch = 4 }));
     ("deferred-64", Some (Env.Deferred_rc { epoch = 64 }));
+    ("wait-free", Some (Env.Wait_free { weight = 64 }));
   ]
 
 let sweep ~mk_strategy ~seeds () =
@@ -185,9 +186,9 @@ let () =
         ] );
       ( "linearizability",
         [
-          Alcotest.test_case "random sweep (3 rc modes)" `Slow
+          Alcotest.test_case "random sweep (4 rc modes)" `Slow
             test_random_sweep;
-          Alcotest.test_case "pct sweep (3 rc modes)" `Slow test_pct_sweep;
+          Alcotest.test_case "pct sweep (4 rc modes)" `Slow test_pct_sweep;
           Alcotest.test_case "bounded-exhaustive smallest" `Slow
             test_explore_smallest;
         ] );
